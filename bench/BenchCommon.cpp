@@ -1,0 +1,51 @@
+//===- bench/BenchCommon.cpp - Shared experiment harness ---------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gdp;
+using namespace gdp::bench;
+
+std::vector<SuiteEntry> gdp::bench::loadSuite() {
+  std::vector<SuiteEntry> Suite;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    if (W.Suite == "extra")
+      continue; // The benches reproduce the paper's 16-benchmark suite.
+    SuiteEntry E;
+    E.Name = W.Name;
+    E.P = W.Build();
+    E.PP = prepareProgram(*E.P);
+    if (!E.PP.Ok) {
+      std::fprintf(stderr, "failed to prepare %s: %s\n", W.Name.c_str(),
+                   E.PP.Error.c_str());
+      std::exit(1);
+    }
+    Suite.push_back(std::move(E));
+  }
+  return Suite;
+}
+
+PipelineResult gdp::bench::run(const SuiteEntry &Entry,
+                               StrategyKind Strategy,
+                               unsigned MoveLatency) {
+  PipelineOptions Opt;
+  Opt.Strategy = Strategy;
+  Opt.MoveLatency = MoveLatency;
+  return runStrategy(Entry.PP, Opt);
+}
+
+double gdp::bench::relativePerf(uint64_t BaselineCycles, uint64_t Cycles) {
+  if (Cycles == 0)
+    return 0.0;
+  return static_cast<double>(BaselineCycles) / static_cast<double>(Cycles);
+}
+
+void gdp::bench::banner(const std::string &Title,
+                        const std::string &PaperRef) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("Reproduces: %s\n", PaperRef.c_str());
+  std::printf("==================================================================\n");
+}

@@ -1,0 +1,57 @@
+//===- bench/BenchCommon.h - Shared experiment harness ----------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the per-figure benchmark binaries: loads and
+/// prepares the whole workload suite once, runs strategies, and prints
+/// paper-style tables. Every binary in bench/ regenerates one table or
+/// figure of the paper's evaluation (see DESIGN.md's experiment index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_BENCH_BENCHCOMMON_H
+#define GDP_BENCH_BENCHCOMMON_H
+
+#include "partition/Pipeline.h"
+#include "support/Histogram.h"
+#include "support/StrUtil.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdp {
+namespace bench {
+
+/// One prepared benchmark.
+struct SuiteEntry {
+  std::string Name;
+  std::unique_ptr<Program> P;
+  PreparedProgram PP;
+};
+
+/// Builds, verifies, annotates and profiles every workload. Exits with a
+/// diagnostic if any preparation fails (the test suite guards this).
+std::vector<SuiteEntry> loadSuite();
+
+/// Convenience: runs \p Strategy on \p Entry at \p MoveLatency with
+/// default options.
+PipelineResult run(const SuiteEntry &Entry, StrategyKind Strategy,
+                   unsigned MoveLatency);
+
+/// Relative performance of \p Cycles versus \p BaselineCycles, as the
+/// paper plots it (baseline / measured; 1.0 = parity, higher = faster than
+/// the baseline).
+double relativePerf(uint64_t BaselineCycles, uint64_t Cycles);
+
+/// Prints the standard experiment banner.
+void banner(const std::string &Title, const std::string &PaperRef);
+
+} // namespace bench
+} // namespace gdp
+
+#endif // GDP_BENCH_BENCHCOMMON_H

@@ -1,0 +1,63 @@
+//===- bench/abl_cache.cpp - Ablation D: partitioned caches ---------------------===//
+//
+// The paper's §5 future work, implemented: replace the 100%-hit scratchpad
+// assumption with private per-cluster caches and evaluate how each
+// strategy's *data placement* behaves under capacity pressure. A balanced
+// placement (GDP's objective) splits the resident set across both caches;
+// the Naive majority placement piles it onto one. Total time = schedule
+// cycles + modeled miss stalls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "partition/CacheModel.h"
+
+#include <cstdio>
+
+using namespace gdp;
+using namespace gdp::bench;
+
+int main() {
+  banner("Ablation D: data placement under partitioned caches",
+         "Chu & Mahlke, CGO'06, §5 (future work, implemented here)");
+
+  auto Suite = loadSuite();
+  for (uint64_t CapacityBytes : {1024ULL, 2048ULL, 4096ULL}) {
+    CacheConfig Config;
+    Config.CapacityBytes = CapacityBytes;
+    std::printf("--- per-cluster cache: %llu bytes, %u-cycle miss penalty "
+                "---\n",
+                static_cast<unsigned long long>(CapacityBytes),
+                Config.MissPenalty);
+    TextTable Table({"benchmark", "GDP miss%", "Naive miss%",
+                     "GDP total cyc", "Naive total cyc", "GDP vs Naive"});
+    Stats Advantage;
+    for (const SuiteEntry &E : Suite) {
+      PipelineResult GDPRes = run(E, StrategyKind::GDP, 5);
+      PipelineResult NaiveRes = run(E, StrategyKind::Naive, 5);
+      CacheOutcome GDPCache = evaluateCachePlacement(
+          *E.P, E.PP.Prof, GDPRes.Placement, 2, Config);
+      CacheOutcome NaiveCache = evaluateCachePlacement(
+          *E.P, E.PP.Prof, NaiveRes.Placement, 2, Config);
+      uint64_t GDPTotal = GDPRes.Cycles + GDPCache.StallCycles;
+      uint64_t NaiveTotal = NaiveRes.Cycles + NaiveCache.StallCycles;
+      double Rel = static_cast<double>(NaiveTotal) /
+                   static_cast<double>(GDPTotal);
+      Advantage.add(Rel);
+      Table.addRow(
+          {E.Name, formatPercent(GDPCache.MissRatio),
+           formatPercent(NaiveCache.MissRatio),
+           formatStr("%llu", static_cast<unsigned long long>(GDPTotal)),
+           formatStr("%llu", static_cast<unsigned long long>(NaiveTotal)),
+           formatPercent(Rel)});
+    }
+    Table.addRow({"average", "", "", "", "",
+                  formatPercent(Advantage.mean())});
+    std::printf("%s\n", Table.render().c_str());
+  }
+  std::printf("Expected shape: GDP's advantage peaks where the balanced "
+              "placement fits the\nsplit caches while Naive's one-sided "
+              "placement overflows its single cache; with\ntiny caches both "
+              "overflow (small gap), and with huge caches both fit.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- bench/fig10_traffic.cpp - Paper Figure 10 --------------------------------===//
+//
+// "Percentage increase of intercluster move operations using the GDP and
+// Profile Max methods over a single, unified memory model" at the default
+// 5-cycle move latency. Negative values mean *fewer* moves than the
+// unified baseline — which the paper observes for several Mediabench
+// programs ("having a global, program-view prepartition of the data
+// objects can allow the computation partitioner to start with a better
+// initial partition").
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+
+using namespace gdp;
+using namespace gdp::bench;
+
+int main() {
+  banner("Figure 10: increase in dynamic intercluster moves vs unified "
+         "memory (5-cycle latency)",
+         "Chu & Mahlke, CGO'06, Figure 10");
+
+  auto Suite = loadSuite();
+  TextTable Table(
+      {"benchmark", "unified moves", "GDP", "ProfileMax", "Naive"});
+  uint64_t TotalUnified = 0, TotalGDP = 0, TotalPM = 0, TotalNaive = 0;
+
+  for (const SuiteEntry &E : Suite) {
+    uint64_t Unified = run(E, StrategyKind::Unified, 5).DynamicMoves;
+    uint64_t GDPMoves = run(E, StrategyKind::GDP, 5).DynamicMoves;
+    uint64_t PMMoves = run(E, StrategyKind::ProfileMax, 5).DynamicMoves;
+    uint64_t NaiveMoves = run(E, StrategyKind::Naive, 5).DynamicMoves;
+    TotalUnified += Unified;
+    TotalGDP += GDPMoves;
+    TotalPM += PMMoves;
+    TotalNaive += NaiveMoves;
+    auto Pct = [&](uint64_t Moves) {
+      // Percentages over near-zero baselines are meaningless noise.
+      if (Unified < 500)
+        return formatStr("(+%llu)",
+                         static_cast<unsigned long long>(Moves - std::min(
+                                                             Moves, Unified)));
+      return formatPercent(static_cast<double>(Moves) /
+                               static_cast<double>(Unified) -
+                           1.0);
+    };
+    Table.addRow({E.Name,
+                  formatStr("%llu", static_cast<unsigned long long>(Unified)),
+                  Pct(GDPMoves), Pct(PMMoves), Pct(NaiveMoves)});
+  }
+  auto TotalPct = [&](uint64_t Total) {
+    return formatPercent(static_cast<double>(Total) /
+                             static_cast<double>(TotalUnified) -
+                         1.0);
+  };
+  Table.addRow({"suite total",
+                formatStr("%llu",
+                          static_cast<unsigned long long>(TotalUnified)),
+                TotalPct(TotalGDP), TotalPct(TotalPM),
+                TotalPct(TotalNaive)});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Paper shape: GDP adds fewer moves than Profile Max on most of "
+              "Mediabench and is\nsometimes below the unified baseline; the "
+              "dithering kernel (fsed) shows the\nlargest increase, matching "
+              "its performance loss in Figure 8.\n");
+  return 0;
+}

@@ -1,0 +1,5 @@
+//===- bench/fig7_perf_lat1.cpp - Paper Figure 7 ---------------------------===//
+
+#define MOVE_LATENCY 1u
+#define FIGURE_NAME "7"
+#include "fig78_perf.inc"

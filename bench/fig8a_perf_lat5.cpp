@@ -1,0 +1,5 @@
+//===- bench/fig8a_perf_lat5.cpp - Paper Figure 8(a) ---------------------------===//
+
+#define MOVE_LATENCY 5u
+#define FIGURE_NAME "8(a)"
+#include "fig78_perf.inc"

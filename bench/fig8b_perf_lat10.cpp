@@ -1,0 +1,5 @@
+//===- bench/fig8b_perf_lat10.cpp - Paper Figure 8(b) ---------------------------===//
+
+#define MOVE_LATENCY 10u
+#define FIGURE_NAME "8(b)"
+#include "fig78_perf.inc"

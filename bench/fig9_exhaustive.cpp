@@ -1,0 +1,105 @@
+//===- bench/fig9_exhaustive.cpp - Paper Figure 9 ------------------------------===//
+//
+// Exhaustive search of every data-object → cluster mapping for rawcaudio
+// and rawdaudio (the suite's small-object-count benchmarks, as in the
+// paper). Each placement is locked into RHOP and scheduled; the output
+// lists every point (performance normalized to the worst placement, data
+// balance shading) plus an ASCII rendition of the paper's scatter plot and
+// the points chosen by GDP and Profile Max.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "partition/Exhaustive.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace gdp;
+using namespace gdp::bench;
+
+namespace {
+
+void renderScatter(const ExhaustiveResult &R) {
+  // Y axis: performance vs worst (1.0 bottom .. best top), X axis: balance
+  // (0 = balanced left, 1 = one-sided right).
+  constexpr int Rows = 16, Cols = 48;
+  std::vector<std::string> Grid(Rows, std::string(Cols, ' '));
+  double BestRel = static_cast<double>(R.WorstCycles) /
+                   static_cast<double>(R.BestCycles);
+  auto Plot = [&](const ExhaustivePoint &Pt, char C) {
+    double Rel = static_cast<double>(R.WorstCycles) /
+                 static_cast<double>(Pt.Cycles); // 1.0 .. BestRel
+    double YFrac = BestRel > 1.0 ? (Rel - 1.0) / (BestRel - 1.0) : 0.0;
+    int Row = Rows - 1 - static_cast<int>(YFrac * (Rows - 1));
+    int Col = static_cast<int>(Pt.Imbalance * (Cols - 1));
+    char &Cell = Grid[static_cast<unsigned>(Row)][static_cast<unsigned>(Col)];
+    if (Cell == ' ' || C != 'o')
+      Cell = C;
+  };
+  for (const auto &Pt : R.Points)
+    Plot(Pt, 'o');
+  Plot(R.Points[R.GDPMask], 'G');
+  Plot(R.Points[R.ProfileMaxMask], 'P');
+  std::printf("  perf^ (normalized to worst; G = GDP, P = Profile Max)\n");
+  for (const auto &Line : Grid)
+    std::printf("  |%s|\n", Line.c_str());
+  std::printf("  +%s+-> data-size imbalance (left = balanced)\n",
+              std::string(Cols, '-').c_str());
+}
+
+void runOne(const SuiteEntry &E) {
+  std::printf("\n--- %s: exhaustive search over %u objects (%llu mappings), "
+              "5-cycle moves ---\n",
+              E.Name.c_str(), E.P->getNumObjects(),
+              1ULL << E.P->getNumObjects());
+  PipelineOptions Opt;
+  Opt.MoveLatency = 5;
+  ExhaustiveResult R = exhaustiveSearch(E.PP, Opt);
+
+  double Spread = static_cast<double>(R.WorstCycles) /
+                  static_cast<double>(R.BestCycles);
+  std::printf("best %llu cycles, worst %llu cycles (best is %.1f%% faster)\n",
+              static_cast<unsigned long long>(R.BestCycles),
+              static_cast<unsigned long long>(R.WorstCycles),
+              (Spread - 1.0) * 100.0);
+
+  auto Describe = [&](const char *Who, uint64_t Mask) {
+    const ExhaustivePoint &Pt = R.Points[Mask];
+    std::printf("%-11s mask=0x%02llx  perf-vs-worst=%.3f  imbalance=%.2f\n",
+                Who, static_cast<unsigned long long>(Mask),
+                static_cast<double>(R.WorstCycles) /
+                    static_cast<double>(Pt.Cycles),
+                Pt.Imbalance);
+  };
+  Describe("GDP:", R.GDPMask);
+  Describe("ProfileMax:", R.ProfileMaxMask);
+
+  renderScatter(R);
+
+  // The paper's horizontal bands: count distinct performance levels.
+  std::vector<uint64_t> Cycles;
+  for (const auto &Pt : R.Points)
+    Cycles.push_back(Pt.Cycles);
+  std::sort(Cycles.begin(), Cycles.end());
+  Cycles.erase(std::unique(Cycles.begin(), Cycles.end()), Cycles.end());
+  std::printf("distinct performance levels (the paper's horizontal bands): "
+              "%zu of %zu mappings\n",
+              Cycles.size(), R.Points.size());
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 9: exhaustive search of all data-object mappings",
+         "Chu & Mahlke, CGO'06, Figure 9(a)/(b)");
+  auto Suite = loadSuite();
+  for (const SuiteEntry &E : Suite)
+    if (E.Name == "rawcaudio" || E.Name == "rawdaudio")
+      runOne(E);
+  std::printf("\nPaper shape: points cluster into horizontal bands (a small "
+              "subset of objects\ndetermines performance); both partitioners "
+              "pick well-balanced placements, with\nGDP's at a higher "
+              "performance band.\n");
+  return 0;
+}

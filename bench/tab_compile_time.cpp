@@ -1,0 +1,83 @@
+//===- bench/tab_compile_time.cpp - Paper §4.5 ---------------------------------===//
+//
+// Compile-time comparison (paper §4.5): the detailed computation
+// partitioner dominates compile time; Profile Max runs it twice, GDP and
+// Naive once, so Profile Max should cost roughly 2× GDP. The table reports
+// measured wall-clock partitioning time per strategy over the suite, and a
+// google-benchmark section times the individual partitioning passes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace gdp;
+using namespace gdp::bench;
+
+namespace {
+
+const std::vector<SuiteEntry> &suite() {
+  static std::vector<SuiteEntry> Suite = loadSuite();
+  return Suite;
+}
+
+void BM_Strategy(benchmark::State &State, const SuiteEntry *Entry,
+                 StrategyKind Strategy) {
+  for (auto _ : State) {
+    PipelineResult R = run(*Entry, Strategy, 5);
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  banner("Section 4.5: compile time of the partitioning strategies",
+         "Chu & Mahlke, CGO'06, §4.5");
+
+  // --- Aggregate table: partitioning seconds and detailed-partitioner runs.
+  TextTable Table({"benchmark", "GDP ms", "ProfileMax ms", "Naive ms",
+                   "PM/GDP ratio"});
+  double GDPTotal = 0, PMTotal = 0, NaiveTotal = 0;
+  for (const SuiteEntry &E : suite()) {
+    PipelineResult G = run(E, StrategyKind::GDP, 5);
+    PipelineResult PM = run(E, StrategyKind::ProfileMax, 5);
+    PipelineResult N = run(E, StrategyKind::Naive, 5);
+    GDPTotal += G.PartitionSeconds;
+    PMTotal += PM.PartitionSeconds;
+    NaiveTotal += N.PartitionSeconds;
+    Table.addRow({E.Name, formatDouble(G.PartitionSeconds * 1e3, 2),
+                  formatDouble(PM.PartitionSeconds * 1e3, 2),
+                  formatDouble(N.PartitionSeconds * 1e3, 2),
+                  formatDouble(PM.PartitionSeconds /
+                                   std::max(1e-9, G.PartitionSeconds),
+                               2)});
+  }
+  Table.addRow({"total", formatDouble(GDPTotal * 1e3, 2),
+                formatDouble(PMTotal * 1e3, 2),
+                formatDouble(NaiveTotal * 1e3, 2),
+                formatDouble(PMTotal / std::max(1e-9, GDPTotal), 2)});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Paper shape: Profile Max is two complete runs of the detailed "
+              "computation\npartitioner, so its compile time is roughly twice "
+              "GDP's (which, like Naive,\nneeds only one run).\n\n");
+
+  // --- google-benchmark timings on representative benchmarks.
+  for (const SuiteEntry &E : suite()) {
+    if (E.Name != "rawcaudio" && E.Name != "mpeg2enc" && E.Name != "fft")
+      continue;
+    for (auto [Kind, Label] :
+         {std::pair{StrategyKind::GDP, "GDP"},
+          std::pair{StrategyKind::ProfileMax, "ProfileMax"},
+          std::pair{StrategyKind::Naive, "Naive"}})
+      benchmark::RegisterBenchmark((E.Name + "/" + Label).c_str(),
+                                   BM_Strategy, &E, Kind)
+          ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

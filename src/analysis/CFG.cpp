@@ -1,0 +1,48 @@
+//===- analysis/CFG.cpp - Control-flow graph utilities ---------------------===//
+
+#include "analysis/CFG.h"
+
+#include "ir/Function.h"
+
+using namespace gdp;
+
+CFG::CFG(const Function &F) {
+  unsigned N = F.getNumBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  for (unsigned B = 0; B != N; ++B) {
+    Succs[B] = F.getBlock(B).successorIds();
+    for (int S : Succs[B])
+      Preds[static_cast<unsigned>(S)].push_back(static_cast<int>(B));
+  }
+
+  // Iterative post-order DFS from the entry.
+  std::vector<int> PostOrder;
+  PostOrder.reserve(N);
+  if (N != 0) {
+    std::vector<std::pair<int, unsigned>> Stack; // (block, next succ index)
+    Reachable[0] = true;
+    Stack.push_back({0, 0});
+    while (!Stack.empty()) {
+      auto &[Block, NextSucc] = Stack.back();
+      const auto &BS = Succs[static_cast<unsigned>(Block)];
+      if (NextSucc < BS.size()) {
+        int S = BS[NextSucc++];
+        if (!Reachable[static_cast<unsigned>(S)]) {
+          Reachable[static_cast<unsigned>(S)] = true;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        PostOrder.push_back(Block);
+        Stack.pop_back();
+      }
+    }
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned B = 0; B != N; ++B)
+    if (!Reachable[B])
+      RPO.push_back(static_cast<int>(B));
+}

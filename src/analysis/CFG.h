@@ -1,0 +1,54 @@
+//===- analysis/CFG.h - Control-flow graph utilities ------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow graph summary: successor/predecessor lists and
+/// a reverse-post-order traversal used by the dataflow solvers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_ANALYSIS_CFG_H
+#define GDP_ANALYSIS_CFG_H
+
+#include <vector>
+
+namespace gdp {
+
+class Function;
+
+/// Successor/predecessor structure of one function's CFG.
+class CFG {
+public:
+  explicit CFG(const Function &F);
+
+  unsigned getNumBlocks() const {
+    return static_cast<unsigned>(Succs.size());
+  }
+  const std::vector<int> &successors(unsigned Block) const {
+    return Succs[Block];
+  }
+  const std::vector<int> &predecessors(unsigned Block) const {
+    return Preds[Block];
+  }
+
+  /// Blocks in reverse post order from the entry. Unreachable blocks are
+  /// appended after the reachable ones (in id order) so every block appears
+  /// exactly once.
+  const std::vector<int> &reversePostOrder() const { return RPO; }
+
+  /// True if \p Block is reachable from the entry block.
+  bool isReachable(unsigned Block) const { return Reachable[Block]; }
+
+private:
+  std::vector<std::vector<int>> Succs;
+  std::vector<std::vector<int>> Preds;
+  std::vector<int> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace gdp
+
+#endif // GDP_ANALYSIS_CFG_H

@@ -1,0 +1,48 @@
+//===- analysis/CallGraph.cpp - Static call graph ---------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "ir/Program.h"
+
+#include <algorithm>
+
+using namespace gdp;
+
+CallGraph::CallGraph(const Program &P) {
+  unsigned N = P.getNumFunctions();
+  Callees.resize(N);
+  Callers.resize(N);
+  Reachable.assign(N, false);
+
+  for (const auto &F : P.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &Op : BB->operations()) {
+        if (Op->getOpcode() != Opcode::Call)
+          continue;
+        unsigned Callee = static_cast<unsigned>(Op->getCallee());
+        Callees[static_cast<unsigned>(F->getId())].push_back(
+            static_cast<int>(Callee));
+        Callers[Callee].push_back({F->getId(), Op.get()});
+      }
+    }
+  }
+  for (auto &List : Callees) {
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+
+  // Reachability from the entry.
+  if (P.getEntryId() >= 0 && static_cast<unsigned>(P.getEntryId()) < N) {
+    std::vector<int> Worklist{P.getEntryId()};
+    Reachable[static_cast<unsigned>(P.getEntryId())] = true;
+    while (!Worklist.empty()) {
+      int F = Worklist.back();
+      Worklist.pop_back();
+      for (int C : Callees[static_cast<unsigned>(F)])
+        if (!Reachable[static_cast<unsigned>(C)]) {
+          Reachable[static_cast<unsigned>(C)] = true;
+          Worklist.push_back(C);
+        }
+    }
+  }
+}

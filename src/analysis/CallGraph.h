@@ -1,0 +1,57 @@
+//===- analysis/CallGraph.h - Static call graph -----------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static call graph of a program. Calls are direct (the IR has no
+/// function pointers), so this is exact. Used by the interprocedural
+/// points-to analysis and by the program-level graph builder to wire call
+/// arguments to callee parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_ANALYSIS_CALLGRAPH_H
+#define GDP_ANALYSIS_CALLGRAPH_H
+
+#include <vector>
+
+namespace gdp {
+
+class Operation;
+class Program;
+
+/// Call-graph summary for a whole program.
+class CallGraph {
+public:
+  /// One call site: the calling function and the call operation.
+  struct CallSite {
+    int CallerId;
+    const Operation *Call;
+  };
+
+  explicit CallGraph(const Program &P);
+
+  /// Functions directly called from \p FunctionId (deduplicated, sorted).
+  const std::vector<int> &callees(unsigned FunctionId) const {
+    return Callees[FunctionId];
+  }
+
+  /// All call sites whose callee is \p FunctionId.
+  const std::vector<CallSite> &callersOf(unsigned FunctionId) const {
+    return Callers[FunctionId];
+  }
+
+  /// True if \p FunctionId is reachable from the program entry.
+  bool isReachable(unsigned FunctionId) const { return Reachable[FunctionId]; }
+
+private:
+  std::vector<std::vector<int>> Callees;
+  std::vector<std::vector<CallSite>> Callers;
+  std::vector<bool> Reachable;
+};
+
+} // namespace gdp
+
+#endif // GDP_ANALYSIS_CALLGRAPH_H

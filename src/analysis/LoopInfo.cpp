@@ -1,0 +1,139 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+#include "profile/ProfileData.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gdp;
+
+LoopInfo::LoopInfo(const Function &F, const CFG &Cfg) {
+  unsigned N = F.getNumBlocks();
+  InnermostOf.assign(N, -1);
+  if (N == 0)
+    return;
+
+  // --- Iterative dominator sets (blocks are few; bitsets suffice).
+  std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, true));
+  Dom[0].assign(N, false);
+  Dom[0][0] = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int BSigned : Cfg.reversePostOrder()) {
+      unsigned B = static_cast<unsigned>(BSigned);
+      if (B == 0 || !Cfg.isReachable(B))
+        continue;
+      std::vector<bool> NewDom(N, true);
+      bool Any = false;
+      for (int Pred : Cfg.predecessors(B)) {
+        if (!Cfg.isReachable(static_cast<unsigned>(Pred)))
+          continue;
+        Any = true;
+        for (unsigned I = 0; I != N; ++I)
+          NewDom[I] = NewDom[I] && Dom[static_cast<unsigned>(Pred)][I];
+      }
+      if (!Any)
+        NewDom.assign(N, false);
+      NewDom[B] = true;
+      if (NewDom != Dom[B]) {
+        Dom[B] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+
+  // --- Back edges and natural loops; loops sharing a header merge.
+  std::map<int, std::vector<int>> BodyOfHeader; // header -> sorted blocks
+  for (unsigned B = 0; B != N; ++B) {
+    if (!Cfg.isReachable(B))
+      continue;
+    for (int Succ : Cfg.successors(B)) {
+      unsigned H = static_cast<unsigned>(Succ);
+      if (!Dom[B][H])
+        continue; // Not a back edge.
+      // Natural loop of (B -> H): H plus everything reaching B without
+      // passing through H.
+      std::vector<bool> InLoop(N, false);
+      InLoop[H] = true;
+      std::vector<unsigned> Work;
+      if (!InLoop[B]) {
+        InLoop[B] = true;
+        Work.push_back(B);
+      }
+      while (!Work.empty()) {
+        unsigned X = Work.back();
+        Work.pop_back();
+        for (int Pred : Cfg.predecessors(X)) {
+          unsigned PB = static_cast<unsigned>(Pred);
+          if (!InLoop[PB] && Cfg.isReachable(PB)) {
+            InLoop[PB] = true;
+            Work.push_back(PB);
+          }
+        }
+      }
+      auto &Body = BodyOfHeader[static_cast<int>(H)];
+      for (unsigned X = 0; X != N; ++X)
+        if (InLoop[X])
+          Body.push_back(static_cast<int>(X));
+      std::sort(Body.begin(), Body.end());
+      Body.erase(std::unique(Body.begin(), Body.end()), Body.end());
+    }
+  }
+
+  for (auto &[Header, Blocks] : BodyOfHeader) {
+    Loop L;
+    L.Header = Header;
+    L.Blocks = Blocks;
+    for (int Pred : Cfg.predecessors(static_cast<unsigned>(Header)))
+      if (!std::binary_search(Blocks.begin(), Blocks.end(), Pred))
+        L.EntryPreds.push_back(Pred);
+    Loops.push_back(std::move(L));
+  }
+
+  // --- Depth and innermost-loop mapping (innermost = smallest containing).
+  for (unsigned I = 0; I != Loops.size(); ++I) {
+    for (unsigned J = 0; J != Loops.size(); ++J)
+      if (I != J && Loops[J].Blocks.size() > Loops[I].Blocks.size() &&
+          std::binary_search(Loops[J].Blocks.begin(), Loops[J].Blocks.end(),
+                             Loops[I].Header))
+        ++Loops[I].Depth;
+    for (int B : Loops[I].Blocks) {
+      int Cur = InnermostOf[static_cast<unsigned>(B)];
+      if (Cur < 0 || Loops[static_cast<unsigned>(Cur)].Blocks.size() >
+                         Loops[I].Blocks.size())
+        InnermostOf[static_cast<unsigned>(B)] = static_cast<int>(I);
+    }
+  }
+}
+
+bool LoopInfo::contains(unsigned LoopId, unsigned Block) const {
+  const auto &Blocks = Loops[LoopId].Blocks;
+  return std::binary_search(Blocks.begin(), Blocks.end(),
+                            static_cast<int>(Block));
+}
+
+bool LoopInfo::isHoistableLiveIn(int DefBlock, unsigned UseBlock) const {
+  int L = InnermostOf[UseBlock];
+  if (L < 0)
+    return false; // Not in a loop: nothing to hoist out of.
+  if (DefBlock < 0)
+    return true; // Parameters are defined outside every loop.
+  return !contains(static_cast<unsigned>(L),
+                   static_cast<unsigned>(DefBlock));
+}
+
+uint64_t LoopInfo::entryCountOf(unsigned Block, unsigned FunctionId,
+                                const ProfileData &Prof) const {
+  int L = InnermostOf[Block];
+  if (L < 0)
+    return Prof.getBlockFreq(FunctionId, Block);
+  uint64_t Count = 0;
+  for (int Pred : Loops[static_cast<unsigned>(L)].EntryPreds)
+    Count += Prof.getBlockFreq(FunctionId, static_cast<unsigned>(Pred));
+  return std::max<uint64_t>(Count, 1);
+}

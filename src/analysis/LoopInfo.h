@@ -1,0 +1,69 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-based natural-loop detection. The scheduler and the RHOP cost
+/// model use it to treat intercluster moves of loop-invariant values as
+/// hoistable: a value produced outside the loop is transferred once per
+/// loop entry, not once per iteration — exactly what a clustered-VLIW
+/// compiler's move placement does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_ANALYSIS_LOOPINFO_H
+#define GDP_ANALYSIS_LOOPINFO_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+class CFG;
+class Function;
+class ProfileData;
+
+/// Natural loops of one function.
+class LoopInfo {
+public:
+  /// One natural loop (loops sharing a header are merged).
+  struct Loop {
+    int Header = -1;
+    std::vector<int> Blocks;        ///< Sorted member block ids (incl. header).
+    std::vector<int> EntryPreds;    ///< Header predecessors outside the loop.
+    unsigned Depth = 1;             ///< 1 = outermost.
+  };
+
+  LoopInfo(const Function &F, const CFG &Cfg);
+
+  unsigned getNumLoops() const { return static_cast<unsigned>(Loops.size()); }
+  const Loop &getLoop(unsigned I) const { return Loops[I]; }
+
+  /// Id of the innermost loop containing \p Block, or -1.
+  int innermostLoopOf(unsigned Block) const { return InnermostOf[Block]; }
+
+  /// True if loop \p LoopId contains \p Block.
+  bool contains(unsigned LoopId, unsigned Block) const;
+
+  /// True if a value defined in \p DefBlock is loop-invariant with respect
+  /// to \p UseBlock's innermost loop (so a cross-cluster transfer of it can
+  /// be hoisted to the loop preheader).
+  bool isHoistableLiveIn(int DefBlock, unsigned UseBlock) const;
+
+  /// Number of times the innermost loop of \p Block is entered, per
+  /// \p Prof: the total frequency of the header's out-of-loop
+  /// predecessors. Returns \p Prof's frequency of \p Block itself when the
+  /// block is not in a loop.
+  uint64_t entryCountOf(unsigned Block, unsigned FunctionId,
+                        const ProfileData &Prof) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> InnermostOf; // block -> innermost loop id or -1
+};
+
+} // namespace gdp
+
+#endif // GDP_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,25 @@
+//===- analysis/OpIndex.cpp - Dense operation lookup ------------------------===//
+
+#include "analysis/OpIndex.h"
+
+#include "ir/Function.h"
+
+using namespace gdp;
+
+OpIndex::OpIndex(const Function &F) {
+  unsigned N = F.getNumOpIds();
+  Ops.assign(N, nullptr);
+  BlockOf.assign(N, -1);
+  PosInBlock.assign(N, -1);
+  for (const auto &BB : F.blocks()) {
+    for (unsigned I = 0, E = BB->size(); I != E; ++I) {
+      const Operation &Op = BB->getOp(I);
+      unsigned Id = static_cast<unsigned>(Op.getId());
+      assert(Id < N && "operation id exceeds function id counter");
+      assert(!Ops[Id] && "duplicate operation id within function");
+      Ops[Id] = &Op;
+      BlockOf[Id] = BB->getId();
+      PosInBlock[Id] = static_cast<int>(I);
+    }
+  }
+}

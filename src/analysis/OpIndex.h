@@ -1,0 +1,61 @@
+//===- analysis/OpIndex.h - Dense operation lookup ---------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps dense operation ids back to operations and their containing blocks
+/// for one function. Nearly every analysis and both partitioning passes use
+/// this to key side tables by operation id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_ANALYSIS_OPINDEX_H
+#define GDP_ANALYSIS_OPINDEX_H
+
+#include <cassert>
+#include <vector>
+
+namespace gdp {
+
+class Function;
+class Operation;
+
+/// Operation-id → operation/block lookup for one function.
+class OpIndex {
+public:
+  explicit OpIndex(const Function &F);
+
+  /// Number of operation-id slots (one past the largest id).
+  unsigned size() const { return static_cast<unsigned>(Ops.size()); }
+
+  /// Returns the operation with id \p OpId (null for ids that were
+  /// allocated but whose operation was never inserted; does not happen for
+  /// builder-constructed IR).
+  const Operation *getOp(unsigned OpId) const {
+    assert(OpId < Ops.size() && "operation id out of range");
+    return Ops[OpId];
+  }
+
+  /// Returns the id of the block containing operation \p OpId, or -1.
+  int getBlockOf(unsigned OpId) const {
+    assert(OpId < BlockOf.size() && "operation id out of range");
+    return BlockOf[OpId];
+  }
+
+  /// Returns the position of operation \p OpId within its block, or -1.
+  int getPosInBlock(unsigned OpId) const {
+    assert(OpId < PosInBlock.size() && "operation id out of range");
+    return PosInBlock[OpId];
+  }
+
+private:
+  std::vector<const Operation *> Ops;
+  std::vector<int> BlockOf;
+  std::vector<int> PosInBlock;
+};
+
+} // namespace gdp
+
+#endif // GDP_ANALYSIS_OPINDEX_H

@@ -1,0 +1,618 @@
+//===- graph/MultilevelPartitioner.cpp - Multilevel k-way cut ---------------===//
+
+#include "graph/MultilevelPartitioner.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace gdp;
+
+double GraphPartition::maxNormalizedLoad(
+    const std::vector<uint64_t> &Totals) const {
+  double Worst = 0;
+  unsigned NumParts = static_cast<unsigned>(PartWeights.size());
+  for (unsigned P = 0; P != NumParts; ++P)
+    for (unsigned C = 0; C != Totals.size(); ++C) {
+      if (Totals[C] == 0)
+        continue;
+      double Ideal = static_cast<double>(Totals[C]) / NumParts;
+      Worst = std::max(Worst, static_cast<double>(PartWeights[P][C]) / Ideal);
+    }
+  return Worst;
+}
+
+namespace {
+
+/// Per-part, per-constraint capacity table.
+using CapacityTable = std::vector<std::vector<uint64_t>>;
+
+/// Shared helpers for one partitioning run.
+struct Context {
+  const GraphPartitionOptions &Opt;
+
+  double tolerance(unsigned C) const {
+    return C < Opt.Tolerances.size() ? Opt.Tolerances[C]
+                                     : Opt.DefaultTolerance;
+  }
+
+  /// Fraction of the total weight part \p P may hold (uniform when no
+  /// capacity shares were given).
+  double shareOf(unsigned P) const {
+    if (Opt.PartCapacityShares.empty())
+      return 1.0 / Opt.NumParts;
+    double Total = 0;
+    for (unsigned Q = 0; Q != Opt.NumParts; ++Q)
+      Total += Q < Opt.PartCapacityShares.size()
+                   ? Opt.PartCapacityShares[Q]
+                   : 1.0;
+    double Mine =
+        P < Opt.PartCapacityShares.size() ? Opt.PartCapacityShares[P] : 1.0;
+    return Total > 0 ? Mine / Total : 1.0 / Opt.NumParts;
+  }
+
+  /// Per-part, per-constraint capacities, never below the heaviest single
+  /// node so that a feasible assignment always exists.
+  CapacityTable maxAllowed(const PartitionGraph &G) const {
+    std::vector<uint64_t> Totals = G.totalWeights();
+    CapacityTable Result(Opt.NumParts,
+                         std::vector<uint64_t>(Totals.size()));
+    for (unsigned C = 0; C != Totals.size(); ++C) {
+      uint64_t Heaviest = 0;
+      for (unsigned N = 0; N != G.getNumNodes(); ++N)
+        Heaviest = std::max(Heaviest, G.getNodeWeights(N)[C]);
+      for (unsigned P = 0; P != Opt.NumParts; ++P) {
+        if (Totals[C] == 0) {
+          Result[P][C] = std::numeric_limits<uint64_t>::max();
+          continue;
+        }
+        double Cap = (1.0 + tolerance(C)) *
+                     static_cast<double>(Totals[C]) * shareOf(P);
+        // A feasible assignment must always exist, so the capacity is
+        // never below the heaviest single node — plus that node's fair
+        // share of the remaining weight, so small nodes that belong with
+        // a giant one aren't forced out by a sliver of slack.
+        double GiantCap =
+            static_cast<double>(Heaviest) +
+            (1.0 + tolerance(C)) *
+                static_cast<double>(Totals[C] - Heaviest) * shareOf(P);
+        Result[P][C] = static_cast<uint64_t>(std::max(Cap, GiantCap));
+      }
+    }
+    return Result;
+  }
+};
+
+std::vector<std::vector<uint64_t>>
+computePartWeights(const PartitionGraph &G,
+                   const std::vector<unsigned> &Assign, unsigned NumParts) {
+  std::vector<std::vector<uint64_t>> PW(
+      NumParts, std::vector<uint64_t>(G.getNumConstraints(), 0));
+  for (unsigned N = 0; N != G.getNumNodes(); ++N)
+    for (unsigned C = 0; C != G.getNumConstraints(); ++C)
+      PW[Assign[N]][C] += G.getNodeWeights(N)[C];
+  return PW;
+}
+
+double normalizedLoad(const std::vector<std::vector<uint64_t>> &PW,
+                      const std::vector<uint64_t> &Totals) {
+  double Worst = 0;
+  for (const auto &Part : PW)
+    for (unsigned C = 0; C != Totals.size(); ++C) {
+      if (Totals[C] == 0)
+        continue;
+      double Ideal =
+          static_cast<double>(Totals[C]) / static_cast<double>(PW.size());
+      Worst = std::max(Worst, static_cast<double>(Part[C]) / Ideal);
+    }
+  return Worst;
+}
+
+std::vector<unsigned> shuffledNodes(unsigned N, Random &RNG) {
+  std::vector<unsigned> Order(N);
+  for (unsigned I = 0; I != N; ++I)
+    Order[I] = I;
+  for (unsigned I = N; I > 1; --I)
+    std::swap(Order[I - 1], Order[RNG.nextBelow(I)]);
+  return Order;
+}
+
+/// One heavy-edge-matching coarsening step. Writes the fine→coarse mapping
+/// and returns the coarse graph.
+PartitionGraph coarsenOnce(const PartitionGraph &G, Random &RNG,
+                           std::vector<unsigned> &FineToCoarse) {
+  unsigned N = G.getNumNodes();
+  std::vector<int> Match(N, -1);
+  for (unsigned Node : shuffledNodes(N, RNG)) {
+    if (Match[Node] >= 0)
+      continue;
+    // Heaviest-edge unmatched neighbor; ties broken by smaller id for
+    // determinism.
+    int Best = -1;
+    uint64_t BestW = 0;
+    for (const auto &[Nbr, W] : G.neighbors(Node)) {
+      if (Match[Nbr] >= 0 || Nbr == Node)
+        continue;
+      if (Best < 0 || W > BestW ||
+          (W == BestW && Nbr < static_cast<unsigned>(Best))) {
+        Best = static_cast<int>(Nbr);
+        BestW = W;
+      }
+    }
+    if (Best >= 0) {
+      Match[Node] = Best;
+      Match[Best] = static_cast<int>(Node);
+    } else {
+      Match[Node] = static_cast<int>(Node); // Self-match (unmatched).
+    }
+  }
+
+  FineToCoarse.assign(N, ~0u);
+  PartitionGraph Coarse(G.getNumConstraints());
+  for (unsigned Node = 0; Node != N; ++Node) {
+    if (FineToCoarse[Node] != ~0u)
+      continue;
+    unsigned Partner = static_cast<unsigned>(Match[Node]);
+    std::vector<uint64_t> W = G.getNodeWeights(Node);
+    if (Partner != Node) {
+      const auto &PW = G.getNodeWeights(Partner);
+      for (unsigned C = 0; C != W.size(); ++C)
+        W[C] += PW[C];
+    }
+    unsigned Coarsened = Coarse.addNode(std::move(W));
+    FineToCoarse[Node] = Coarsened;
+    if (Partner != Node)
+      FineToCoarse[Partner] = Coarsened;
+  }
+  for (unsigned Node = 0; Node != N; ++Node)
+    for (const auto &[Nbr, W] : G.neighbors(Node))
+      if (Nbr > Node)
+        Coarse.addEdge(FineToCoarse[Node], FineToCoarse[Nbr], W);
+  return Coarse;
+}
+
+/// Moves nodes out of overloaded parts until every part fits its capacity
+/// (bounded effort).
+void repairBalance(const PartitionGraph &G, std::vector<unsigned> &Assign,
+                   std::vector<std::vector<uint64_t>> &PW,
+                   const CapacityTable &MaxAllowed,
+                   const GraphPartitionOptions &Opt, Random &RNG) {
+  unsigned NumParts = Opt.NumParts;
+  for (unsigned Round = 0; Round != 4 * G.getNumNodes() + 16; ++Round) {
+    // Find the most overloaded (part, constraint).
+    int WorstPart = -1;
+    unsigned WorstC = 0;
+    double WorstRatio = 1.0;
+    for (unsigned P = 0; P != NumParts; ++P)
+      for (unsigned C = 0; C != MaxAllowed[P].size(); ++C) {
+        if (MaxAllowed[P][C] == std::numeric_limits<uint64_t>::max() ||
+            PW[P][C] <= MaxAllowed[P][C])
+          continue;
+        double Ratio = static_cast<double>(PW[P][C]) /
+                       static_cast<double>(MaxAllowed[P][C]);
+        if (Ratio > WorstRatio) {
+          WorstRatio = Ratio;
+          WorstPart = static_cast<int>(P);
+          WorstC = C;
+        }
+      }
+    if (WorstPart < 0)
+      return; // Balanced.
+
+    // Move the node contributing to the overload whose departure hurts the
+    // cut least, to the part with the lowest load on the offending
+    // constraint.
+    unsigned Target = 0;
+    for (unsigned P = 1; P != NumParts; ++P)
+      if (PW[P][WorstC] < PW[Target][WorstC])
+        Target = P;
+    if (Target == static_cast<unsigned>(WorstPart))
+      return; // Nothing lighter exists; give up.
+
+    int BestNode = -1;
+    int64_t BestGain = std::numeric_limits<int64_t>::min();
+    for (unsigned Node : shuffledNodes(G.getNumNodes(), RNG)) {
+      if (Assign[Node] != static_cast<unsigned>(WorstPart) ||
+          G.getNodeWeights(Node)[WorstC] == 0)
+        continue;
+      int64_t Gain = 0;
+      for (const auto &[Nbr, W] : G.neighbors(Node)) {
+        if (Assign[Nbr] == Target)
+          Gain += static_cast<int64_t>(W);
+        else if (Assign[Nbr] == static_cast<unsigned>(WorstPart))
+          Gain -= static_cast<int64_t>(W);
+      }
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        BestNode = static_cast<int>(Node);
+      }
+    }
+    if (BestNode < 0)
+      return;
+    for (unsigned C = 0; C != MaxAllowed[0].size(); ++C) {
+      uint64_t W = G.getNodeWeights(static_cast<unsigned>(BestNode))[C];
+      PW[static_cast<unsigned>(WorstPart)][C] -= W;
+      PW[Target][C] += W;
+    }
+    Assign[static_cast<unsigned>(BestNode)] = Target;
+  }
+}
+
+/// One FM-style refinement pass; returns true if any move was applied.
+bool refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
+                std::vector<std::vector<uint64_t>> &PW,
+                const CapacityTable &MaxAllowed,
+                const std::vector<uint64_t> &Totals,
+                const GraphPartitionOptions &Opt, Random &RNG) {
+  bool Moved = false;
+  unsigned NumParts = Opt.NumParts;
+  std::vector<int64_t> Conn(NumParts);
+
+  for (unsigned Node : shuffledNodes(G.getNumNodes(), RNG)) {
+    unsigned From = Assign[Node];
+    std::fill(Conn.begin(), Conn.end(), 0);
+    for (const auto &[Nbr, W] : G.neighbors(Node))
+      Conn[Assign[Nbr]] += static_cast<int64_t>(W);
+
+    // Best feasible destination by gain, ties to smaller part id.
+    int BestPart = -1;
+    int64_t BestGain = std::numeric_limits<int64_t>::min();
+    const auto &NW = G.getNodeWeights(Node);
+    for (unsigned P = 0; P != NumParts; ++P) {
+      if (P == From)
+        continue;
+      bool Fits = true;
+      for (unsigned C = 0; C != NW.size(); ++C)
+        if (MaxAllowed[P][C] != std::numeric_limits<uint64_t>::max() &&
+            PW[P][C] + NW[C] > MaxAllowed[P][C]) {
+          Fits = false;
+          break;
+        }
+      if (!Fits)
+        continue;
+      int64_t Gain = Conn[P] - Conn[From];
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        BestPart = static_cast<int>(P);
+      }
+    }
+    if (BestPart < 0)
+      continue;
+
+    bool Accept = BestGain > 0;
+    if (!Accept && BestGain == 0) {
+      // Zero-gain moves accepted only if they strictly improve balance.
+      double Before = normalizedLoad(PW, Totals);
+      for (unsigned C = 0; C != NW.size(); ++C) {
+        PW[From][C] -= NW[C];
+        PW[static_cast<unsigned>(BestPart)][C] += NW[C];
+      }
+      double After = normalizedLoad(PW, Totals);
+      if (After + 1e-12 < Before) {
+        Assign[Node] = static_cast<unsigned>(BestPart);
+        Moved = true;
+        continue;
+      }
+      // Revert.
+      for (unsigned C = 0; C != NW.size(); ++C) {
+        PW[From][C] += NW[C];
+        PW[static_cast<unsigned>(BestPart)][C] -= NW[C];
+      }
+      continue;
+    }
+    if (!Accept)
+      continue;
+    for (unsigned C = 0; C != NW.size(); ++C) {
+      PW[From][C] -= NW[C];
+      PW[static_cast<unsigned>(BestPart)][C] += NW[C];
+    }
+    Assign[Node] = static_cast<unsigned>(BestPart);
+    Moved = true;
+  }
+  return Moved;
+}
+
+/// Pairwise swap pass over boundary nodes: escapes the local minima where
+/// every single move is blocked by a balance constraint but exchanging two
+/// nodes across the cut is both feasible and profitable. Returns true if a
+/// swap was applied.
+bool swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
+              std::vector<std::vector<uint64_t>> &PW,
+              const CapacityTable &MaxAllowed) {
+  // Boundary nodes only (nodes with a cut edge), capped for cost.
+  constexpr unsigned MaxBoundary = 256;
+  std::vector<unsigned> Boundary;
+  for (unsigned N = 0; N != G.getNumNodes() && Boundary.size() < MaxBoundary;
+       ++N)
+    for (const auto &[Nbr, W] : G.neighbors(N))
+      if (Assign[Nbr] != Assign[N]) {
+        Boundary.push_back(N);
+        break;
+      }
+
+  auto GainOf = [&](unsigned Node, unsigned To) {
+    int64_t Gain = 0;
+    for (const auto &[Nbr, W] : G.neighbors(Node)) {
+      if (Assign[Nbr] == To)
+        Gain += static_cast<int64_t>(W);
+      else if (Assign[Nbr] == Assign[Node])
+        Gain -= static_cast<int64_t>(W);
+    }
+    return Gain;
+  };
+  auto EdgeW = [&](unsigned A, unsigned B) -> uint64_t {
+    const auto &Adj = G.neighbors(A);
+    auto It = Adj.find(B);
+    return It == Adj.end() ? 0 : It->second;
+  };
+
+  bool Swapped = false;
+  for (size_t I = 0; I != Boundary.size(); ++I) {
+    unsigned A = Boundary[I];
+    for (size_t J = I + 1; J != Boundary.size(); ++J) {
+      unsigned B = Boundary[J];
+      unsigned PA = Assign[A], PB = Assign[B];
+      if (PA == PB)
+        continue;
+      int64_t Gain = GainOf(A, PB) + GainOf(B, PA) -
+                     2 * static_cast<int64_t>(EdgeW(A, B));
+      if (Gain <= 0)
+        continue;
+      // Feasibility of the exchange under every constraint.
+      const auto &WA = G.getNodeWeights(A);
+      const auto &WB = G.getNodeWeights(B);
+      bool Fits = true;
+      for (unsigned C = 0; C != WA.size() && Fits; ++C) {
+        // Members' weights never exceed their part's weight, so these
+        // subtractions cannot underflow.
+        uint64_t NewPB = PW[PB][C] - WB[C] + WA[C];
+        uint64_t NewPA = PW[PA][C] - WA[C] + WB[C];
+        Fits = (MaxAllowed[PB][C] == std::numeric_limits<uint64_t>::max() ||
+                NewPB <= MaxAllowed[PB][C]) &&
+               (MaxAllowed[PA][C] == std::numeric_limits<uint64_t>::max() ||
+                NewPA <= MaxAllowed[PA][C]);
+      }
+      if (!Fits)
+        continue;
+      for (unsigned C = 0; C != WA.size(); ++C) {
+        PW[PA][C] = PW[PA][C] - WA[C] + WB[C];
+        PW[PB][C] = PW[PB][C] - WB[C] + WA[C];
+      }
+      Assign[A] = PB;
+      Assign[B] = PA;
+      Swapped = true;
+      break; // A moved; continue with the next A.
+    }
+  }
+  return Swapped;
+}
+
+void refine(const PartitionGraph &G, std::vector<unsigned> &Assign,
+            const GraphPartitionOptions &Opt, const Context &Ctx,
+            Random &RNG) {
+  auto PW = computePartWeights(G, Assign, Opt.NumParts);
+  auto MaxAllowed = Ctx.maxAllowed(G);
+  auto Totals = G.totalWeights();
+  repairBalance(G, Assign, PW, MaxAllowed, Opt, RNG);
+  for (unsigned Pass = 0; Pass != Opt.MaxRefinePasses; ++Pass) {
+    bool Moved = refinePass(G, Assign, PW, MaxAllowed, Totals, Opt, RNG);
+    bool Swapped = swapPass(G, Assign, PW, MaxAllowed);
+    if (!Moved && !Swapped)
+      break;
+  }
+}
+
+/// Greedy initial assignment at the coarsest level.
+std::vector<unsigned> initialAssign(const PartitionGraph &G,
+                                    const GraphPartitionOptions &Opt,
+                                    const Context &Ctx, Random &RNG) {
+  unsigned NumParts = Opt.NumParts;
+  std::vector<unsigned> Assign(G.getNumNodes(), 0);
+  std::vector<std::vector<uint64_t>> PW(
+      NumParts, std::vector<uint64_t>(G.getNumConstraints(), 0));
+  auto MaxAllowed = Ctx.maxAllowed(G);
+  auto Totals = G.totalWeights();
+  std::vector<bool> Placed(G.getNumNodes(), false);
+
+  for (unsigned Node : shuffledNodes(G.getNumNodes(), RNG)) {
+    const auto &NW = G.getNodeWeights(Node);
+    // Connectivity to already-placed neighbors per part.
+    std::vector<int64_t> Conn(NumParts, 0);
+    for (const auto &[Nbr, W] : G.neighbors(Node))
+      if (Placed[Nbr])
+        Conn[Assign[Nbr]] += static_cast<int64_t>(W);
+
+    int Best = -1;
+    double BestScore = -1e300;
+    for (unsigned P = 0; P != NumParts; ++P) {
+      bool Fits = true;
+      for (unsigned C = 0; C != NW.size(); ++C)
+        if (MaxAllowed[P][C] != std::numeric_limits<uint64_t>::max() &&
+            PW[P][C] + NW[C] > MaxAllowed[P][C]) {
+          Fits = false;
+          break;
+        }
+      // Score: connectivity first, then lower normalized load. Infeasible
+      // parts are heavily penalized but not excluded (a fallback must
+      // always exist).
+      double Load = 0;
+      for (unsigned C = 0; C != NW.size(); ++C) {
+        if (Totals[C] == 0)
+          continue;
+        double Ideal = static_cast<double>(Totals[C]) / NumParts;
+        Load = std::max(Load,
+                        static_cast<double>(PW[P][C] + NW[C]) / Ideal);
+      }
+      double Score = static_cast<double>(Conn[P]) - 0.25 * Load *
+                     (1.0 + static_cast<double>(G.totalEdgeWeight()) /
+                                std::max<uint64_t>(1, G.getNumNodes()));
+      if (!Fits)
+        Score -= 1e12;
+      if (Score > BestScore) {
+        BestScore = Score;
+        Best = static_cast<int>(P);
+      }
+    }
+    Assign[Node] = static_cast<unsigned>(Best);
+    Placed[Node] = true;
+    for (unsigned C = 0; C != NW.size(); ++C)
+      PW[static_cast<unsigned>(Best)][C] += NW[C];
+  }
+  return Assign;
+}
+
+/// Greedy graph growing (GGGP, the METIS initial-partition family for
+/// k = 2): start with everything in part 0, then grow part 1 from a seed
+/// node by repeatedly pulling over the highest-gain node until part 0 fits
+/// its capacities. Produces the "natural" cuts that random greedy
+/// assignment misses. Only used for bisection.
+std::vector<unsigned> gggpAssign(const PartitionGraph &G,
+                                 const CapacityTable &MaxAllowed,
+                                 unsigned SeedNode) {
+  unsigned N = G.getNumNodes();
+  std::vector<unsigned> Assign(N, 0);
+  std::vector<std::vector<uint64_t>> PW =
+      computePartWeights(G, Assign, 2);
+
+  auto Part0Fits = [&]() {
+    for (unsigned C = 0; C != MaxAllowed[0].size(); ++C)
+      if (MaxAllowed[0][C] != std::numeric_limits<uint64_t>::max() &&
+          PW[0][C] > MaxAllowed[0][C])
+        return false;
+    return true;
+  };
+  auto MoveTo1 = [&](unsigned Node) {
+    Assign[Node] = 1;
+    for (unsigned C = 0; C != MaxAllowed[0].size(); ++C) {
+      uint64_t W = G.getNodeWeights(Node)[C];
+      PW[0][C] -= W;
+      PW[1][C] += W;
+    }
+  };
+
+  MoveTo1(SeedNode);
+  while (!Part0Fits()) {
+    int Best = -1;
+    int64_t BestGain = std::numeric_limits<int64_t>::min();
+    for (unsigned Node = 0; Node != N; ++Node) {
+      if (Assign[Node] == 1)
+        continue;
+      // Part 1 must stay feasible.
+      bool Fits = true;
+      for (unsigned C = 0; C != MaxAllowed[1].size(); ++C)
+        if (MaxAllowed[1][C] != std::numeric_limits<uint64_t>::max() &&
+            PW[1][C] + G.getNodeWeights(Node)[C] > MaxAllowed[1][C]) {
+          Fits = false;
+          break;
+        }
+      if (!Fits)
+        continue;
+      int64_t Gain = 0;
+      for (const auto &[Nbr, W] : G.neighbors(Node))
+        Gain += Assign[Nbr] == 1 ? static_cast<int64_t>(W)
+                                 : -static_cast<int64_t>(W);
+      // Prefer to move weight-bearing nodes when growth is mandatory.
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        Best = static_cast<int>(Node);
+      }
+    }
+    if (Best < 0)
+      break; // Nothing feasible to move; leave as-is.
+    MoveTo1(static_cast<unsigned>(Best));
+  }
+  return Assign;
+}
+
+} // namespace
+
+GraphPartition gdp::partitionGraph(const PartitionGraph &G,
+                                   const GraphPartitionOptions &Opt) {
+  assert(Opt.NumParts >= 1 && "need at least one part");
+  Context Ctx{Opt};
+  Random RNG(Opt.Seed);
+
+  GraphPartition Result;
+  if (G.getNumNodes() == 0) {
+    Result.PartWeights.assign(
+        Opt.NumParts, std::vector<uint64_t>(G.getNumConstraints(), 0));
+    return Result;
+  }
+  if (Opt.NumParts == 1) {
+    Result.Assignment.assign(G.getNumNodes(), 0);
+    Result.PartWeights = computePartWeights(G, Result.Assignment, 1);
+    return Result;
+  }
+
+  // --- Coarsening phase.
+  std::vector<PartitionGraph> Graphs;
+  std::vector<std::vector<unsigned>> Mappings; // Mappings[i]: level i -> i+1
+  Graphs.push_back(G);
+  while (Graphs.back().getNumNodes() > Opt.CoarsenTargetNodes) {
+    std::vector<unsigned> FineToCoarse;
+    PartitionGraph Coarse = coarsenOnce(Graphs.back(), RNG, FineToCoarse);
+    // Stop if matching stalls (under 5% reduction).
+    if (Coarse.getNumNodes() * 20 > Graphs.back().getNumNodes() * 19)
+      break;
+    Mappings.push_back(std::move(FineToCoarse));
+    Graphs.push_back(std::move(Coarse));
+  }
+
+  // --- Initial partition at the coarsest level: best of several random
+  // greedy tries plus (for bisection) greedy graph growing from the
+  // heaviest seeds.
+  const PartitionGraph &Coarsest = Graphs.back();
+  std::vector<unsigned> Best;
+  uint64_t BestCut = 0;
+  double BestLoad = 0;
+  auto Consider = [&](std::vector<unsigned> Assign) {
+    refine(Coarsest, Assign, Opt, Ctx, RNG);
+    uint64_t Cut = Coarsest.cutWeight(Assign);
+    GraphPartition Tmp;
+    Tmp.PartWeights = computePartWeights(Coarsest, Assign, Opt.NumParts);
+    double Load = Tmp.maxNormalizedLoad(Coarsest.totalWeights());
+    if (Best.empty() || Cut < BestCut ||
+        (Cut == BestCut && Load < BestLoad)) {
+      Best = std::move(Assign);
+      BestCut = Cut;
+      BestLoad = Load;
+    }
+  };
+  for (unsigned Try = 0; Try != std::max(1u, Opt.NumInitialTries); ++Try)
+    Consider(initialAssign(Coarsest, Opt, Ctx, RNG));
+  if (Opt.NumParts == 2 && Coarsest.getNumNodes() > 1) {
+    auto MaxAllowed = Ctx.maxAllowed(Coarsest);
+    // Seeds: the nodes heaviest in each constraint, plus a random one.
+    std::vector<unsigned> Seeds;
+    for (unsigned C = 0; C != Coarsest.getNumConstraints(); ++C) {
+      unsigned Heaviest = 0;
+      for (unsigned Node = 1; Node != Coarsest.getNumNodes(); ++Node)
+        if (Coarsest.getNodeWeights(Node)[C] >
+            Coarsest.getNodeWeights(Heaviest)[C])
+          Heaviest = Node;
+      Seeds.push_back(Heaviest);
+    }
+    Seeds.push_back(static_cast<unsigned>(
+        RNG.nextBelow(Coarsest.getNumNodes())));
+    for (unsigned Seed : Seeds)
+      Consider(gggpAssign(Coarsest, MaxAllowed, Seed));
+  }
+
+  // --- Uncoarsening with refinement at every level.
+  std::vector<unsigned> Assign = std::move(Best);
+  for (size_t Level = Mappings.size(); Level-- > 0;) {
+    const auto &FineToCoarse = Mappings[Level];
+    std::vector<unsigned> FineAssign(FineToCoarse.size());
+    for (unsigned N = 0; N != FineToCoarse.size(); ++N)
+      FineAssign[N] = Assign[FineToCoarse[N]];
+    Assign = std::move(FineAssign);
+    refine(Graphs[Level], Assign, Opt, Ctx, RNG);
+  }
+
+  Result.Assignment = std::move(Assign);
+  Result.CutWeight = G.cutWeight(Result.Assignment);
+  Result.PartWeights = computePartWeights(G, Result.Assignment, Opt.NumParts);
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- graph/PartitionGraph.cpp - Weighted undirected graph -----------------===//
+
+#include "graph/PartitionGraph.h"
+
+using namespace gdp;
+
+unsigned PartitionGraph::addNode(std::vector<uint64_t> Weights) {
+  assert(Weights.size() == NumConstraints &&
+         "node weight vector arity must match constraint count");
+  unsigned Id = getNumNodes();
+  NodeWeights.push_back(std::move(Weights));
+  Adj.emplace_back();
+  return Id;
+}
+
+void PartitionGraph::addEdge(unsigned A, unsigned B, uint64_t W) {
+  assert(A < getNumNodes() && B < getNumNodes() && "edge endpoint missing");
+  if (A == B || W == 0)
+    return;
+  Adj[A][B] += W;
+  Adj[B][A] += W;
+}
+
+std::vector<uint64_t> PartitionGraph::totalWeights() const {
+  std::vector<uint64_t> Totals(NumConstraints, 0);
+  for (const auto &W : NodeWeights)
+    for (unsigned C = 0; C != NumConstraints; ++C)
+      Totals[C] += W[C];
+  return Totals;
+}
+
+uint64_t PartitionGraph::totalEdgeWeight() const {
+  uint64_t Total = 0;
+  for (unsigned N = 0; N != getNumNodes(); ++N)
+    for (const auto &[Nbr, W] : Adj[N])
+      if (Nbr > N)
+        Total += W;
+  return Total;
+}
+
+uint64_t PartitionGraph::cutWeight(
+    const std::vector<unsigned> &Assignment) const {
+  assert(Assignment.size() == getNumNodes() &&
+         "assignment must cover every node");
+  uint64_t Cut = 0;
+  for (unsigned N = 0; N != getNumNodes(); ++N)
+    for (const auto &[Nbr, W] : Adj[N])
+      if (Nbr > N && Assignment[N] != Assignment[Nbr])
+        Cut += W;
+  return Cut;
+}

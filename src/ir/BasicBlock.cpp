@@ -1,0 +1,44 @@
+//===- ir/BasicBlock.cpp - Straight-line operation sequence ---------------===//
+
+#include "ir/BasicBlock.h"
+
+using namespace gdp;
+
+Operation *BasicBlock::append(std::unique_ptr<Operation> Op) {
+  assert(Op && "cannot append a null operation");
+  Op->setParent(this);
+  Ops.push_back(std::move(Op));
+  return Ops.back().get();
+}
+
+void BasicBlock::removeOp(unsigned I) {
+  assert(I < Ops.size() && "operation index out of range");
+  Ops.erase(Ops.begin() + I);
+}
+
+const Operation *BasicBlock::getTerminator() const {
+  if (Ops.empty())
+    return nullptr;
+  const Operation *Last = Ops.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<int> BasicBlock::successorIds() const {
+  std::vector<int> Result;
+  const Operation *Term = getTerminator();
+  if (!Term)
+    return Result;
+  switch (Term->getOpcode()) {
+  case Opcode::Br:
+    Result.push_back(Term->getTarget(0));
+    break;
+  case Opcode::BrCond:
+    Result.push_back(Term->getTarget(0));
+    if (Term->getTarget(1) != Term->getTarget(0))
+      Result.push_back(Term->getTarget(1));
+    break;
+  default:
+    break; // Ret: no successors.
+  }
+  return Result;
+}

@@ -1,0 +1,82 @@
+//===- ir/BasicBlock.h - Straight-line operation sequence -------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: a straight-line sequence of operations ending in a
+/// terminator. Blocks are the scheduling regions of the second-pass
+/// computation partitioner (RHOP operates region-at-a-time; we use basic
+/// blocks as regions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_BASICBLOCK_H
+#define GDP_IR_BASICBLOCK_H
+
+#include "ir/Operation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+class Function;
+
+/// A basic block. Owns its operations; block ids are dense within the
+/// enclosing function and double as branch-target identifiers.
+class BasicBlock {
+public:
+  BasicBlock(int Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  int getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  /// Appends \p Op, taking ownership, and returns the raw pointer.
+  Operation *append(std::unique_ptr<Operation> Op);
+
+  /// Deletes the operation at position \p I. Operation ids become sparse;
+  /// analyses must be recomputed afterwards.
+  void removeOp(unsigned I);
+
+  unsigned size() const { return static_cast<unsigned>(Ops.size()); }
+  bool empty() const { return Ops.empty(); }
+
+  Operation &getOp(unsigned I) {
+    assert(I < Ops.size() && "operation index out of range");
+    return *Ops[I];
+  }
+  const Operation &getOp(unsigned I) const {
+    assert(I < Ops.size() && "operation index out of range");
+    return *Ops[I];
+  }
+
+  const std::vector<std::unique_ptr<Operation>> &operations() const {
+    return Ops;
+  }
+
+  /// Returns the terminator, or null if the block is empty or unterminated
+  /// (only valid transiently during construction).
+  const Operation *getTerminator() const;
+
+  /// Ids of the blocks this block can branch to (empty for Ret blocks).
+  std::vector<int> successorIds() const;
+
+private:
+  int Id;
+  std::string Name;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Operation>> Ops;
+};
+
+} // namespace gdp
+
+#endif // GDP_IR_BASICBLOCK_H

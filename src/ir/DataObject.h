@@ -1,0 +1,79 @@
+//===- ir/DataObject.h - Partitionable data objects -------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A data object: a static global (scalar, array, structure) or a static
+/// malloc() call site. These are the units the data partitioner assigns to
+/// per-cluster memories. Composite objects are never split across clusters
+/// (paper §2).
+///
+/// Sizes: globals know their byte size from their declared type; heap sites
+/// get their size from the profiling run (paper §3.2). The partitioner
+/// balances the per-cluster sum of these sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_DATAOBJECT_H
+#define GDP_IR_DATAOBJECT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+/// One partitionable data object.
+class DataObject {
+public:
+  enum class Kind {
+    Global,   ///< Static global storage, size known at compile time.
+    HeapSite, ///< A static malloc() call site; size comes from profiling.
+  };
+
+  DataObject(int Id, Kind K, std::string Name, uint64_t NumElements,
+             uint64_t ElemBytes)
+      : Id(Id), K(K), Name(std::move(Name)), NumElements(NumElements),
+        ElemBytes(ElemBytes), SizeBytes(NumElements * ElemBytes) {}
+
+  int getId() const { return Id; }
+  Kind getKind() const { return K; }
+  bool isGlobal() const { return K == Kind::Global; }
+  bool isHeapSite() const { return K == Kind::HeapSite; }
+  const std::string &getName() const { return Name; }
+
+  /// Element count of the storage (globals only; heap allocations size
+  /// themselves at runtime through the Malloc operand).
+  uint64_t getNumElements() const { return NumElements; }
+
+  /// Logical bytes per element, e.g. 2 for an int16 array. The interpreter
+  /// stores every element in one 64-bit slot; ElemBytes only affects the
+  /// balance bookkeeping, matching how the paper sizes objects by their
+  /// declared C types.
+  uint64_t getElemBytes() const { return ElemBytes; }
+
+  /// The size the partitioner balances. For heap sites this is 0 until
+  /// setProfiledBytes() is called with the profiling result.
+  uint64_t getSizeBytes() const { return SizeBytes; }
+  void setProfiledBytes(uint64_t Bytes) { SizeBytes = Bytes; }
+
+  /// Optional initial contents for globals (element values; missing entries
+  /// are zero).
+  const std::vector<int64_t> &getInit() const { return Init; }
+  void setInit(std::vector<int64_t> Values) { Init = std::move(Values); }
+
+private:
+  int Id;
+  Kind K;
+  std::string Name;
+  uint64_t NumElements;
+  uint64_t ElemBytes;
+  uint64_t SizeBytes;
+  std::vector<int64_t> Init;
+};
+
+} // namespace gdp
+
+#endif // GDP_IR_DATAOBJECT_H

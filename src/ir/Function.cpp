@@ -1,0 +1,20 @@
+//===- ir/Function.cpp - IR function --------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace gdp;
+
+BasicBlock *Function::makeBlock(const std::string &BlockName) {
+  auto BB = std::make_unique<BasicBlock>(static_cast<int>(Blocks.size()),
+                                         BlockName);
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+unsigned Function::getNumOps() const {
+  unsigned Count = 0;
+  for (const auto &BB : Blocks)
+    Count += BB->size();
+  return Count;
+}

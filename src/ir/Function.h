@@ -1,0 +1,86 @@
+//===- ir/Function.h - IR function ------------------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function: a CFG of basic blocks over a pool of virtual registers.
+/// Parameters occupy registers [0, getNumParams()); block 0 is the entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_FUNCTION_H
+#define GDP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+/// An IR function. Owns its basic blocks; function ids are dense within the
+/// enclosing Program and double as Call targets.
+class Function {
+public:
+  Function(int Id, std::string Name, unsigned NumParams)
+      : Id(Id), Name(std::move(Name)), NumParams(NumParams),
+        NumVRegs(NumParams) {}
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  int getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+  unsigned getNumParams() const { return NumParams; }
+
+  /// Total virtual registers allocated so far. Parameters are registers
+  /// [0, getNumParams()).
+  unsigned getNumVRegs() const { return NumVRegs; }
+
+  /// Allocates and returns a fresh virtual register.
+  int makeVReg() { return static_cast<int>(NumVRegs++); }
+
+  /// Creates a new (empty) basic block appended to the block list.
+  BasicBlock *makeBlock(const std::string &BlockName);
+
+  unsigned getNumBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  BasicBlock &getBlock(unsigned I) {
+    assert(I < Blocks.size() && "block index out of range");
+    return *Blocks[I];
+  }
+  const BasicBlock &getBlock(unsigned I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return *Blocks[I];
+  }
+  BasicBlock &getEntryBlock() { return getBlock(0); }
+  const BasicBlock &getEntryBlock() const { return getBlock(0); }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Allocates and returns the next dense operation id.
+  int makeOpId() { return NextOpId++; }
+
+  /// One past the largest operation id handed out; analyses size their side
+  /// tables with this.
+  unsigned getNumOpIds() const { return static_cast<unsigned>(NextOpId); }
+
+  /// Total operation count across all blocks.
+  unsigned getNumOps() const;
+
+private:
+  int Id;
+  std::string Name;
+  unsigned NumParams;
+  unsigned NumVRegs;
+  int NextOpId = 0;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace gdp
+
+#endif // GDP_IR_FUNCTION_H

@@ -1,0 +1,185 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction API ------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace gdp;
+
+Operation *IRBuilder::emit(Opcode Op) {
+  assert(BB && "no insertion point set");
+  assert(!BB->getTerminator() && "appending past a terminator");
+  auto NewOp = std::make_unique<Operation>(Op, F->makeOpId());
+  return BB->append(std::move(NewOp));
+}
+
+int IRBuilder::emitBinary(Opcode Op, int A, int B) {
+  int Dest = newReg();
+  emitBinaryTo(Dest, Op, A, B);
+  return Dest;
+}
+
+void IRBuilder::emitBinaryTo(int Dest, Opcode Op, int A, int B) {
+  assert(opcodeNumSrcs(Op) == 2 && "not a binary opcode");
+  Operation *O = emit(Op);
+  O->setDest(Dest);
+  O->addSrc(A);
+  O->addSrc(B);
+}
+
+int IRBuilder::emitUnary(Opcode Op, int A) {
+  int Dest = newReg();
+  emitUnaryTo(Dest, Op, A);
+  return Dest;
+}
+
+void IRBuilder::emitUnaryTo(int Dest, Opcode Op, int A) {
+  assert(opcodeNumSrcs(Op) == 1 && "not a unary opcode");
+  Operation *O = emit(Op);
+  O->setDest(Dest);
+  O->addSrc(A);
+}
+
+int IRBuilder::select(int Cond, int A, int B) {
+  Operation *O = emit(Opcode::Select);
+  int Dest = newReg();
+  O->setDest(Dest);
+  O->addSrc(Cond);
+  O->addSrc(A);
+  O->addSrc(B);
+  return Dest;
+}
+
+int IRBuilder::movi(int64_t V) {
+  int Dest = newReg();
+  moviTo(Dest, V);
+  return Dest;
+}
+
+void IRBuilder::moviTo(int Dest, int64_t V) {
+  Operation *O = emit(Opcode::MovI);
+  O->setDest(Dest);
+  O->setImm(V);
+}
+
+int IRBuilder::movf(double V) {
+  int Dest = newReg();
+  movfTo(Dest, V);
+  return Dest;
+}
+
+void IRBuilder::movfTo(int Dest, double V) {
+  Operation *O = emit(Opcode::MovF);
+  O->setDest(Dest);
+  O->setFImm(V);
+}
+
+int IRBuilder::addrOf(int ObjectId) {
+  Operation *O = emit(Opcode::AddrOf);
+  int Dest = newReg();
+  O->setDest(Dest);
+  O->setImm(ObjectId);
+  return Dest;
+}
+
+int IRBuilder::load(int Addr, int64_t Offset) {
+  int Dest = newReg();
+  loadTo(Dest, Addr, Offset);
+  return Dest;
+}
+
+void IRBuilder::loadTo(int Dest, int Addr, int64_t Offset) {
+  Operation *O = emit(Opcode::Load);
+  O->setDest(Dest);
+  O->addSrc(Addr);
+  O->setImm(Offset);
+}
+
+void IRBuilder::store(int Value, int Addr, int64_t Offset) {
+  Operation *O = emit(Opcode::Store);
+  O->addSrc(Value);
+  O->addSrc(Addr);
+  O->setImm(Offset);
+}
+
+int IRBuilder::mallocOp(int SizeReg, int SiteId) {
+  Operation *O = emit(Opcode::Malloc);
+  int Dest = newReg();
+  O->setDest(Dest);
+  O->addSrc(SizeReg);
+  O->setMallocSite(SiteId);
+  return Dest;
+}
+
+void IRBuilder::br(BasicBlock *Target) {
+  assert(Target && "branch target must exist");
+  Operation *O = emit(Opcode::Br);
+  O->setTargets(Target->getId());
+}
+
+void IRBuilder::brCond(int Cond, BasicBlock *Taken, BasicBlock *NotTaken) {
+  assert(Taken && NotTaken && "branch targets must exist");
+  Operation *O = emit(Opcode::BrCond);
+  O->addSrc(Cond);
+  O->setTargets(Taken->getId(), NotTaken->getId());
+}
+
+int IRBuilder::call(const Function *Callee, const std::vector<int> &Args,
+                    bool WantResult) {
+  assert(Callee && "callee must exist");
+  assert(Args.size() == Callee->getNumParams() &&
+         "call argument count must match callee parameters");
+  Operation *O = emit(Opcode::Call);
+  O->setCallee(Callee->getId());
+  for (int A : Args)
+    O->addSrc(A);
+  int Dest = -1;
+  if (WantResult) {
+    Dest = newReg();
+    O->setDest(Dest);
+  }
+  return Dest;
+}
+
+void IRBuilder::ret() { emit(Opcode::Ret); }
+
+void IRBuilder::ret(int Value) {
+  Operation *O = emit(Opcode::Ret);
+  O->addSrc(Value);
+}
+
+IRBuilder::LoopHandle IRBuilder::beginCountedLoop(int64_t Begin, int64_t End,
+                                                  int64_t Step) {
+  int LimitReg = movi(End);
+  return beginCountedLoopReg(Begin, LimitReg, Step);
+}
+
+IRBuilder::LoopHandle IRBuilder::beginCountedLoopReg(int64_t Begin,
+                                                     int EndReg,
+                                                     int64_t Step) {
+  assert(Step != 0 && "loop step must be nonzero");
+  LoopHandle L;
+  L.Step = Step;
+  L.LimitReg = EndReg;
+  L.IndVar = newReg();
+  moviTo(L.IndVar, Begin);
+
+  L.Latch = makeBlock("loop.head");
+  L.Body = makeBlock("loop.body");
+  L.Exit = makeBlock("loop.exit");
+  br(L.Latch);
+
+  setInsertPoint(L.Latch);
+  int Cond = Step > 0 ? cmpLT(L.IndVar, EndReg) : cmpGT(L.IndVar, EndReg);
+  brCond(Cond, L.Body, L.Exit);
+
+  setInsertPoint(L.Body);
+  return L;
+}
+
+void IRBuilder::endCountedLoop(LoopHandle &L) {
+  int StepReg = movi(L.Step);
+  emitBinaryTo(L.IndVar, Opcode::Add, L.IndVar, StepReg);
+  br(L.Latch);
+  setInsertPoint(L.Exit);
+}

@@ -1,0 +1,160 @@
+//===- ir/IRBuilder.h - Convenience IR construction API ---------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder that appends operations to a basic block. This is the public
+/// API the workload suite (and library users) construct programs with.
+///
+/// Most emitters allocate a fresh destination register and return it; the
+/// `*To` variants write an existing register, which is how loop-carried
+/// values are expressed in this non-SSA IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_IRBUILDER_H
+#define GDP_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+namespace gdp {
+
+/// Appends operations to a current insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F) {}
+
+  Function *getFunction() const { return F; }
+  BasicBlock *getInsertBlock() const { return BB; }
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+
+  /// Creates a new block in the current function (does not move the
+  /// insertion point).
+  BasicBlock *makeBlock(const std::string &Name) { return F->makeBlock(Name); }
+
+  /// Allocates a fresh virtual register.
+  int newReg() { return F->makeVReg(); }
+
+  // --- Generic emitters -------------------------------------------------
+
+  /// Emits a binary operation into a fresh register.
+  int emitBinary(Opcode Op, int A, int B);
+  /// Emits a binary operation into register \p Dest.
+  void emitBinaryTo(int Dest, Opcode Op, int A, int B);
+  /// Emits a unary operation into a fresh register.
+  int emitUnary(Opcode Op, int A);
+  void emitUnaryTo(int Dest, Opcode Op, int A);
+
+  // --- Integer arithmetic ------------------------------------------------
+
+  int add(int A, int B) { return emitBinary(Opcode::Add, A, B); }
+  int sub(int A, int B) { return emitBinary(Opcode::Sub, A, B); }
+  int mul(int A, int B) { return emitBinary(Opcode::Mul, A, B); }
+  int div(int A, int B) { return emitBinary(Opcode::Div, A, B); }
+  int rem(int A, int B) { return emitBinary(Opcode::Rem, A, B); }
+  int and_(int A, int B) { return emitBinary(Opcode::And, A, B); }
+  int or_(int A, int B) { return emitBinary(Opcode::Or, A, B); }
+  int xor_(int A, int B) { return emitBinary(Opcode::Xor, A, B); }
+  int shl(int A, int B) { return emitBinary(Opcode::Shl, A, B); }
+  int ashr(int A, int B) { return emitBinary(Opcode::AShr, A, B); }
+  int lshr(int A, int B) { return emitBinary(Opcode::LShr, A, B); }
+  int cmpEQ(int A, int B) { return emitBinary(Opcode::CmpEQ, A, B); }
+  int cmpNE(int A, int B) { return emitBinary(Opcode::CmpNE, A, B); }
+  int cmpLT(int A, int B) { return emitBinary(Opcode::CmpLT, A, B); }
+  int cmpLE(int A, int B) { return emitBinary(Opcode::CmpLE, A, B); }
+  int cmpGT(int A, int B) { return emitBinary(Opcode::CmpGT, A, B); }
+  int cmpGE(int A, int B) { return emitBinary(Opcode::CmpGE, A, B); }
+  int min(int A, int B) { return emitBinary(Opcode::Min, A, B); }
+  int max(int A, int B) { return emitBinary(Opcode::Max, A, B); }
+  int abs(int A) { return emitUnary(Opcode::Abs, A); }
+  /// dest = Cond ? A : B
+  int select(int Cond, int A, int B);
+
+  // --- Floating point ----------------------------------------------------
+
+  int fadd(int A, int B) { return emitBinary(Opcode::FAdd, A, B); }
+  int fsub(int A, int B) { return emitBinary(Opcode::FSub, A, B); }
+  int fmul(int A, int B) { return emitBinary(Opcode::FMul, A, B); }
+  int fdiv(int A, int B) { return emitBinary(Opcode::FDiv, A, B); }
+  int fneg(int A) { return emitUnary(Opcode::FNeg, A); }
+  int fabs(int A) { return emitUnary(Opcode::FAbs, A); }
+  int fmin(int A, int B) { return emitBinary(Opcode::FMin, A, B); }
+  int fmax(int A, int B) { return emitBinary(Opcode::FMax, A, B); }
+  int fcmpEQ(int A, int B) { return emitBinary(Opcode::FCmpEQ, A, B); }
+  int fcmpLT(int A, int B) { return emitBinary(Opcode::FCmpLT, A, B); }
+  int fcmpLE(int A, int B) { return emitBinary(Opcode::FCmpLE, A, B); }
+  int itof(int A) { return emitUnary(Opcode::ItoF, A); }
+  int ftoi(int A) { return emitUnary(Opcode::FtoI, A); }
+
+  // --- Moves and constants ----------------------------------------------
+
+  /// dest = integer constant \p V.
+  int movi(int64_t V);
+  void moviTo(int Dest, int64_t V);
+  /// dest = float constant \p V.
+  int movf(double V);
+  void movfTo(int Dest, double V);
+  int mov(int Src) { return emitUnary(Opcode::Mov, Src); }
+  void movTo(int Dest, int Src) { emitUnaryTo(Dest, Opcode::Mov, Src); }
+
+  // --- Memory --------------------------------------------------------
+
+  /// dest = base address of data object \p ObjectId.
+  int addrOf(int ObjectId);
+  /// dest = mem[Addr + Offset] (element-granular offset).
+  int load(int Addr, int64_t Offset = 0);
+  void loadTo(int Dest, int Addr, int64_t Offset = 0);
+  /// mem[Addr + Offset] = Value.
+  void store(int Value, int Addr, int64_t Offset = 0);
+  /// dest = fresh heap allocation of mem[SizeReg] elements, attributed to
+  /// malloc call site \p SiteId (must be a HeapSite data object).
+  int mallocOp(int SizeReg, int SiteId);
+
+  // --- Control flow --------------------------------------------------
+
+  void br(BasicBlock *Target);
+  void brCond(int Cond, BasicBlock *Taken, BasicBlock *NotTaken);
+  /// dest = call Callee(Args...); pass WantResult=false for void calls
+  /// (returns -1 then).
+  int call(const Function *Callee, const std::vector<int> &Args,
+           bool WantResult = true);
+  void ret();
+  void ret(int Value);
+
+  // --- Structured helpers ------------------------------------------------
+
+  /// Emits a counted loop skeleton: allocates the induction register,
+  /// initializes it to \p Begin in the current block, branches into a new
+  /// header block. The caller fills the body via the returned handles and
+  /// then calls endCountedLoop().
+  struct LoopHandle {
+    int IndVar;        ///< Induction register, valid in the body.
+    BasicBlock *Body;  ///< Loop body block (insertion point on return).
+    BasicBlock *Exit;  ///< Block control reaches after the loop.
+    BasicBlock *Latch; ///< Internal: header/latch combined block.
+    int64_t Step;      ///< Internal: increment.
+    int LimitReg;      ///< Internal: loop bound register.
+  };
+
+  /// Starts `for (i = Begin; i < End; i += Step)` (or `i > End` for
+  /// negative steps). On return the insertion point is the loop body.
+  LoopHandle beginCountedLoop(int64_t Begin, int64_t End, int64_t Step = 1);
+  /// Same, with the bound in register \p EndReg.
+  LoopHandle beginCountedLoopReg(int64_t Begin, int EndReg,
+                                 int64_t Step = 1);
+  /// Ends the loop started by \p L: increments the induction variable,
+  /// branches back, and moves the insertion point to the exit block.
+  void endCountedLoop(LoopHandle &L);
+
+private:
+  Operation *emit(Opcode Op);
+
+  Function *F;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace gdp
+
+#endif // GDP_IR_IRBUILDER_H

@@ -1,0 +1,52 @@
+//===- ir/IRParser.h - Textual IR parsing -----------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by ir/IRPrinter.h back into a Program,
+/// so workloads can be authored, stored and diffed as text. Round-trip
+/// (print → parse → print) is identity for structural content; access-set
+/// annotations are comments and are re-derived by points-to analysis.
+///
+/// Grammar (one construct per line; "; ..." comments ignored):
+///
+///   program NAME
+///     objN NAME: global, N elems x B bytes (S bytes)
+///     objN NAME: heap-site, 0 elems x B bytes (S bytes)
+///     init [v0, v1, ...]               // attaches to the preceding object
+///   func fN NAME(r0, r1, ...)
+///   bbN (LABEL):
+///     rD = add rA, rB                  // and every other opcode; see
+///     st rV, [rA+OFF]                  // IRPrinter.cpp for the forms
+///     brcond rC, bbT, bbF
+///   entry fN                           // optional; default: f0
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_IRPARSER_H
+#define GDP_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+
+namespace gdp {
+
+class Program;
+
+/// Result of a parse: a program or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Program> P; ///< Null on failure.
+  std::string Error;          ///< Diagnostic with line number on failure.
+
+  bool ok() const { return P != nullptr; }
+};
+
+/// Parses \p Text into a program. The result is structurally verified-able
+/// but not yet verified — run verifyProgram() before use.
+ParseResult parseProgram(const std::string &Text);
+
+} // namespace gdp
+
+#endif // GDP_IR_IRPARSER_H

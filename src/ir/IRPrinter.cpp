@@ -1,0 +1,117 @@
+//===- ir/IRPrinter.cpp - Textual IR dumping -------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Program.h"
+#include "support/StrUtil.h"
+
+using namespace gdp;
+
+std::string gdp::printOperation(const Operation &Op) {
+  std::string Out;
+  if (Op.hasDest())
+    Out += formatStr("r%d = ", Op.getDest());
+  Out += opcodeName(Op.getOpcode());
+
+  switch (Op.getOpcode()) {
+  case Opcode::MovI:
+    Out += formatStr(" %lld", static_cast<long long>(Op.getImm()));
+    break;
+  case Opcode::MovF:
+    Out += formatStr(" %g", Op.getFImm());
+    break;
+  case Opcode::AddrOf:
+    Out += formatStr(" obj%lld", static_cast<long long>(Op.getImm()));
+    break;
+  case Opcode::Load:
+    Out += formatStr(" [r%d%+lld]", Op.getSrc(0),
+                     static_cast<long long>(Op.getImm()));
+    break;
+  case Opcode::Store:
+    Out += formatStr(" r%d, [r%d%+lld]", Op.getSrc(0), Op.getSrc(1),
+                     static_cast<long long>(Op.getImm()));
+    break;
+  case Opcode::Malloc:
+    Out += formatStr(" r%d (site %d)", Op.getSrc(0), Op.getMallocSite());
+    break;
+  case Opcode::Br:
+    Out += formatStr(" bb%d", Op.getTarget(0));
+    break;
+  case Opcode::BrCond:
+    Out += formatStr(" r%d, bb%d, bb%d", Op.getSrc(0), Op.getTarget(0),
+                     Op.getTarget(1));
+    break;
+  case Opcode::Call: {
+    Out += formatStr(" f%d(", Op.getCallee());
+    std::vector<std::string> Args;
+    for (int Src : Op.getSrcs())
+      Args.push_back(formatStr("r%d", Src));
+    Out += join(Args, ", ");
+    Out += ")";
+    break;
+  }
+  case Opcode::Ret:
+    if (Op.getNumSrcs() > 0)
+      Out += formatStr(" r%d", Op.getSrc(0));
+    break;
+  default: {
+    std::vector<std::string> Args;
+    for (int Src : Op.getSrcs())
+      Args.push_back(formatStr("r%d", Src));
+    if (!Args.empty())
+      Out += " " + join(Args, ", ");
+    break;
+  }
+  }
+
+  if (!Op.getAccessSet().empty()) {
+    std::vector<std::string> Objs;
+    for (int ObjId : Op.getAccessSet())
+      Objs.push_back(formatStr("obj%d", ObjId));
+    Out += "  ; accesses {" + join(Objs, ", ") + "}";
+  }
+  return Out;
+}
+
+std::string gdp::printBlock(const BasicBlock &BB) {
+  std::string Out =
+      formatStr("bb%d (%s):\n", BB.getId(), BB.getName().c_str());
+  for (const auto &Op : BB.operations())
+    Out += "  " + printOperation(*Op) + "\n";
+  return Out;
+}
+
+std::string gdp::printFunction(const Function &F) {
+  std::string Out = formatStr("func f%d %s(", F.getId(), F.getName().c_str());
+  std::vector<std::string> Params;
+  for (unsigned I = 0; I != F.getNumParams(); ++I)
+    Params.push_back(formatStr("r%u", I));
+  Out += join(Params, ", ") + ")\n";
+  for (const auto &BB : F.blocks())
+    Out += printBlock(*BB);
+  return Out;
+}
+
+std::string gdp::printProgram(const Program &P, bool IncludeInit) {
+  std::string Out = formatStr("program %s\n", P.getName().c_str());
+  for (const DataObject &Obj : P.objects()) {
+    Out += formatStr(
+        "  obj%d %s: %s, %llu elems x %llu bytes (%llu bytes)\n", Obj.getId(),
+        Obj.getName().c_str(), Obj.isGlobal() ? "global" : "heap-site",
+        static_cast<unsigned long long>(Obj.getNumElements()),
+        static_cast<unsigned long long>(Obj.getElemBytes()),
+        static_cast<unsigned long long>(Obj.getSizeBytes()));
+    if (IncludeInit && !Obj.getInit().empty()) {
+      std::vector<std::string> Values;
+      Values.reserve(Obj.getInit().size());
+      for (int64_t V : Obj.getInit())
+        Values.push_back(formatStr("%lld", static_cast<long long>(V)));
+      Out += "    init [" + join(Values, ", ") + "]\n";
+    }
+  }
+  for (const auto &F : P.functions())
+    Out += printFunction(*F);
+  if (P.getEntryId() >= 0)
+    Out += formatStr("entry f%d\n", P.getEntryId());
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- ir/IRPrinter.h - Textual IR dumping ----------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders programs, functions, blocks and operations as human-readable
+/// text. Used by the examples, error reporting and golden-output tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_IRPRINTER_H
+#define GDP_IR_IRPRINTER_H
+
+#include <string>
+
+namespace gdp {
+
+class BasicBlock;
+class Function;
+class Operation;
+class Program;
+
+/// Renders one operation as e.g. "r7 = add r3, r4" or "st r2, [r5+4]".
+std::string printOperation(const Operation &Op);
+
+/// Renders one block with its label and operations, one per line.
+std::string printBlock(const BasicBlock &BB);
+
+/// Renders a function signature followed by all blocks.
+std::string printFunction(const Function &F);
+
+/// Renders the whole program: data objects first, then all functions,
+/// then the entry marker. With \p IncludeInit, global initializers are
+/// emitted too, making the output fully round-trippable through
+/// ir/IRParser.h.
+std::string printProgram(const Program &P, bool IncludeInit = false);
+
+} // namespace gdp
+
+#endif // GDP_IR_IRPRINTER_H

@@ -1,0 +1,143 @@
+//===- ir/Operation.h - A single IR operation -------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One three-address operation. Operations carry a dense per-function id
+/// (used to index all analyses), register operands, a multi-purpose
+/// immediate, branch targets, and — after points-to analysis — the set of
+/// data-object ids the operation may access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_OPERATION_H
+#define GDP_IR_OPERATION_H
+
+#include "ir/Opcode.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+class BasicBlock;
+
+/// A single IR operation. Owned by its parent BasicBlock; never copied once
+/// inserted so that `Operation *` is a stable identity.
+class Operation {
+public:
+  Operation(Opcode Op, int Id) : Op(Op), Id(Id) {}
+
+  Operation(const Operation &) = delete;
+  Operation &operator=(const Operation &) = delete;
+
+  Opcode getOpcode() const { return Op; }
+
+  /// Dense id, unique within the enclosing function (including across
+  /// blocks). Analyses index their side tables with it.
+  int getId() const { return Id; }
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// Destination virtual register, or -1 if the operation produces no value
+  /// (stores, branches, void calls).
+  int getDest() const { return Dest; }
+  void setDest(int Reg) { Dest = Reg; }
+  bool hasDest() const { return Dest >= 0; }
+
+  const std::vector<int> &getSrcs() const { return Srcs; }
+  int getSrc(unsigned I) const {
+    assert(I < Srcs.size() && "source operand index out of range");
+    return Srcs[I];
+  }
+  unsigned getNumSrcs() const { return static_cast<unsigned>(Srcs.size()); }
+  void addSrc(int Reg) { Srcs.push_back(Reg); }
+
+  /// Multi-purpose immediate: MovI value, AddrOf object id, Load/Store
+  /// element offset, shift amounts are regular operands.
+  int64_t getImm() const { return Imm; }
+  void setImm(int64_t V) { Imm = V; }
+
+  double getFImm() const { return FImm; }
+  void setFImm(double V) { FImm = V; }
+
+  /// Branch targets, as block ids within the enclosing function. Br uses
+  /// target 0; BrCond uses target 0 (taken) and target 1 (not taken).
+  int getTarget(unsigned I) const {
+    assert(I < 2 && "at most two branch targets");
+    return I == 0 ? Target0 : Target1;
+  }
+  void setTargets(int T0, int T1 = -1) {
+    Target0 = T0;
+    Target1 = T1;
+  }
+
+  /// Callee function id for Call operations.
+  int getCallee() const { return CalleeId; }
+  void setCallee(int F) { CalleeId = F; }
+
+  /// Static malloc() call-site id (an index into the program's data-object
+  /// table) for Malloc operations.
+  int getMallocSite() const { return MallocSiteId; }
+  void setMallocSite(int S) { MallocSiteId = S; }
+
+  /// The data objects this operation may access, as computed by points-to
+  /// analysis (plus heap profiling). Sorted, duplicate-free.
+  const std::vector<int> &getAccessSet() const { return AccessSet; }
+  void addAccessedObject(int ObjId) {
+    auto It = std::lower_bound(AccessSet.begin(), AccessSet.end(), ObjId);
+    if (It == AccessSet.end() || *It != ObjId)
+      AccessSet.insert(It, ObjId);
+  }
+  void clearAccessSet() { AccessSet.clear(); }
+  bool mayAccess(int ObjId) const {
+    return std::binary_search(AccessSet.begin(), AccessSet.end(), ObjId);
+  }
+
+  /// Rewrites source operand \p I to register \p Reg (transform use).
+  void setSrc(unsigned I, int Reg) {
+    assert(I < Srcs.size() && "source operand index out of range");
+    Srcs[I] = Reg;
+  }
+
+  /// Turns this operation into `dest = movi V` in place, dropping its
+  /// operands. Used by constant folding; the destination register and the
+  /// operation id are preserved, so def-use structure outside this
+  /// operation is unaffected.
+  void morphToMovI(int64_t V) {
+    assert(hasDest() && "only value-producing operations can be folded");
+    Op = Opcode::MovI;
+    Srcs.clear();
+    Imm = V;
+    Target0 = Target1 = -1;
+    CalleeId = MallocSiteId = -1;
+    AccessSet.clear();
+  }
+
+  bool isMemoryAccess() const { return opcodeIsMemoryAccess(Op); }
+  bool isTerminator() const { return opcodeIsTerminator(Op); }
+  FUKind getFUKind() const { return opcodeFUKind(Op); }
+
+private:
+  Opcode Op;
+  int Id;
+  BasicBlock *Parent = nullptr;
+  int Dest = -1;
+  std::vector<int> Srcs;
+  int64_t Imm = 0;
+  double FImm = 0;
+  int Target0 = -1;
+  int Target1 = -1;
+  int CalleeId = -1;
+  int MallocSiteId = -1;
+  std::vector<int> AccessSet;
+};
+
+} // namespace gdp
+
+#endif // GDP_IR_OPERATION_H

@@ -1,0 +1,44 @@
+//===- ir/Program.cpp - Whole-program container ----------------------------===//
+
+#include "ir/Program.h"
+
+using namespace gdp;
+
+Function *Program::makeFunction(const std::string &FnName,
+                                unsigned NumParams) {
+  auto F = std::make_unique<Function>(static_cast<int>(Functions.size()),
+                                      FnName, NumParams);
+  Functions.push_back(std::move(F));
+  if (EntryId < 0)
+    EntryId = Functions.back()->getId();
+  return Functions.back().get();
+}
+
+Function *Program::findFunction(const std::string &FnName) {
+  for (auto &F : Functions)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+int Program::addGlobal(const std::string &ObjName, uint64_t NumElements,
+                       uint64_t ElemBytes) {
+  int Id = static_cast<int>(Objects.size());
+  Objects.emplace_back(Id, DataObject::Kind::Global, ObjName, NumElements,
+                       ElemBytes);
+  return Id;
+}
+
+int Program::addHeapSite(const std::string &ObjName, uint64_t ElemBytes) {
+  int Id = static_cast<int>(Objects.size());
+  Objects.emplace_back(Id, DataObject::Kind::HeapSite, ObjName,
+                       /*NumElements=*/0, ElemBytes);
+  return Id;
+}
+
+unsigned Program::getNumOps() const {
+  unsigned Count = 0;
+  for (const auto &F : Functions)
+    Count += F->getNumOps();
+  return Count;
+}

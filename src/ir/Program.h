@@ -1,0 +1,103 @@
+//===- ir/Program.h - Whole-program container -------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole program: all functions plus the table of data objects (globals
+/// and malloc call sites). Global data partitioning operates at this scope
+/// (paper §3.3: "a program-level data-flow graph of the application").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_PROGRAM_H
+#define GDP_IR_PROGRAM_H
+
+#include "ir/DataObject.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+/// A whole program.
+class Program {
+public:
+  explicit Program(std::string Name = "program") : Name(std::move(Name)) {}
+
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  const std::string &getName() const { return Name; }
+
+  /// Creates a function; the first function created becomes the entry point
+  /// unless setEntry() overrides it.
+  Function *makeFunction(const std::string &FnName, unsigned NumParams);
+
+  unsigned getNumFunctions() const {
+    return static_cast<unsigned>(Functions.size());
+  }
+  Function &getFunction(unsigned I) {
+    assert(I < Functions.size() && "function index out of range");
+    return *Functions[I];
+  }
+  const Function &getFunction(unsigned I) const {
+    assert(I < Functions.size() && "function index out of range");
+    return *Functions[I];
+  }
+  /// Returns the function named \p FnName, or null.
+  Function *findFunction(const std::string &FnName);
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  int getEntryId() const { return EntryId; }
+  void setEntry(int FunctionId) { EntryId = FunctionId; }
+  Function &getEntry() {
+    assert(EntryId >= 0 && "program has no entry function");
+    return getFunction(static_cast<unsigned>(EntryId));
+  }
+  const Function &getEntry() const {
+    assert(EntryId >= 0 && "program has no entry function");
+    return getFunction(static_cast<unsigned>(EntryId));
+  }
+
+  /// Declares a global data object of \p NumElements elements of
+  /// \p ElemBytes logical bytes each; returns its object id.
+  int addGlobal(const std::string &ObjName, uint64_t NumElements,
+                uint64_t ElemBytes);
+
+  /// Declares a malloc() call site object (size filled in by profiling);
+  /// returns its object id.
+  int addHeapSite(const std::string &ObjName, uint64_t ElemBytes);
+
+  unsigned getNumObjects() const {
+    return static_cast<unsigned>(Objects.size());
+  }
+  DataObject &getObject(unsigned I) {
+    assert(I < Objects.size() && "object index out of range");
+    return Objects[I];
+  }
+  const DataObject &getObject(unsigned I) const {
+    assert(I < Objects.size() && "object index out of range");
+    return Objects[I];
+  }
+  const std::vector<DataObject> &objects() const { return Objects; }
+
+  /// Total operation count across all functions.
+  unsigned getNumOps() const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<DataObject> Objects;
+  int EntryId = -1;
+};
+
+} // namespace gdp
+
+#endif // GDP_IR_PROGRAM_H

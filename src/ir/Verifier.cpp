@@ -1,0 +1,157 @@
+//===- ir/Verifier.cpp - Structural IR validation ---------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Program.h"
+#include "support/StrUtil.h"
+
+using namespace gdp;
+
+std::string VerifyResult::message() const { return join(Errors, "\n"); }
+
+namespace {
+
+/// Collects errors with function/block context prefixes.
+class Checker {
+public:
+  Checker(const Program &P, VerifyResult &R) : P(P), R(R) {}
+
+  void error(const std::string &Msg) { R.Errors.push_back(Context + Msg); }
+
+  void checkFunction(const Function &F);
+
+private:
+  void checkOperation(const Function &F, const BasicBlock &BB,
+                      const Operation &Op, bool IsLast);
+  void checkReg(const Function &F, int Reg, const char *Role);
+
+  const Program &P;
+  VerifyResult &R;
+  std::string Context;
+};
+
+} // namespace
+
+void Checker::checkReg(const Function &F, int Reg, const char *Role) {
+  if (Reg < 0 || static_cast<unsigned>(Reg) >= F.getNumVRegs())
+    error(formatStr("%s register r%d out of range (function has %u vregs)",
+                    Role, Reg, F.getNumVRegs()));
+}
+
+void Checker::checkOperation(const Function &F, const BasicBlock &BB,
+                             const Operation &Op, bool IsLast) {
+  Context = formatStr("%s/bb%d/op%d: ", F.getName().c_str(), BB.getId(),
+                      Op.getId());
+  Opcode Code = Op.getOpcode();
+
+  // Arity.
+  int Expected = opcodeNumSrcs(Code);
+  if (Expected >= 0 && static_cast<int>(Op.getNumSrcs()) != Expected)
+    error(formatStr("%s expects %d sources, has %u", opcodeName(Code),
+                    Expected, Op.getNumSrcs()));
+
+  // Destination presence.
+  if (!opcodeHasDest(Code) && Op.hasDest())
+    error(formatStr("%s must not produce a value", opcodeName(Code)));
+  if (opcodeHasDest(Code) && Code != Opcode::Call && !Op.hasDest())
+    error(formatStr("%s must produce a value", opcodeName(Code)));
+
+  // Register ranges.
+  if (Op.hasDest())
+    checkReg(F, Op.getDest(), "destination");
+  for (int Src : Op.getSrcs())
+    checkReg(F, Src, "source");
+
+  // Terminators only at block ends, and ends only with terminators.
+  if (Op.isTerminator() && !IsLast)
+    error("terminator in the middle of a block");
+  if (!Op.isTerminator() && IsLast)
+    error("block does not end with a terminator");
+
+  // Branch targets.
+  auto CheckTarget = [&](int T) {
+    if (T < 0 || static_cast<unsigned>(T) >= F.getNumBlocks())
+      error(formatStr("branch target bb%d out of range", T));
+  };
+  if (Code == Opcode::Br)
+    CheckTarget(Op.getTarget(0));
+  if (Code == Opcode::BrCond) {
+    CheckTarget(Op.getTarget(0));
+    CheckTarget(Op.getTarget(1));
+  }
+
+  // Calls.
+  if (Code == Opcode::Call) {
+    int Callee = Op.getCallee();
+    if (Callee < 0 || static_cast<unsigned>(Callee) >= P.getNumFunctions()) {
+      error(formatStr("call target f%d out of range", Callee));
+    } else if (Op.getNumSrcs() !=
+               P.getFunction(static_cast<unsigned>(Callee)).getNumParams()) {
+      error(formatStr(
+          "call passes %u arguments but f%d takes %u", Op.getNumSrcs(), Callee,
+          P.getFunction(static_cast<unsigned>(Callee)).getNumParams()));
+    }
+  }
+  if (Code == Opcode::Ret && Op.getNumSrcs() > 1)
+    error("ret takes at most one value");
+
+  // Object references.
+  if (Code == Opcode::AddrOf) {
+    int64_t Obj = Op.getImm();
+    if (Obj < 0 || static_cast<uint64_t>(Obj) >= P.getNumObjects())
+      error(formatStr("addrof references unknown object %lld",
+                      static_cast<long long>(Obj)));
+    else if (!P.getObject(static_cast<unsigned>(Obj)).isGlobal())
+      error("addrof must reference a global object (heap storage comes from "
+            "malloc)");
+  }
+  if (Code == Opcode::Malloc) {
+    int Site = Op.getMallocSite();
+    if (Site < 0 || static_cast<unsigned>(Site) >= P.getNumObjects())
+      error(formatStr("malloc references unknown site %d", Site));
+    else if (!P.getObject(static_cast<unsigned>(Site)).isHeapSite())
+      error(formatStr("malloc site %d is not a heap-site object", Site));
+  }
+
+  // Access sets may only appear on memory-referencing operations.
+  if (!Op.getAccessSet().empty() && !opcodeReferencesMemory(Code))
+    error("access set on a non-memory operation");
+}
+
+void Checker::checkFunction(const Function &F) {
+  Context = formatStr("%s: ", F.getName().c_str());
+  if (F.getNumBlocks() == 0) {
+    error("function has no blocks");
+    return;
+  }
+  for (const auto &BB : F.blocks()) {
+    Context = formatStr("%s/bb%d: ", F.getName().c_str(), BB->getId());
+    if (BB->empty()) {
+      error("empty block");
+      continue;
+    }
+    for (unsigned I = 0, E = BB->size(); I != E; ++I)
+      checkOperation(F, *BB, BB->getOp(I), I + 1 == E);
+  }
+}
+
+VerifyResult gdp::verifyFunction(const Program &P, const Function &F) {
+  VerifyResult R;
+  Checker C(P, R);
+  C.checkFunction(F);
+  return R;
+}
+
+VerifyResult gdp::verifyProgram(const Program &P) {
+  VerifyResult R;
+  Checker C(P, R);
+  if (P.getEntryId() < 0 ||
+      static_cast<unsigned>(P.getEntryId()) >= P.getNumFunctions())
+    C.error("program has no valid entry function");
+  else if (P.getFunction(static_cast<unsigned>(P.getEntryId()))
+               .getNumParams() != 0)
+    C.error("entry function must take no parameters");
+  for (const auto &F : P.functions())
+    C.checkFunction(*F);
+  return R;
+}

@@ -1,0 +1,44 @@
+//===- ir/Verifier.h - Structural IR validation -----------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for programs: terminated blocks,
+/// in-range registers/targets/objects, matching call signatures. Every
+/// workload generator and every test fixture runs the verifier before
+/// handing a program to the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_IR_VERIFIER_H
+#define GDP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+class Program;
+class Function;
+
+/// Result of verification: empty error list means the module is well formed.
+struct VerifyResult {
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+  /// All errors joined with newlines (empty string when ok).
+  std::string message() const;
+};
+
+/// Verifies one function within \p P.
+VerifyResult verifyFunction(const Program &P, const Function &F);
+
+/// Verifies the whole program (all functions plus program-level
+/// invariants such as a valid entry point).
+VerifyResult verifyProgram(const Program &P);
+
+} // namespace gdp
+
+#endif // GDP_IR_VERIFIER_H

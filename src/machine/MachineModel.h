@@ -1,0 +1,113 @@
+//===- machine/MachineModel.h - Clustered VLIW machine model ----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Description of the target multicluster VLIW processor: per-cluster
+/// function units, operation latencies, the intercluster interconnect, and
+/// the data-memory organization (unified vs. fully partitioned).
+///
+/// The paper's evaluation machine (§4.1) is the default: 2 homogeneous
+/// clusters, each with 2 integer, 1 float, 1 memory and 1 branch unit,
+/// Itanium-like latencies, 100%-hit partitioned caches with 2-cycle loads,
+/// and an interconnect carrying 1 move per cycle at a latency of 1, 5 or
+/// 10 cycles (5 is the paper's default).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_MACHINE_MACHINEMODEL_H
+#define GDP_MACHINE_MACHINEMODEL_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+/// Function-unit mix of one cluster.
+struct ClusterConfig {
+  unsigned NumInteger = 2;
+  unsigned NumFloat = 1;
+  unsigned NumMemory = 1;
+  unsigned NumBranch = 1;
+
+  unsigned count(FUKind K) const {
+    switch (K) {
+    case FUKind::Integer:
+      return NumInteger;
+    case FUKind::Float:
+      return NumFloat;
+    case FUKind::Memory:
+      return NumMemory;
+    case FUKind::Branch:
+      return NumBranch;
+    case FUKind::Interconnect:
+      return 0; // The bus is machine-global, not per-cluster.
+    }
+    return 0;
+  }
+};
+
+/// How the data memory is organized.
+enum class MemoryModelKind {
+  /// One shared multiported memory reachable from every cluster at uniform
+  /// latency — the paper's upper-bound configuration.
+  Unified,
+  /// One private memory per cluster; every data object has exactly one home
+  /// cluster and memory operations must execute there.
+  Partitioned,
+};
+
+/// A complete machine description.
+class MachineModel {
+public:
+  /// The paper's 2-cluster evaluation machine with the given intercluster
+  /// move latency and memory organization.
+  static MachineModel makeDefault(
+      unsigned NumClusters = 2, unsigned MoveLatency = 5,
+      MemoryModelKind Memory = MemoryModelKind::Partitioned);
+
+  unsigned getNumClusters() const {
+    return static_cast<unsigned>(Clusters.size());
+  }
+  const ClusterConfig &getCluster(unsigned C) const { return Clusters[C]; }
+  void setCluster(unsigned C, const ClusterConfig &Cfg) { Clusters[C] = Cfg; }
+  void addCluster(const ClusterConfig &Cfg) { Clusters.push_back(Cfg); }
+
+  unsigned getFUCount(unsigned Cluster, FUKind K) const {
+    return Clusters[Cluster].count(K);
+  }
+
+  /// Latency in cycles of one intercluster move.
+  unsigned getMoveLatency() const { return MoveLatency; }
+  void setMoveLatency(unsigned L) { MoveLatency = L; }
+
+  /// Intercluster moves that may issue per cycle (network bandwidth).
+  unsigned getMoveBandwidth() const { return MoveBandwidth; }
+  void setMoveBandwidth(unsigned B) { MoveBandwidth = B; }
+
+  MemoryModelKind getMemoryModel() const { return Memory; }
+  void setMemoryModel(MemoryModelKind K) { Memory = K; }
+  bool hasPartitionedMemory() const {
+    return Memory == MemoryModelKind::Partitioned;
+  }
+
+  /// Latency in cycles of \p Op on this machine.
+  unsigned getLatency(Opcode Op) const;
+  /// Overrides the latency of \p Op.
+  void setLatency(Opcode Op, unsigned Cycles);
+
+private:
+  std::vector<ClusterConfig> Clusters;
+  unsigned MoveLatency = 5;
+  unsigned MoveBandwidth = 1;
+  MemoryModelKind Memory = MemoryModelKind::Partitioned;
+  std::vector<int> LatencyOverride; // indexed by opcode; -1 = default
+};
+
+} // namespace gdp
+
+#endif // GDP_MACHINE_MACHINEMODEL_H

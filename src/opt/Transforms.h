@@ -1,0 +1,51 @@
+//===- opt/Transforms.h - Scalar IR cleanups --------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic scalar cleanups run before partitioning, mirroring the
+/// optimization level Trimaran applies before its clustering passes:
+///
+///  * constant folding — operations whose operands are uniquely-reaching
+///    integer constants become constants themselves;
+///  * copy propagation — uses of a plain register copy are rewritten to
+///    the copied source where reaching-definition analysis proves it safe
+///    in this non-SSA IR;
+///  * dead code elimination — side-effect-free operations whose results
+///    are never used are deleted.
+///
+/// All passes preserve observable semantics (the property tests interpret
+/// programs before and after and compare results, step for step being
+/// allowed to shrink).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_OPT_TRANSFORMS_H
+#define GDP_OPT_TRANSFORMS_H
+
+namespace gdp {
+
+class Function;
+class Program;
+
+/// Folds integer operations with constant operands in \p F; returns the
+/// number of operations folded.
+unsigned foldConstants(Function &F);
+
+/// Propagates plain register copies in \p F where provably safe; returns
+/// the number of operand uses rewritten.
+unsigned propagateCopies(Function &F);
+
+/// Removes unused side-effect-free operations from \p F; returns the
+/// number removed.
+unsigned eliminateDeadCode(Function &F);
+
+/// Runs fold → propagate → DCE to a fixpoint on every function; returns
+/// the total number of changes.
+unsigned optimizeProgram(Program &P);
+
+} // namespace gdp
+
+#endif // GDP_OPT_TRANSFORMS_H

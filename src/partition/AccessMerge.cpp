@@ -1,0 +1,73 @@
+//===- partition/AccessMerge.cpp - Access-pattern coarsening ----------------===//
+
+#include "partition/AccessMerge.h"
+
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gdp;
+
+AccessMerge::AccessMerge(const ProgramGraph &PG, const Program &P,
+                         MergePolicy Policy) {
+  unsigned NumNodes = PG.getNumNodes();
+  unsigned NumObjects = P.getNumObjects();
+  // Combined id space: nodes first, then objects.
+  UnionFind UF(NumNodes + NumObjects);
+
+  if (Policy != MergePolicy::None) {
+    for (unsigned N = 0; N != NumNodes; ++N) {
+      const Operation *Op = PG.getOp(N);
+      if (!Op)
+        continue;
+      for (int Obj : Op->getAccessSet())
+        UF.merge(N, NumNodes + static_cast<unsigned>(Obj));
+    }
+  }
+
+  if (Policy == MergePolicy::AccessPatternAndDependence &&
+      !PG.edges().empty()) {
+    // Hot-edge threshold: upper quartile of edge weights.
+    std::vector<uint64_t> Weights;
+    Weights.reserve(PG.edges().size());
+    for (const auto &E : PG.edges())
+      Weights.push_back(E.W);
+    std::sort(Weights.begin(), Weights.end());
+    uint64_t Threshold = Weights[Weights.size() * 3 / 4];
+    for (const auto &E : PG.edges())
+      if (E.W >= Threshold && E.W > 1)
+        UF.merge(E.A, E.B);
+  }
+
+  // Dense group numbering, ordered by smallest member id for determinism.
+  std::map<unsigned, unsigned> RootToGroup;
+  GroupOfNode.resize(NumNodes);
+  GroupOfObject.resize(NumObjects);
+  auto GroupOf = [&](unsigned Id) {
+    unsigned Root = UF.find(Id);
+    auto [It, Inserted] = RootToGroup.emplace(Root, NumGroups);
+    if (Inserted)
+      ++NumGroups;
+    return It->second;
+  };
+  for (unsigned N = 0; N != NumNodes; ++N)
+    GroupOfNode[N] = GroupOf(N);
+  for (unsigned O = 0; O != NumObjects; ++O)
+    GroupOfObject[O] = GroupOf(NumNodes + O);
+
+  ObjectsOf.resize(NumGroups);
+  NodesOf.resize(NumGroups);
+  for (unsigned N = 0; N != NumNodes; ++N)
+    NodesOf[GroupOfNode[N]].push_back(N);
+  for (unsigned O = 0; O != NumObjects; ++O)
+    ObjectsOf[GroupOfObject[O]].push_back(static_cast<int>(O));
+}
+
+std::vector<std::vector<int>> AccessMerge::objectClasses() const {
+  std::vector<std::vector<int>> Classes;
+  for (const auto &Objs : ObjectsOf)
+    if (!Objs.empty())
+      Classes.push_back(Objs);
+  return Classes;
+}

@@ -1,0 +1,87 @@
+//===- partition/CacheModel.cpp - Partitioned-cache miss modeling --------------===//
+
+#include "partition/CacheModel.h"
+
+#include "ir/Program.h"
+#include "partition/DataPlacement.h"
+#include "profile/ProfileData.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gdp;
+
+CacheOutcome gdp::evaluateCachePlacement(const Program &P,
+                                         const ProfileData &Prof,
+                                         const DataPlacement &Placement,
+                                         unsigned NumClusters,
+                                         const CacheConfig &Config) {
+  assert(NumClusters >= 1 && "need at least one cluster");
+  CacheOutcome Out;
+
+  // Unified placements (all homes -1) share one big cache: model them as a
+  // single pseudo-cluster with the aggregate capacity.
+  bool Unified = true;
+  for (unsigned O = 0; O != P.getNumObjects(); ++O)
+    if (O < Placement.getNumObjects() && Placement.getHome(O) >= 0)
+      Unified = false;
+  unsigned Caches = Unified ? 1 : NumClusters;
+  uint64_t Capacity = Unified ? Config.CapacityBytes * NumClusters
+                              : Config.CapacityBytes;
+
+  auto CacheOf = [&](unsigned Obj) -> unsigned {
+    if (Unified)
+      return 0;
+    int H = Obj < Placement.getNumObjects() ? Placement.getHome(Obj) : -1;
+    return H < 0 ? 0 : static_cast<unsigned>(H);
+  };
+
+  // Resident bytes and dynamic accesses per cache.
+  Out.ResidentBytes.assign(NumClusters, 0);
+  std::vector<uint64_t> ResidentPerCache(Caches, 0);
+  std::vector<uint64_t> AccessesPerCache(Caches, 0);
+  std::vector<uint64_t> CompulsoryPerCache(Caches, 0);
+
+  for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj) {
+    uint64_t Accesses = Prof.getObjectAccessTotal(static_cast<int>(Obj));
+    uint64_t Bytes = P.getObject(Obj).getSizeBytes();
+    if (Accesses == 0 && Bytes == 0)
+      continue;
+    unsigned C = CacheOf(Obj);
+    ResidentPerCache[C] += Bytes;
+    AccessesPerCache[C] += Accesses;
+    if (Accesses > 0)
+      CompulsoryPerCache[C] +=
+          (Bytes + Config.LineBytes - 1) / Config.LineBytes;
+    if (!Unified && C < NumClusters)
+      Out.ResidentBytes[C] += Bytes;
+  }
+  if (Unified)
+    Out.ResidentBytes.assign(NumClusters,
+                             ResidentPerCache[0] / NumClusters);
+
+  // Misses per cache: compulsory plus the capacity-pressure fraction.
+  for (unsigned C = 0; C != Caches; ++C) {
+    uint64_t Accesses = AccessesPerCache[C];
+    Out.Accesses += Accesses;
+    if (Accesses == 0)
+      continue;
+    double HitProb = ResidentPerCache[C] == 0
+                         ? 1.0
+                         : std::min(1.0, static_cast<double>(Capacity) /
+                                             static_cast<double>(
+                                                 ResidentPerCache[C]));
+    uint64_t CapacityMisses = static_cast<uint64_t>(
+        static_cast<double>(Accesses) * (1.0 - HitProb));
+    uint64_t Misses =
+        std::min(Accesses, CompulsoryPerCache[C] + CapacityMisses);
+    Out.Misses += Misses;
+  }
+
+  Out.StallCycles = Out.Misses * Config.MissPenalty;
+  Out.MissRatio = Out.Accesses == 0
+                      ? 0.0
+                      : static_cast<double>(Out.Misses) /
+                            static_cast<double>(Out.Accesses);
+  return Out;
+}

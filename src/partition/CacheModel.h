@@ -1,0 +1,68 @@
+//===- partition/CacheModel.h - Partitioned-cache miss modeling ---*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work direction (§5): extending data partitioning
+/// from scratchpad-like perfect memories to *caches*, where "the
+/// partitioning algorithm must be extended to deal ... with the data usage
+/// patterns over time, as objects can be moved into and out of the caches."
+///
+/// This module implements a deterministic capacity-pressure cache model on
+/// top of any data placement: each cluster's cache holds the objects homed
+/// there; a placement that piles hot objects onto one cluster (as the
+/// Naive strategy does) overflows that cache and pays miss stalls, while a
+/// byte-balanced placement (GDP's objective) spreads the pressure.
+///
+/// Model per cluster cache with capacity C serving resident bytes R:
+///   * compulsory misses: one per cache line of every accessed object;
+///   * steady-state hit probability: min(1, C / R) — accesses touch the
+///     resident set uniformly, so only the cached fraction hits;
+///   * stall cycles = misses × miss penalty.
+/// The unified configuration is a single cache of aggregate capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PARTITION_CACHEMODEL_H
+#define GDP_PARTITION_CACHEMODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+class DataPlacement;
+class ProfileData;
+class Program;
+
+/// One cluster cache.
+struct CacheConfig {
+  uint64_t CapacityBytes = 2048; ///< Per-cluster cache size.
+  unsigned LineBytes = 32;       ///< Fill granularity.
+  unsigned MissPenalty = 20;     ///< Cycles per miss.
+};
+
+/// Result of evaluating a placement against the cache model.
+struct CacheOutcome {
+  uint64_t Accesses = 0;    ///< Dynamic loads+stores, program-wide.
+  uint64_t Misses = 0;      ///< Compulsory + capacity misses.
+  uint64_t StallCycles = 0; ///< Misses × penalty.
+  double MissRatio = 0;     ///< Misses / Accesses.
+  /// Resident bytes per cluster cache (index = cluster).
+  std::vector<uint64_t> ResidentBytes;
+};
+
+/// Evaluates the placement \p Placement on \p NumClusters private caches of
+/// \p Config each. Objects with home -1 (unified placement) are evaluated
+/// against a single shared cache of NumClusters × CapacityBytes.
+CacheOutcome evaluateCachePlacement(const Program &P,
+                                    const ProfileData &Prof,
+                                    const DataPlacement &Placement,
+                                    unsigned NumClusters,
+                                    const CacheConfig &Config);
+
+} // namespace gdp
+
+#endif // GDP_PARTITION_CACHEMODEL_H

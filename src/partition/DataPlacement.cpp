@@ -1,0 +1,106 @@
+//===- partition/DataPlacement.cpp - Object→cluster placement ---------------===//
+
+#include "partition/DataPlacement.h"
+
+#include "ir/Program.h"
+#include "profile/ProfileData.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gdp;
+
+int DataPlacement::homeOfOp(const Operation &Op, unsigned FunctionId,
+                            const ProfileData &Prof) const {
+  const auto &Objs = Op.getAccessSet();
+  if (Objs.empty())
+    return -1;
+
+  // Fast path: all placed objects agree.
+  int Agreed = -2;
+  bool Consistent = true;
+  for (int Obj : Objs) {
+    int H = Home[static_cast<unsigned>(Obj)];
+    if (Agreed == -2)
+      Agreed = H;
+    else if (H != Agreed)
+      Consistent = false;
+  }
+  if (Consistent)
+    return Agreed == -2 ? -1 : Agreed;
+
+  // Disagreement: pick the home of the dynamically hottest object.
+  int Best = -1;
+  uint64_t BestCount = 0;
+  for (int Obj : Objs) {
+    int H = Home[static_cast<unsigned>(Obj)];
+    if (H < 0)
+      continue;
+    uint64_t Count = Prof.getAccessCount(
+        FunctionId, static_cast<unsigned>(Op.getId()), Obj);
+    if (Best < 0 || Count > BestCount) {
+      Best = H;
+      BestCount = Count;
+    }
+  }
+  return Best;
+}
+
+std::vector<uint64_t>
+DataPlacement::bytesPerCluster(const Program &P,
+                               unsigned NumClusters) const {
+  std::vector<uint64_t> Bytes(NumClusters, 0);
+  for (unsigned O = 0; O != P.getNumObjects() && O != getNumObjects(); ++O) {
+    int H = Home[O];
+    if (H >= 0 && static_cast<unsigned>(H) < NumClusters)
+      Bytes[static_cast<unsigned>(H)] += P.getObject(O).getSizeBytes();
+  }
+  return Bytes;
+}
+
+double DataPlacement::sizeImbalance(const Program &P,
+                                    unsigned NumClusters) const {
+  assert(NumClusters >= 1 && "need at least one cluster");
+  std::vector<uint64_t> Bytes = bytesPerCluster(P, NumClusters);
+  uint64_t Total = 0, MaxPart = 0;
+  for (uint64_t B : Bytes) {
+    Total += B;
+    MaxPart = std::max(MaxPart, B);
+  }
+  if (Total == 0 || NumClusters == 1)
+    return 0.0;
+  // MaxPart ranges from Total/k (balanced) to Total (one-sided); rescale
+  // to [0, 1].
+  double Ideal = static_cast<double>(Total) / NumClusters;
+  return (static_cast<double>(MaxPart) - Ideal) /
+         (static_cast<double>(Total) - Ideal);
+}
+
+LockMap gdp::buildLockMap(const Program &P, const DataPlacement &Placement,
+                          const ProfileData &Prof) {
+  LockMap Locks(P.getNumFunctions());
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
+    const Function &Fn = P.getFunction(F);
+    Locks[F].assign(Fn.getNumOpIds(), -1);
+    for (const auto &BB : Fn.blocks()) {
+      for (const auto &Op : BB->operations()) {
+        int Cluster = -1;
+        switch (Op->getOpcode()) {
+        case Opcode::Load:
+        case Opcode::Store:
+          Cluster = Placement.homeOfOp(*Op, F, Prof);
+          break;
+        case Opcode::Malloc:
+          Cluster = Placement.getHome(
+              static_cast<unsigned>(Op->getMallocSite()));
+          break;
+        default:
+          break;
+        }
+        if (Cluster >= 0)
+          Locks[F][static_cast<unsigned>(Op->getId())] = Cluster;
+      }
+    }
+  }
+  return Locks;
+}

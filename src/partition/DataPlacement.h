@@ -1,0 +1,70 @@
+//===- partition/DataPlacement.h - Object→cluster placement -----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product of data partitioning: a home cluster for every data object.
+/// Composite objects are atomic — an object lives entirely in one cluster's
+/// memory (paper §2). Also provides the derived per-operation home used to
+/// lock memory operations during computation partitioning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PARTITION_DATAPLACEMENT_H
+#define GDP_PARTITION_DATAPLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+class Operation;
+class ProfileData;
+class Program;
+
+/// A home cluster per data object. -1 means unplaced (unified memory).
+class DataPlacement {
+public:
+  DataPlacement() = default;
+  explicit DataPlacement(unsigned NumObjects) : Home(NumObjects, -1) {}
+
+  unsigned getNumObjects() const { return static_cast<unsigned>(Home.size()); }
+  int getHome(unsigned ObjectId) const { return Home[ObjectId]; }
+  void setHome(unsigned ObjectId, int Cluster) { Home[ObjectId] = Cluster; }
+
+  /// Home cluster for a memory operation: the home of the object it
+  /// accesses most often per \p Prof (ties to the lower object id), or -1
+  /// if its access set is empty / nothing is placed. Consistent placements
+  /// (all objects of the access set on one cluster — guaranteed by the
+  /// access-pattern merge) short-circuit to that cluster.
+  int homeOfOp(const Operation &Op, unsigned FunctionId,
+               const ProfileData &Prof) const;
+
+  /// Bytes of placed objects per cluster (index = cluster id).
+  std::vector<uint64_t> bytesPerCluster(const Program &P,
+                                        unsigned NumClusters) const;
+
+  /// Size-balance metric in [0, 1]: 0 = perfectly balanced bytes across
+  /// clusters, 1 = everything on one cluster. (The shading of the paper's
+  /// Figure 9.)
+  double sizeImbalance(const Program &P, unsigned NumClusters) const;
+
+private:
+  std::vector<int> Home;
+};
+
+/// Per-function, per-operation lock table for the second pass: entry is the
+/// required cluster for that operation, or -1 if the operation is free.
+using LockMap = std::vector<std::vector<int>>;
+
+/// Builds the lock table for \p P under \p Placement: every Load/Store is
+/// pinned to its operation home; every Malloc is pinned to its site's home
+/// (the allocated storage lives there). Other operations are free.
+LockMap buildLockMap(const Program &P, const DataPlacement &Placement,
+                     const ProfileData &Prof);
+
+} // namespace gdp
+
+#endif // GDP_PARTITION_DATAPLACEMENT_H

@@ -1,0 +1,107 @@
+//===- partition/DotExport.cpp - GraphViz exports -----------------------------===//
+
+#include "partition/DotExport.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Program.h"
+#include "partition/AccessMerge.h"
+#include "partition/DataPlacement.h"
+#include "partition/ProgramGraph.h"
+#include "sched/BlockDFG.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gdp;
+
+namespace {
+
+/// A small palette that stays readable in both dot PNG and SVG output.
+const char *clusterColor(int Cluster) {
+  static const char *Palette[] = {"#a6cee3", "#fdbf6f", "#b2df8a",
+                                  "#cab2d6", "#fb9a99", "#ffff99"};
+  if (Cluster < 0)
+    return "#eeeeee";
+  return Palette[static_cast<unsigned>(Cluster) % 6];
+}
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string gdp::exportProgramGraphDot(const Program &P,
+                                       const ProgramGraph &PG,
+                                       const AccessMerge &Merge,
+                                       const DataPlacement *Placement) {
+  std::string Out = "digraph program {\n"
+                    "  rankdir=TB;\n"
+                    "  node [shape=box, style=filled, fontsize=10];\n";
+
+  // Merge groups become dot clusters; singleton compute groups stay flat.
+  std::map<unsigned, std::vector<unsigned>> Groups;
+  for (unsigned N = 0; N != PG.getNumNodes(); ++N)
+    if (PG.getOp(N))
+      Groups[Merge.groupOfNode(N)].push_back(N);
+
+  for (const auto &[Group, Nodes] : Groups) {
+    const auto &Objs = Merge.objectsOfGroup(Group);
+    bool Boxed = Nodes.size() > 1 || !Objs.empty();
+    int Home = -1;
+    if (Placement && !Objs.empty())
+      Home = Placement->getHome(static_cast<unsigned>(Objs[0]));
+    if (Boxed) {
+      std::vector<std::string> ObjNames;
+      for (int Obj : Objs)
+        ObjNames.push_back(P.getObject(static_cast<unsigned>(Obj)).getName());
+      Out += formatStr("  subgraph cluster_%u {\n    label=\"%s\";\n"
+                       "    style=filled;\n    color=\"%s\";\n",
+                       Group, escape(join(ObjNames, ", ")).c_str(),
+                       clusterColor(Home));
+    }
+    for (unsigned N : Nodes) {
+      const Operation *Op = PG.getOp(N);
+      Out += formatStr("    n%u [label=\"%s\", fillcolor=\"%s\"];\n", N,
+                       escape(opcodeName(Op->getOpcode())).c_str(),
+                       Op->isMemoryAccess() ? "white" : "#f5f5f5");
+    }
+    if (Boxed)
+      Out += "  }\n";
+  }
+
+  for (const auto &E : PG.edges())
+    Out += formatStr("  n%u -> n%u [penwidth=%.1f];\n", E.A, E.B,
+                     1.0 + std::min(4.0, static_cast<double>(E.W) / 1024.0));
+  Out += "}\n";
+  return Out;
+}
+
+std::string gdp::exportRegionDot(const BlockDFG &DFG,
+                                 const std::vector<int> &ClusterOfOp) {
+  std::string Out = "digraph region {\n"
+                    "  node [shape=circle, style=filled, fontsize=10];\n";
+  for (unsigned Local = 0; Local != DFG.size(); ++Local) {
+    const Operation &Op = DFG.getOp(Local);
+    int Cluster = ClusterOfOp[static_cast<unsigned>(Op.getId())];
+    Out += formatStr("  n%u [label=\"%s\", fillcolor=\"%s\"%s];\n", Local,
+                     escape(opcodeName(Op.getOpcode())).c_str(),
+                     clusterColor(Cluster),
+                     Op.isMemoryAccess() ? ", shape=doublecircle" : "");
+  }
+  for (const auto &E : DFG.edges()) {
+    const char *Style = E.Kind == BlockDFG::EdgeKind::Data ? "solid"
+                        : E.Kind == BlockDFG::EdgeKind::Mem ? "dashed"
+                                                            : "dotted";
+    Out += formatStr("  n%u -> n%u [style=%s];\n", E.From, E.To, Style);
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- partition/DotExport.h - GraphViz exports ------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GraphViz (.dot) renderings of the structures the paper's figures draw:
+/// the program-level data-flow graph with its access-pattern merge groups
+/// (Figures 4/5) and a region DFG with a cluster assignment (Figure 6).
+/// Pipe the output through `dot -Tsvg` to look at real partitions the way
+/// the paper's illustrations do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PARTITION_DOTEXPORT_H
+#define GDP_PARTITION_DOTEXPORT_H
+
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+class AccessMerge;
+class BlockDFG;
+class DataPlacement;
+class Program;
+class ProgramGraph;
+
+/// Renders the program-level graph: operations as nodes (memory operations
+/// annotated with their objects), flow edges weighted, merge groups drawn
+/// as clusters, and — when \p Placement is non-null — group colors by home
+/// cluster. Large programs are readable up to a few hundred operations.
+std::string exportProgramGraphDot(const Program &P, const ProgramGraph &PG,
+                                  const AccessMerge &Merge,
+                                  const DataPlacement *Placement);
+
+/// Renders one region DFG with per-cluster node colors (the paper's
+/// Figure 6 view). \p ClusterOfOp is indexed by operation id.
+std::string exportRegionDot(const BlockDFG &DFG,
+                            const std::vector<int> &ClusterOfOp);
+
+} // namespace gdp
+
+#endif // GDP_PARTITION_DOTEXPORT_H

@@ -1,0 +1,61 @@
+//===- partition/Exhaustive.cpp - Exhaustive placement search ---------------===//
+
+#include "partition/Exhaustive.h"
+
+#include "sched/ListScheduler.h"
+
+#include <cassert>
+
+using namespace gdp;
+
+ExhaustiveResult gdp::exhaustiveSearch(const PreparedProgram &PP,
+                                       const PipelineOptions &Opt) {
+  assert(PP.Ok && "prepareProgram() must succeed first");
+  const Program &P = *PP.P;
+  unsigned N = P.getNumObjects();
+  assert(N <= MaxExhaustiveObjects &&
+         "exhaustive search is only feasible for small object counts");
+
+  PipelineOptions Local = Opt;
+  Local.Strategy = StrategyKind::GDP; // Partitioned-memory machine.
+  MachineModel MM = machineFor(Local);
+  assert(MM.getNumClusters() == 2 &&
+         "exhaustive placement enumeration assumes 2 clusters");
+
+  ExhaustiveResult Result;
+  uint64_t NumMasks = 1ULL << N;
+  Result.Points.reserve(NumMasks);
+
+  for (uint64_t Mask = 0; Mask != NumMasks; ++Mask) {
+    DataPlacement Placement(N);
+    for (unsigned Obj = 0; Obj != N; ++Obj)
+      Placement.setHome(Obj, static_cast<int>((Mask >> Obj) & 1));
+    LockMap Locks = buildLockMap(P, Placement, PP.Prof);
+    ClusterAssignment CA = runRHOP(P, PP.Prof, MM, &Locks, Local.RhopOpt);
+    ProgramSchedule PS = scheduleProgram(P, PP.Prof, MM, CA);
+
+    ExhaustivePoint Pt;
+    Pt.Mask = Mask;
+    Pt.Cycles = PS.TotalCycles;
+    Pt.Imbalance = Placement.sizeImbalance(P, 2);
+    if (Mask == 0 || Pt.Cycles < Result.BestCycles)
+      Result.BestCycles = Pt.Cycles;
+    if (Mask == 0 || Pt.Cycles > Result.WorstCycles)
+      Result.WorstCycles = Pt.Cycles;
+    Result.Points.push_back(Pt);
+  }
+
+  // Where the two partitioners land in this space.
+  auto MaskOf = [&](const DataPlacement &Placement) {
+    uint64_t Mask = 0;
+    for (unsigned Obj = 0; Obj != N; ++Obj)
+      if (Placement.getHome(Obj) == 1)
+        Mask |= 1ULL << Obj;
+    return Mask;
+  };
+  Local.Strategy = StrategyKind::GDP;
+  Result.GDPMask = MaskOf(runStrategy(PP, Local).Placement);
+  Local.Strategy = StrategyKind::ProfileMax;
+  Result.ProfileMaxMask = MaskOf(runStrategy(PP, Local).Placement);
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- partition/Exhaustive.h - Exhaustive placement search -----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration of every data-object → cluster mapping for
+/// 2-cluster machines (paper §4.3, Figure 9): each of the 2^N placements is
+/// locked into the computation partitioner and scheduled, recording its
+/// cycle count and data-size balance. Only feasible for benchmarks with a
+/// small number of objects, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PARTITION_EXHAUSTIVE_H
+#define GDP_PARTITION_EXHAUSTIVE_H
+
+#include "partition/Pipeline.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+/// One evaluated placement.
+struct ExhaustivePoint {
+  uint64_t Mask = 0;      ///< Bit i = cluster of object i.
+  uint64_t Cycles = 0;
+  double Imbalance = 0;   ///< 0 = balanced bytes, 1 = one-sided (Figure 9's
+                          ///< shading).
+};
+
+/// The whole search plus the placements the two partitioners would pick.
+struct ExhaustiveResult {
+  std::vector<ExhaustivePoint> Points; ///< In mask order, 2^N entries.
+  uint64_t BestCycles = 0;
+  uint64_t WorstCycles = 0;
+  uint64_t GDPMask = 0;        ///< Placement chosen by GDP.
+  uint64_t ProfileMaxMask = 0; ///< Placement chosen by ProfileMax.
+};
+
+/// Maximum object count accepted (2^N evaluations).
+inline constexpr unsigned MaxExhaustiveObjects = 18;
+
+/// Runs the search on a prepared program. \p Opt supplies the machine
+/// (must have 2 clusters) and RHOP options; Opt.Strategy is ignored.
+ExhaustiveResult exhaustiveSearch(const PreparedProgram &PP,
+                                  const PipelineOptions &Opt);
+
+} // namespace gdp
+
+#endif // GDP_PARTITION_EXHAUSTIVE_H

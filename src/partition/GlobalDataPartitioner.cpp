@@ -1,0 +1,77 @@
+//===- partition/GlobalDataPartitioner.cpp - GDP first pass -----------------===//
+
+#include "partition/GlobalDataPartitioner.h"
+
+#include "graph/MultilevelPartitioner.h"
+#include "ir/Program.h"
+#include "profile/ProfileData.h"
+
+#include <algorithm>
+
+using namespace gdp;
+
+GDPResult gdp::runGlobalDataPartitioning(const Program &P,
+                                         const ProfileData &Prof,
+                                         unsigned NumClusters,
+                                         const GDPOptions &Opt) {
+  ProgramGraph PG(P, Prof);
+  AccessMerge Merge(PG, P, Opt.Policy);
+
+  // --- One partition-graph node per merged group; weights are
+  // ⟨data bytes, operation count⟩.
+  PartitionGraph G(/*NumConstraints=*/2);
+  for (unsigned Grp = 0; Grp != Merge.getNumGroups(); ++Grp) {
+    uint64_t Bytes = 0;
+    for (int Obj : Merge.objectsOfGroup(Grp))
+      Bytes += P.getObject(static_cast<unsigned>(Obj)).getSizeBytes();
+    uint64_t OpCount = 0;
+    for (unsigned Node : Merge.nodesOfGroup(Grp))
+      if (PG.getOp(Node))
+        ++OpCount;
+    G.addNode({Bytes, OpCount});
+  }
+
+  // --- Register-flow edges between groups.
+  for (const auto &E : PG.edges()) {
+    unsigned A = Merge.groupOfNode(E.A);
+    unsigned B = Merge.groupOfNode(E.B);
+    if (A != B)
+      G.addEdge(A, B, E.W);
+  }
+
+  // --- Access edges between memory operations and the objects they touch,
+  // weighted by dynamic access counts. Intra-group under the access-pattern
+  // policies (no-op); they carry the op↔object affinity when merging is
+  // disabled.
+  for (unsigned Node = 0; Node != PG.getNumNodes(); ++Node) {
+    const Operation *Op = PG.getOp(Node);
+    if (!Op || Op->getAccessSet().empty())
+      continue;
+    auto [F, OpId] = PG.funcOpOf(Node);
+    for (int Obj : Op->getAccessSet()) {
+      unsigned A = Merge.groupOfNode(Node);
+      unsigned B = Merge.groupOfObject(static_cast<unsigned>(Obj));
+      if (A == B)
+        continue;
+      uint64_t W = std::max<uint64_t>(1, Prof.getAccessCount(F, OpId, Obj));
+      G.addEdge(A, B, W);
+    }
+  }
+
+  // --- Cut with the multilevel partitioner.
+  GraphPartitionOptions GOpt;
+  GOpt.NumParts = NumClusters;
+  GOpt.Tolerances = {Opt.MemBalanceTolerance, Opt.OpBalanceTolerance};
+  GOpt.Seed = Opt.Seed;
+  GOpt.PartCapacityShares = Opt.ClusterCapacityShares;
+  GraphPartition Part = partitionGraph(G, GOpt);
+
+  GDPResult Result;
+  Result.CutWeight = Part.CutWeight;
+  Result.NumGroups = Merge.getNumGroups();
+  Result.Placement = DataPlacement(P.getNumObjects());
+  for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj)
+    Result.Placement.setHome(
+        Obj, static_cast<int>(Part.Assignment[Merge.groupOfObject(Obj)]));
+  return Result;
+}

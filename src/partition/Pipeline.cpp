@@ -1,0 +1,297 @@
+//===- partition/Pipeline.cpp - End-to-end partitioning pipeline ------------===//
+
+#include "partition/Pipeline.h"
+
+#include "analysis/PointsTo.h"
+#include "ir/Verifier.h"
+#include "profile/Interpreter.h"
+#include "sched/ListScheduler.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace gdp;
+
+const char *gdp::strategyName(StrategyKind K) {
+  switch (K) {
+  case StrategyKind::GDP:
+    return "GDP";
+  case StrategyKind::ProfileMax:
+    return "ProfileMax";
+  case StrategyKind::Naive:
+    return "Naive";
+  case StrategyKind::Unified:
+    return "Unified";
+  }
+  return "<bad>";
+}
+
+PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps) {
+  PreparedProgram PP;
+  PP.P = &P;
+
+  VerifyResult VR = verifyProgram(P);
+  if (!VR.ok()) {
+    PP.Error = "verification failed:\n" + VR.message();
+    return PP;
+  }
+
+  unsigned EmptyAccess = annotateMemoryAccesses(P);
+  if (EmptyAccess != 0) {
+    PP.Error = formatStr(
+        "%u memory operations have empty access sets (address not rooted "
+        "in any data object)",
+        EmptyAccess);
+    return PP;
+  }
+
+  Interpreter Interp(P);
+  InterpResult IR = Interp.run(MaxSteps);
+  if (!IR.Ok) {
+    PP.Error = "profiling run failed: " + IR.Error;
+    return PP;
+  }
+  PP.Prof = Interp.getProfile();
+  PP.Prof.applyHeapSizes(P);
+  PP.Ok = true;
+  return PP;
+}
+
+MachineModel gdp::machineFor(const PipelineOptions &Opt) {
+  if (Opt.Machine)
+    return *Opt.Machine;
+  MemoryModelKind Mem = Opt.Strategy == StrategyKind::Unified
+                            ? MemoryModelKind::Unified
+                            : MemoryModelKind::Partitioned;
+  return MachineModel::makeDefault(Opt.NumClusters, Opt.MoveLatency, Mem);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Dynamic access count of every object on every cluster under an existing
+/// computation partition — the statistic both ProfileMax and Naive rank
+/// objects by.
+std::vector<std::vector<uint64_t>>
+objectAccessByCluster(const Program &P, const ProfileData &Prof,
+                      const ClusterAssignment &CA, unsigned NumClusters) {
+  std::vector<std::vector<uint64_t>> Counts(
+      P.getNumObjects(), std::vector<uint64_t>(NumClusters, 0));
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
+    const Function &Fn = P.getFunction(F);
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Op : BB->operations()) {
+        if (!Op->isMemoryAccess())
+          continue;
+        unsigned OpId = static_cast<unsigned>(Op->getId());
+        unsigned Cluster = static_cast<unsigned>(CA.get(F, OpId));
+        for (const auto &[Obj, Count] : Prof.getAccessMap(F, OpId))
+          Counts[static_cast<unsigned>(Obj)][Cluster] += Count;
+      }
+  }
+  return Counts;
+}
+
+PipelineResult runGDPStrategy(const PreparedProgram &PP,
+                              const PipelineOptions &Opt,
+                              const MachineModel &MM) {
+  PipelineResult R;
+  auto Start = Clock::now();
+  GDPOptions DataOpt = Opt.DataOpt;
+  if (DataOpt.ClusterCapacityShares.empty()) {
+    // Heterogeneous machines: scale each cluster's data capacity with its
+    // memory resources.
+    bool Uniform = true;
+    std::vector<double> Shares(MM.getNumClusters());
+    for (unsigned C = 0; C != MM.getNumClusters(); ++C) {
+      Shares[C] = std::max(1u, MM.getFUCount(C, FUKind::Memory));
+      Uniform &= Shares[C] == Shares[0];
+    }
+    if (!Uniform)
+      DataOpt.ClusterCapacityShares = std::move(Shares);
+  }
+  GDPResult D = runGlobalDataPartitioning(*PP.P, PP.Prof,
+                                          MM.getNumClusters(), DataOpt);
+  R.Placement = D.Placement;
+  LockMap Locks = buildLockMap(*PP.P, R.Placement, PP.Prof);
+  R.Assignment = runRHOP(*PP.P, PP.Prof, MM, &Locks, Opt.RhopOpt);
+  R.RHOPRuns = 1;
+  R.PartitionSeconds = secondsSince(Start);
+  return R;
+}
+
+PipelineResult runProfileMaxStrategy(const PreparedProgram &PP,
+                                     const PipelineOptions &Opt,
+                                     const MachineModel &MM) {
+  PipelineResult R;
+  auto Start = Clock::now();
+  const Program &P = *PP.P;
+  unsigned NumClusters = MM.getNumClusters();
+
+  // First detailed run: unified-memory assumption (no locks).
+  ClusterAssignment First = runRHOP(P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+
+  // Objects are grouped exactly as in GDP's coarsening (paper §4.1: "the
+  // program-level graph of the application is created and coarsened as
+  // before, so objects are grouped together the same").
+  ProgramGraph PG(P, PP.Prof);
+  AccessMerge Merge(PG, P, Opt.DataOpt.Policy);
+  auto Classes = Merge.objectClasses();
+  auto Counts = objectAccessByCluster(P, PP.Prof, First, NumClusters);
+
+  struct ClassInfo {
+    unsigned Index;
+    uint64_t Total;
+    uint64_t Bytes;
+    std::vector<uint64_t> PerCluster;
+  };
+  std::vector<ClassInfo> Infos;
+  uint64_t TotalBytes = 0;
+  for (unsigned I = 0; I != Classes.size(); ++I) {
+    ClassInfo CI;
+    CI.Index = I;
+    CI.Total = 0;
+    CI.Bytes = 0;
+    CI.PerCluster.assign(NumClusters, 0);
+    for (int Obj : Classes[I]) {
+      CI.Bytes += P.getObject(static_cast<unsigned>(Obj)).getSizeBytes();
+      for (unsigned C = 0; C != NumClusters; ++C) {
+        CI.PerCluster[C] += Counts[static_cast<unsigned>(Obj)][C];
+        CI.Total += Counts[static_cast<unsigned>(Obj)][C];
+      }
+    }
+    TotalBytes += CI.Bytes;
+    Infos.push_back(std::move(CI));
+  }
+
+  // Greedy assignment in decreasing dynamic-frequency order, with a byte
+  // threshold per cluster.
+  std::sort(Infos.begin(), Infos.end(),
+            [](const ClassInfo &A, const ClassInfo &B) {
+              if (A.Total != B.Total)
+                return A.Total > B.Total;
+              return A.Index < B.Index;
+            });
+  double Cap = (1.0 + Opt.ProfileMaxBalanceTolerance) *
+               static_cast<double>(TotalBytes) / NumClusters;
+  std::vector<uint64_t> ClusterBytes(NumClusters, 0);
+  R.Placement = DataPlacement(P.getNumObjects());
+  for (const ClassInfo &CI : Infos) {
+    // Preferred cluster: most accesses in the first-pass partition.
+    unsigned Pref = 0;
+    for (unsigned C = 1; C != NumClusters; ++C)
+      if (CI.PerCluster[C] > CI.PerCluster[Pref])
+        Pref = C;
+    unsigned Chosen = Pref;
+    if (static_cast<double>(ClusterBytes[Pref] + CI.Bytes) > Cap) {
+      // Threshold reached: force into the lightest memory instead.
+      for (unsigned C = 0; C != NumClusters; ++C)
+        if (ClusterBytes[C] < ClusterBytes[Chosen])
+          Chosen = C;
+    }
+    for (int Obj : Classes[CI.Index])
+      R.Placement.setHome(static_cast<unsigned>(Obj),
+                          static_cast<int>(Chosen));
+    ClusterBytes[Chosen] += CI.Bytes;
+  }
+
+  // Second detailed run, cognizant of the placement.
+  LockMap Locks = buildLockMap(P, R.Placement, PP.Prof);
+  R.Assignment = runRHOP(P, PP.Prof, MM, &Locks, Opt.RhopOpt);
+  R.RHOPRuns = 2;
+  R.PartitionSeconds = secondsSince(Start);
+  return R;
+}
+
+PipelineResult runNaiveStrategy(const PreparedProgram &PP,
+                                const PipelineOptions &Opt,
+                                const MachineModel &MM) {
+  PipelineResult R;
+  auto Start = Clock::now();
+  const Program &P = *PP.P;
+  unsigned NumClusters = MM.getNumClusters();
+
+  // Data-incognizant partitioning (unified-memory assumption).
+  R.Assignment = runRHOP(P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  R.RHOPRuns = 1;
+
+  // Postpass object placement: each object to the cluster with the most
+  // dynamic accesses (no balance consideration, paper §2).
+  auto Counts = objectAccessByCluster(P, PP.Prof, R.Assignment, NumClusters);
+  R.Placement = DataPlacement(P.getNumObjects());
+  for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj) {
+    unsigned Best = 0;
+    for (unsigned C = 1; C != NumClusters; ++C)
+      if (Counts[Obj][C] > Counts[Obj][Best])
+        Best = C;
+    R.Placement.setHome(Obj, static_cast<int>(Best));
+  }
+
+  // Reassign memory operations to the home of their data; the scheduler
+  // materializes the transfer moves this forces.
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
+    const Function &Fn = P.getFunction(F);
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Op : BB->operations()) {
+        int Home = -1;
+        if (Op->isMemoryAccess())
+          Home = R.Placement.homeOfOp(*Op, F, PP.Prof);
+        else if (Op->getOpcode() == Opcode::Malloc)
+          Home = R.Placement.getHome(
+              static_cast<unsigned>(Op->getMallocSite()));
+        if (Home >= 0)
+          R.Assignment.set(F, static_cast<unsigned>(Op->getId()), Home);
+      }
+  }
+  R.PartitionSeconds = secondsSince(Start);
+  return R;
+}
+
+PipelineResult runUnifiedStrategy(const PreparedProgram &PP,
+                                  const PipelineOptions &Opt,
+                                  const MachineModel &MM) {
+  PipelineResult R;
+  auto Start = Clock::now();
+  R.Assignment = runRHOP(*PP.P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  R.RHOPRuns = 1;
+  R.Placement = DataPlacement(PP.P->getNumObjects()); // All unplaced.
+  R.PartitionSeconds = secondsSince(Start);
+  return R;
+}
+
+} // namespace
+
+PipelineResult gdp::runStrategy(const PreparedProgram &PP,
+                                const PipelineOptions &Opt) {
+  assert(PP.Ok && "prepareProgram() must succeed first");
+  MachineModel MM = machineFor(Opt);
+
+  PipelineResult R;
+  switch (Opt.Strategy) {
+  case StrategyKind::GDP:
+    R = runGDPStrategy(PP, Opt, MM);
+    break;
+  case StrategyKind::ProfileMax:
+    R = runProfileMaxStrategy(PP, Opt, MM);
+    break;
+  case StrategyKind::Naive:
+    R = runNaiveStrategy(PP, Opt, MM);
+    break;
+  case StrategyKind::Unified:
+    R = runUnifiedStrategy(PP, Opt, MM);
+    break;
+  }
+
+  ProgramSchedule PS = scheduleProgram(*PP.P, PP.Prof, MM, R.Assignment);
+  R.Cycles = PS.TotalCycles;
+  R.DynamicMoves = PS.DynamicMoves;
+  R.StaticMoves = PS.StaticMoves;
+  return R;
+}

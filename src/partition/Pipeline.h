@@ -1,0 +1,98 @@
+//===- partition/Pipeline.h - End-to-end partitioning pipeline --*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level public API: prepare a program (verify, run points-to
+/// annotation, profile it) and evaluate one of the paper's four
+/// object/computation partitioning strategies on it (Table 1):
+///
+///   GDP        — global data partitioning, then RHOP with locked memory ops
+///   ProfileMax — RHOP assuming unified memory, greedy object assignment by
+///                dynamic access frequency, then a second locked RHOP run
+///   Naive      — RHOP assuming unified memory; objects placed by majority
+///                access; required moves inserted as a postpass
+///   Unified    — single multiported memory (upper-bound configuration)
+///
+/// Every strategy reports total cycles (schedule length × block frequency),
+/// dynamic/static intercluster move counts, the data placement, and how
+/// long partitioning took (the §4.5 compile-time comparison).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PARTITION_PIPELINE_H
+#define GDP_PARTITION_PIPELINE_H
+
+#include "machine/MachineModel.h"
+#include "partition/GlobalDataPartitioner.h"
+#include "partition/RHOP.h"
+#include "profile/ProfileData.h"
+#include "sched/ClusterAssignment.h"
+
+#include <string>
+
+namespace gdp {
+
+/// The four evaluated strategies (paper Table 1).
+enum class StrategyKind {
+  GDP,
+  ProfileMax,
+  Naive,
+  Unified,
+};
+
+/// Human-readable strategy name.
+const char *strategyName(StrategyKind K);
+
+/// Options controlling one pipeline evaluation.
+struct PipelineOptions {
+  StrategyKind Strategy = StrategyKind::GDP;
+  unsigned NumClusters = 2;
+  unsigned MoveLatency = 5; ///< Paper default (§4.1).
+  GDPOptions DataOpt;
+  RHOPOptions RhopOpt;
+  /// ProfileMax: objects spill to other clusters once the preferred
+  /// memory exceeds (1 + tolerance) × ideal bytes (paper §4.1: "a memory
+  /// balance is kept by forcing objects to be placed in other clusters
+  /// when the preferred memory reaches a certain threshold").
+  double ProfileMaxBalanceTolerance = 0.125;
+  /// Optional fully custom machine (overrides NumClusters/MoveLatency).
+  const MachineModel *Machine = nullptr;
+};
+
+/// A verified, annotated and profiled program ready for partitioning.
+struct PreparedProgram {
+  Program *P = nullptr;
+  ProfileData Prof;
+  bool Ok = false;
+  std::string Error; ///< Verifier/points-to/interpreter failure, if any.
+};
+
+/// Verifies \p P, annotates memory access sets (points-to), interprets the
+/// program to collect the profile, and applies the profiled heap sizes.
+PreparedProgram prepareProgram(Program &P, uint64_t MaxSteps = 200000000ULL);
+
+/// Result of evaluating one strategy.
+struct PipelineResult {
+  uint64_t Cycles = 0;
+  uint64_t DynamicMoves = 0;
+  uint64_t StaticMoves = 0;
+  DataPlacement Placement; ///< All homes -1 under Unified.
+  ClusterAssignment Assignment;
+  double PartitionSeconds = 0; ///< Wall-clock spent partitioning.
+  unsigned RHOPRuns = 0;       ///< Detailed-partitioner runs (§4.5).
+};
+
+/// Evaluates one strategy on a prepared program.
+PipelineResult runStrategy(const PreparedProgram &PP,
+                           const PipelineOptions &Opt);
+
+/// Builds the machine the options describe (partitioned memory except for
+/// the Unified strategy).
+MachineModel machineFor(const PipelineOptions &Opt);
+
+} // namespace gdp
+
+#endif // GDP_PARTITION_PIPELINE_H

@@ -1,0 +1,360 @@
+//===- partition/RHOP.cpp - Region-level operation partitioning -------------===//
+
+#include "partition/RHOP.h"
+
+#include "analysis/CFG.h"
+#include "analysis/DefUse.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/OpIndex.h"
+#include "machine/MachineModel.h"
+#include "profile/ProfileData.h"
+#include "sched/BlockDFG.h"
+#include "sched/Estimator.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace gdp;
+
+namespace {
+
+/// Multilevel partitioner for one region.
+class RegionPartitioner {
+public:
+  RegionPartitioner(const BlockDFG &DFG, const MachineModel &MM,
+                    const std::vector<int> *Locks, std::vector<int> &Assign,
+                    const RHOPOptions &Opt, Random &RNG)
+      : DFG(DFG), MM(MM), Est(DFG, MM), Locks(Locks), Assign(Assign),
+        Opt(Opt), RNG(RNG) {}
+
+  void run();
+
+private:
+  /// Lock cluster of a local op, or -1.
+  int lockOf(unsigned Local) const {
+    if (!Locks)
+      return -1;
+    return (*Locks)[static_cast<unsigned>(DFG.getOp(Local).getId())];
+  }
+
+  void computeSlackWeights();
+  void coarsen();
+  void refineLevel(const std::vector<std::vector<unsigned>> &Members,
+                   const std::vector<int> &GroupLock);
+
+  const BlockDFG &DFG;
+  const MachineModel &MM;
+  ScheduleEstimator Est;
+  const std::vector<int> *Locks;
+  std::vector<int> &Assign; ///< Function-wide op-id → cluster table.
+  const RHOPOptions &Opt;
+  Random &RNG;
+
+  /// Slack-derived weight per DFG edge index (data edges only; 0 others).
+  std::vector<uint64_t> EdgeWeight;
+  /// GroupOf[level][local op] — group ids at each coarsening level.
+  std::vector<std::vector<unsigned>> GroupOfLevel;
+  std::vector<unsigned> NumGroupsAt;
+};
+
+void RegionPartitioner::computeSlackWeights() {
+  unsigned N = DFG.size();
+  auto Lat = [&](unsigned I) {
+    return MM.getLatency(DFG.getOp(I).getOpcode());
+  };
+  auto Delay = [&](const BlockDFG::Edge &E) -> unsigned {
+    switch (E.Kind) {
+    case BlockDFG::EdgeKind::Data:
+      return Lat(E.From);
+    case BlockDFG::EdgeKind::Mem:
+      return 1;
+    case BlockDFG::EdgeKind::Order:
+      return 0;
+    }
+    return 0;
+  };
+
+  // ASAP (program order is topological).
+  std::vector<unsigned> ASAP(N, 0);
+  unsigned Len = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    for (unsigned E : DFG.preds(I)) {
+      const auto &Edge = DFG.edges()[E];
+      ASAP[I] = std::max(ASAP[I], ASAP[Edge.From] + Delay(Edge));
+    }
+    Len = std::max(Len, ASAP[I] + std::max(1u, Lat(I)));
+  }
+  // ALAP.
+  std::vector<unsigned> ALAP(N, Len);
+  for (unsigned I = N; I-- > 0;) {
+    ALAP[I] = Len - std::max(1u, Lat(I));
+    for (unsigned E : DFG.succs(I)) {
+      const auto &Edge = DFG.edges()[E];
+      unsigned Bound = ALAP[Edge.To] >= Delay(Edge)
+                           ? ALAP[Edge.To] - Delay(Edge)
+                           : 0;
+      ALAP[I] = std::min(ALAP[I], Bound);
+    }
+  }
+
+  // Edge weight: (maxSlack + 1 - slack) for data edges, so slack-0 edges
+  // coarsen first (paper §3.4: low slack ⇒ high weight ⇒ critical).
+  EdgeWeight.assign(DFG.edges().size(), 0);
+  unsigned MaxSlack = 0;
+  std::vector<unsigned> Slack(DFG.edges().size(), 0);
+  for (unsigned E = 0; E != DFG.edges().size(); ++E) {
+    const auto &Edge = DFG.edges()[E];
+    if (Edge.Kind != BlockDFG::EdgeKind::Data)
+      continue;
+    unsigned S = ALAP[Edge.To] - std::min(ALAP[Edge.To],
+                                          ASAP[Edge.From] + Delay(Edge));
+    Slack[E] = S;
+    MaxSlack = std::max(MaxSlack, S);
+  }
+  for (unsigned E = 0; E != DFG.edges().size(); ++E)
+    if (DFG.edges()[E].Kind == BlockDFG::EdgeKind::Data)
+      EdgeWeight[E] = MaxSlack + 1 - Slack[E];
+}
+
+void RegionPartitioner::coarsen() {
+  unsigned N = DFG.size();
+  GroupOfLevel.clear();
+  NumGroupsAt.clear();
+
+  // Level 0: singletons.
+  std::vector<unsigned> Current(N);
+  for (unsigned I = 0; I != N; ++I)
+    Current[I] = I;
+  unsigned NumGroups = N;
+  GroupOfLevel.push_back(Current);
+  NumGroupsAt.push_back(NumGroups);
+
+  unsigned Target =
+      std::max(Opt.MinGroups, 2 * MM.getNumClusters());
+
+  while (NumGroups > Target) {
+    // Aggregate inter-group edge weights at the current level.
+    std::map<std::pair<unsigned, unsigned>, uint64_t> GroupEdges;
+    for (unsigned E = 0; E != DFG.edges().size(); ++E) {
+      if (EdgeWeight[E] == 0)
+        continue;
+      unsigned A = Current[DFG.edges()[E].From];
+      unsigned B = Current[DFG.edges()[E].To];
+      if (A == B)
+        continue;
+      if (A > B)
+        std::swap(A, B);
+      GroupEdges[{A, B}] += EdgeWeight[E];
+    }
+    if (GroupEdges.empty())
+      break;
+
+    // Group locks at this level (-1 free; ≥0 pinned; merging two groups
+    // pinned to different clusters is forbidden).
+    std::vector<int> GroupLock(NumGroups, -1);
+    for (unsigned I = 0; I != N; ++I) {
+      int L = lockOf(I);
+      if (L < 0)
+        continue;
+      assert((GroupLock[Current[I]] < 0 || GroupLock[Current[I]] == L) &&
+             "conflicting locks fused during coarsening");
+      GroupLock[Current[I]] = L;
+    }
+
+    // Heaviest-edge matching: each group merged at most once per stage.
+    std::vector<std::pair<uint64_t, std::pair<unsigned, unsigned>>> Sorted;
+    Sorted.reserve(GroupEdges.size());
+    for (const auto &[Key, W] : GroupEdges)
+      Sorted.push_back({W, Key});
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &A, const auto &B) {
+                if (A.first != B.first)
+                  return A.first > B.first;
+                return A.second < B.second;
+              });
+
+    std::vector<int> MergeInto(NumGroups, -1);
+    std::vector<bool> Matched(NumGroups, false);
+    unsigned NumMerges = 0;
+    for (const auto &[W, Pair] : Sorted) {
+      auto [A, B] = Pair;
+      if (Matched[A] || Matched[B])
+        continue;
+      if (GroupLock[A] >= 0 && GroupLock[B] >= 0 &&
+          GroupLock[A] != GroupLock[B])
+        continue;
+      if (NumGroups - NumMerges <= Target)
+        break;
+      Matched[A] = Matched[B] = true;
+      MergeInto[B] = static_cast<int>(A);
+      ++NumMerges;
+    }
+    if (NumMerges == 0)
+      break;
+
+    // Renumber into the next level.
+    std::vector<int> NewId(NumGroups, -1);
+    unsigned Next = 0;
+    for (unsigned G = 0; G != NumGroups; ++G) {
+      if (MergeInto[G] >= 0)
+        continue;
+      NewId[G] = static_cast<int>(Next++);
+    }
+    for (unsigned G = 0; G != NumGroups; ++G)
+      if (MergeInto[G] >= 0)
+        NewId[G] = NewId[static_cast<unsigned>(MergeInto[G])];
+
+    for (unsigned I = 0; I != N; ++I)
+      Current[I] = static_cast<unsigned>(NewId[Current[I]]);
+    NumGroups = Next;
+    GroupOfLevel.push_back(Current);
+    NumGroupsAt.push_back(NumGroups);
+  }
+}
+
+void RegionPartitioner::refineLevel(
+    const std::vector<std::vector<unsigned>> &Members,
+    const std::vector<int> &GroupLock) {
+  unsigned NumClusters = MM.getNumClusters();
+  unsigned NumGroups = static_cast<unsigned>(Members.size());
+
+  auto OpId = [&](unsigned Local) {
+    return static_cast<unsigned>(DFG.getOp(Local).getId());
+  };
+  auto SetGroup = [&](unsigned G, int Cluster) {
+    for (unsigned Local : Members[G])
+      Assign[OpId(Local)] = Cluster;
+  };
+  auto OpBalance = [&]() {
+    // Max ops on any one cluster — the tie-break metric.
+    std::vector<unsigned> Count(NumClusters, 0);
+    for (unsigned I = 0; I != DFG.size(); ++I)
+      ++Count[static_cast<unsigned>(Assign[OpId(I)])];
+    return *std::max_element(Count.begin(), Count.end());
+  };
+
+  for (unsigned Pass = 0; Pass != Opt.MaxRefinePasses; ++Pass) {
+    bool Moved = false;
+    // Deterministically shuffled visit order.
+    std::vector<unsigned> Order(NumGroups);
+    for (unsigned G = 0; G != NumGroups; ++G)
+      Order[G] = G;
+    for (unsigned I = NumGroups; I > 1; --I)
+      std::swap(Order[I - 1], Order[RNG.nextBelow(I)]);
+
+    for (unsigned G : Order) {
+      if (GroupLock[G] >= 0 || Members[G].empty())
+        continue;
+      int Cur = Assign[OpId(Members[G][0])];
+      // Lexicographic objective: estimated schedule length, then
+      // intercluster transfer count (moves the estimate hides still cost
+      // real bandwidth and energy), then operation balance.
+      auto Score = [&]() {
+        return std::make_tuple(Est.estimate(Assign),
+                               Est.countMoves(Assign), OpBalance());
+      };
+      auto CurScore = Score();
+      int Best = Cur;
+      auto BestScore = CurScore;
+      for (unsigned C = 0; C != NumClusters; ++C) {
+        if (static_cast<int>(C) == Cur)
+          continue;
+        SetGroup(G, static_cast<int>(C));
+        auto S = Score();
+        if (S < BestScore) {
+          Best = static_cast<int>(C);
+          BestScore = S;
+        }
+      }
+      SetGroup(G, Best);
+      Moved |= Best != Cur;
+    }
+    if (!Moved)
+      break;
+  }
+}
+
+void RegionPartitioner::run() {
+  unsigned N = DFG.size();
+  if (N == 0)
+    return;
+
+  // Apply locks up front; locked operations never move.
+  for (unsigned I = 0; I != N; ++I) {
+    int L = lockOf(I);
+    if (L >= 0)
+      Assign[static_cast<unsigned>(DFG.getOp(I).getId())] = L;
+  }
+  if (MM.getNumClusters() == 1)
+    return;
+
+  computeSlackWeights();
+  coarsen();
+
+  // Uncoarsen from the top, refining at every level.
+  for (size_t Level = GroupOfLevel.size(); Level-- > 0;) {
+    const auto &GroupOf = GroupOfLevel[Level];
+    unsigned NumGroups = NumGroupsAt[Level];
+    std::vector<std::vector<unsigned>> Members(NumGroups);
+    std::vector<int> GroupLock(NumGroups, -1);
+    for (unsigned I = 0; I != N; ++I) {
+      Members[GroupOf[I]].push_back(I);
+      int L = lockOf(I);
+      if (L >= 0)
+        GroupLock[GroupOf[I]] = L;
+    }
+    // Groups must start internally consistent: align every member with
+    // the group's representative (locks win).
+    for (unsigned G = 0; G != NumGroups; ++G) {
+      if (Members[G].empty())
+        continue;
+      int Cluster = GroupLock[G] >= 0
+                        ? GroupLock[G]
+                        : Assign[static_cast<unsigned>(
+                              DFG.getOp(Members[G][0]).getId())];
+      for (unsigned Local : Members[G]) {
+        unsigned Id = static_cast<unsigned>(DFG.getOp(Local).getId());
+        if (lockOf(Local) < 0)
+          Assign[Id] = Cluster;
+      }
+    }
+    refineLevel(Members, GroupLock);
+  }
+}
+
+} // namespace
+
+ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
+                               const MachineModel &MM, const LockMap *Locks,
+                               const RHOPOptions &Opt) {
+  (void)Prof; // Frequencies shape the program-level pass; regions are
+              // independent here (each block optimized on its own).
+  ClusterAssignment CA(P);
+  Random RNG(Opt.Seed);
+
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
+    const Function &Fn = P.getFunction(F);
+    OpIndex OI(Fn);
+    DefUse DU(Fn);
+    CFG Cfg(Fn);
+    LoopInfo LI(Fn, Cfg);
+    const std::vector<int> *FuncLocks = Locks ? &(*Locks)[F] : nullptr;
+
+    // Prebuild region DFGs once; sweeps reuse them.
+    std::vector<BlockDFG> DFGs;
+    DFGs.reserve(Fn.getNumBlocks());
+    for (unsigned B = 0; B != Fn.getNumBlocks(); ++B)
+      DFGs.emplace_back(Fn, Fn.getBlock(B), DU, OI, &LI);
+
+    for (unsigned Pass = 0; Pass != std::max(1u, Opt.NumFunctionPasses);
+         ++Pass)
+      for (int B : Cfg.reversePostOrder()) {
+        RegionPartitioner RP(DFGs[static_cast<unsigned>(B)], MM, FuncLocks,
+                             CA.func(F), Opt, RNG);
+        RP.run();
+      }
+  }
+  return CA;
+}

@@ -1,0 +1,47 @@
+//===- profile/ProfileData.cpp - Profiling results --------------------------===//
+
+#include "profile/ProfileData.h"
+
+#include "ir/Program.h"
+
+using namespace gdp;
+
+ProfileData::ProfileData(const Program &P) {
+  BlockFreq.resize(P.getNumFunctions());
+  AccessCounts.resize(P.getNumFunctions());
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
+    BlockFreq[F].assign(P.getFunction(F).getNumBlocks(), 0);
+    AccessCounts[F].resize(P.getFunction(F).getNumOpIds());
+  }
+  HeapBytes.assign(P.getNumObjects(), 0);
+  HeapAllocs.assign(P.getNumObjects(), 0);
+}
+
+uint64_t ProfileData::getAccessCount(unsigned FunctionId, unsigned OpId,
+                                     int ObjectId) const {
+  const auto &Map = AccessCounts[FunctionId][OpId];
+  auto It = Map.find(ObjectId);
+  return It == Map.end() ? 0 : It->second;
+}
+
+void ProfileData::addAccess(unsigned FunctionId, unsigned OpId, int ObjectId,
+                            uint64_t N) {
+  AccessCounts[FunctionId][OpId][ObjectId] += N;
+}
+
+uint64_t ProfileData::getObjectAccessTotal(int ObjectId) const {
+  uint64_t Total = 0;
+  for (const auto &PerFunc : AccessCounts)
+    for (const auto &Map : PerFunc) {
+      auto It = Map.find(ObjectId);
+      if (It != Map.end())
+        Total += It->second;
+    }
+  return Total;
+}
+
+void ProfileData::applyHeapSizes(Program &P) const {
+  for (unsigned I = 0; I != P.getNumObjects(); ++I)
+    if (P.getObject(I).isHeapSite())
+      P.getObject(I).setProfiledBytes(HeapBytes[I]);
+}

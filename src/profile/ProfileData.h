@@ -1,0 +1,88 @@
+//===- profile/ProfileData.h - Profiling results ----------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile information the partitioners consume (paper §3.2): basic
+/// block execution frequencies, per-operation dynamic data-object access
+/// counts, and the bytes allocated by each static malloc() call site.
+/// Produced by the Interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PROFILE_PROFILEDATA_H
+#define GDP_PROFILE_PROFILEDATA_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gdp {
+
+class Program;
+
+/// Profile counters for one program run (or the sum of several runs).
+class ProfileData {
+public:
+  ProfileData() = default;
+  /// Sizes all tables for \p P with zero counts.
+  explicit ProfileData(const Program &P);
+
+  /// Execution count of block \p BlockId of function \p FunctionId.
+  uint64_t getBlockFreq(unsigned FunctionId, unsigned BlockId) const {
+    return BlockFreq[FunctionId][BlockId];
+  }
+  void addBlockFreq(unsigned FunctionId, unsigned BlockId, uint64_t N = 1) {
+    BlockFreq[FunctionId][BlockId] += N;
+  }
+
+  /// Dynamic count of operation (\p FunctionId, \p OpId) touching object
+  /// \p ObjectId.
+  uint64_t getAccessCount(unsigned FunctionId, unsigned OpId,
+                          int ObjectId) const;
+  void addAccess(unsigned FunctionId, unsigned OpId, int ObjectId,
+                 uint64_t N = 1);
+
+  /// All (object, count) pairs for one operation, sorted by object id.
+  const std::map<int, uint64_t> &getAccessMap(unsigned FunctionId,
+                                              unsigned OpId) const {
+    return AccessCounts[FunctionId][OpId];
+  }
+
+  /// Total dynamic accesses (loads + stores) of \p ObjectId program-wide.
+  uint64_t getObjectAccessTotal(int ObjectId) const;
+
+  /// Bytes allocated by malloc call site \p SiteObjectId over the run.
+  uint64_t getHeapBytes(int SiteObjectId) const {
+    return HeapBytes[static_cast<unsigned>(SiteObjectId)];
+  }
+  void addHeapBytes(int SiteObjectId, uint64_t Bytes) {
+    HeapBytes[static_cast<unsigned>(SiteObjectId)] += Bytes;
+  }
+
+  /// Number of allocations performed at site \p SiteObjectId.
+  uint64_t getHeapAllocs(int SiteObjectId) const {
+    return HeapAllocs[static_cast<unsigned>(SiteObjectId)];
+  }
+  void addHeapAlloc(int SiteObjectId) {
+    ++HeapAllocs[static_cast<unsigned>(SiteObjectId)];
+  }
+
+  /// Writes the profiled heap sizes into \p P's heap-site data objects so
+  /// the data partitioner can balance them (paper §3.2: "a profile is used
+  /// to determine the amount of data allocated in the heap for each
+  /// malloc() call").
+  void applyHeapSizes(Program &P) const;
+
+private:
+  std::vector<std::vector<uint64_t>> BlockFreq;
+  std::vector<std::vector<std::map<int, uint64_t>>> AccessCounts;
+  std::vector<uint64_t> HeapBytes;
+  std::vector<uint64_t> HeapAllocs;
+};
+
+} // namespace gdp
+
+#endif // GDP_PROFILE_PROFILEDATA_H

@@ -1,0 +1,54 @@
+//===- sched/ClusterAssignment.h - Operation→cluster map --------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product of computation partitioning: a cluster id for every
+/// operation of every function. Consumed by the scheduler; produced by the
+/// RHOP partitioner (or by test fixtures directly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SCHED_CLUSTERASSIGNMENT_H
+#define GDP_SCHED_CLUSTERASSIGNMENT_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace gdp {
+
+/// Per-operation cluster assignment for a whole program.
+class ClusterAssignment {
+public:
+  ClusterAssignment() = default;
+
+  /// Sizes the table for \p P, assigning every operation to cluster 0.
+  explicit ClusterAssignment(const Program &P) {
+    PerFunc.resize(P.getNumFunctions());
+    for (unsigned F = 0; F != P.getNumFunctions(); ++F)
+      PerFunc[F].assign(P.getFunction(F).getNumOpIds(), 0);
+  }
+
+  int get(unsigned FunctionId, unsigned OpId) const {
+    return PerFunc[FunctionId][OpId];
+  }
+  void set(unsigned FunctionId, unsigned OpId, int Cluster) {
+    PerFunc[FunctionId][OpId] = Cluster;
+  }
+
+  /// Whole per-function table (indexed by operation id).
+  std::vector<int> &func(unsigned FunctionId) { return PerFunc[FunctionId]; }
+  const std::vector<int> &func(unsigned FunctionId) const {
+    return PerFunc[FunctionId];
+  }
+
+private:
+  std::vector<std::vector<int>> PerFunc;
+};
+
+} // namespace gdp
+
+#endif // GDP_SCHED_CLUSTERASSIGNMENT_H

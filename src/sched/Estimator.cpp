@@ -1,0 +1,116 @@
+//===- sched/Estimator.cpp - Schedule-length estimation ---------------------===//
+
+#include "sched/Estimator.h"
+
+#include "ir/Operation.h"
+#include "machine/MachineModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace gdp;
+
+ScheduleEstimator::ScheduleEstimator(const BlockDFG &DFG,
+                                     const MachineModel &MM)
+    : DFG(DFG), MM(MM) {
+  Latency.resize(DFG.size());
+  for (unsigned I = 0; I != DFG.size(); ++I)
+    Latency[I] = MM.getLatency(DFG.getOp(I).getOpcode());
+}
+
+unsigned
+ScheduleEstimator::countMoves(const std::vector<int> &ClusterOfOp) const {
+  auto ClusterOf = [&](unsigned Local) {
+    return ClusterOfOp[static_cast<unsigned>(DFG.getOp(Local).getId())];
+  };
+  std::set<std::pair<int, int>> Transfers; // (producer key, dest cluster)
+  for (const auto &Edge : DFG.edges()) {
+    if (Edge.Kind != BlockDFG::EdgeKind::Data)
+      continue;
+    int CF = ClusterOf(Edge.From), CT = ClusterOf(Edge.To);
+    if (CF != CT)
+      Transfers.insert({static_cast<int>(Edge.From), CT});
+  }
+  for (const auto &LI : DFG.liveIns()) {
+    if (LI.DefOpId < 0 || LI.Hoistable)
+      continue; // Hoisted transfers are paid per loop entry, not here.
+    int DefCluster = ClusterOfOp[static_cast<unsigned>(LI.DefOpId)];
+    int UserCluster = ClusterOf(LI.LocalUser);
+    if (DefCluster != UserCluster)
+      // Negative keys distinguish external producers from local ones.
+      Transfers.insert({-(LI.DefOpId + 2), UserCluster});
+  }
+  return static_cast<unsigned>(Transfers.size());
+}
+
+unsigned
+ScheduleEstimator::estimate(const std::vector<int> &ClusterOfOp) const {
+  unsigned N = DFG.size();
+  if (N == 0)
+    return 0;
+  auto ClusterOf = [&](unsigned Local) {
+    int C = ClusterOfOp[static_cast<unsigned>(DFG.getOp(Local).getId())];
+    assert(C >= 0 && "estimator needs a complete assignment");
+    return static_cast<unsigned>(C);
+  };
+
+  // --- Resource bound.
+  unsigned NumClusters = MM.getNumClusters();
+  std::vector<std::vector<unsigned>> KindCount(NumClusters,
+                                               std::vector<unsigned>(4, 0));
+  for (unsigned I = 0; I != N; ++I)
+    ++KindCount[ClusterOf(I)][static_cast<unsigned>(DFG.getOp(I).getFUKind())];
+  unsigned ResourceBound = 0;
+  for (unsigned C = 0; C != NumClusters; ++C)
+    for (unsigned K = 0; K != 4; ++K) {
+      unsigned Units = MM.getFUCount(C, static_cast<FUKind>(K));
+      if (KindCount[C][K] == 0)
+        continue;
+      assert(Units > 0 && "operations assigned to cluster without units");
+      ResourceBound =
+          std::max(ResourceBound, (KindCount[C][K] + Units - 1) / Units);
+    }
+
+  // --- Interconnect bound.
+  unsigned Moves = countMoves(ClusterOfOp);
+  unsigned BW = std::max(1u, MM.getMoveBandwidth());
+  unsigned BusBound = (Moves + BW - 1) / BW;
+
+  // --- Critical path. Program order is a topological order (all region
+  // edges point forward).
+  unsigned MoveLat = MM.getMoveLatency();
+  std::vector<unsigned> Start(N, 0);
+  for (const auto &LI : DFG.liveIns()) {
+    if (LI.DefOpId < 0 || LI.Hoistable)
+      continue; // Hoisted values are already local at block entry.
+    if (static_cast<unsigned>(
+            ClusterOfOp[static_cast<unsigned>(LI.DefOpId)]) !=
+        ClusterOf(LI.LocalUser))
+      Start[LI.LocalUser] = std::max(Start[LI.LocalUser], MoveLat);
+  }
+  unsigned CP = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    for (unsigned E : DFG.succs(I)) {
+      const BlockDFG::Edge &Edge = DFG.edges()[E];
+      unsigned Delay;
+      switch (Edge.Kind) {
+      case BlockDFG::EdgeKind::Data:
+        Delay = Latency[I];
+        if (ClusterOf(Edge.From) != ClusterOf(Edge.To))
+          Delay += MoveLat;
+        break;
+      case BlockDFG::EdgeKind::Mem:
+        Delay = 1;
+        break;
+      case BlockDFG::EdgeKind::Order:
+        Delay = 0;
+        break;
+      }
+      Start[Edge.To] = std::max(Start[Edge.To], Start[I] + Delay);
+    }
+    CP = std::max(CP, Start[I] + std::max(1u, Latency[I]));
+  }
+
+  return std::max({ResourceBound, BusBound, CP});
+}

@@ -1,0 +1,58 @@
+//===- sched/Estimator.h - Schedule-length estimation -----------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast schedule-length estimator for one region under a candidate
+/// cluster assignment. This is the cost model RHOP refines against (paper
+/// §3.4: "schedule estimates ... without requiring the need to actually
+/// schedule the code"): the maximum of
+///
+///  * the resource bound — ops of each FU kind per cluster over the unit
+///    count;
+///  * the interconnect bound — distinct intercluster transfers over the
+///    bus bandwidth;
+///  * the critical path, with the move latency added to every cross-
+///    cluster data edge and cross-cluster live-in.
+///
+/// It is a lower bound on (and in practice tracks) what the list scheduler
+/// produces, and is cheap enough to evaluate once per candidate move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SCHED_ESTIMATOR_H
+#define GDP_SCHED_ESTIMATOR_H
+
+#include "sched/BlockDFG.h"
+
+#include <vector>
+
+namespace gdp {
+
+class MachineModel;
+
+/// Schedule-length estimator for one region.
+class ScheduleEstimator {
+public:
+  ScheduleEstimator(const BlockDFG &DFG, const MachineModel &MM);
+
+  /// Estimated schedule length of the region when operations are placed
+  /// according to \p ClusterOfOp (indexed by operation id).
+  unsigned estimate(const std::vector<int> &ClusterOfOp) const;
+
+  /// Number of distinct intercluster transfers the region needs under
+  /// \p ClusterOfOp (the bus-bound numerator; also the region's static
+  /// move count).
+  unsigned countMoves(const std::vector<int> &ClusterOfOp) const;
+
+private:
+  const BlockDFG &DFG;
+  const MachineModel &MM;
+  std::vector<unsigned> Latency; // per local op
+};
+
+} // namespace gdp
+
+#endif // GDP_SCHED_ESTIMATOR_H

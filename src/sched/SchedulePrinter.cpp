@@ -1,0 +1,60 @@
+//===- sched/SchedulePrinter.cpp - Cycle-by-cycle schedule dumps -------------===//
+
+#include "sched/SchedulePrinter.h"
+
+#include "ir/IRPrinter.h"
+#include "machine/MachineModel.h"
+#include "sched/BlockDFG.h"
+#include "sched/ListScheduler.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+
+using namespace gdp;
+
+std::string gdp::printBlockSchedule(const BlockDFG &DFG,
+                                    const BlockSchedule &BS,
+                                    const MachineModel &MM,
+                                    const std::vector<int> &ClusterOfOp) {
+  unsigned NumClusters = MM.getNumClusters();
+  unsigned Cycles = BS.Length;
+  // Per-cycle, per-cluster cell contents.
+  std::vector<std::vector<std::string>> Cells(
+      Cycles, std::vector<std::string>(NumClusters));
+  for (unsigned Local = 0; Local != DFG.size(); ++Local) {
+    const Operation &Op = DFG.getOp(Local);
+    unsigned Cycle = BS.IssueCycle[Local];
+    unsigned Cluster = static_cast<unsigned>(
+        ClusterOfOp[static_cast<unsigned>(Op.getId())]);
+    if (Cycle >= Cycles || Cluster >= NumClusters)
+      continue;
+    std::string &Cell = Cells[Cycle][Cluster];
+    if (!Cell.empty())
+      Cell += " | ";
+    // Mnemonic + destination keeps rows compact.
+    Cell += opcodeName(Op.getOpcode());
+    if (Op.hasDest())
+      Cell += formatStr(">r%d", Op.getDest());
+  }
+
+  std::vector<std::string> Header{"cycle"};
+  for (unsigned C = 0; C != NumClusters; ++C)
+    Header.push_back(formatStr("cluster %u", C));
+  TextTable Table(std::move(Header));
+  for (unsigned Cycle = 0; Cycle != Cycles; ++Cycle) {
+    bool Empty = true;
+    for (const std::string &Cell : Cells[Cycle])
+      Empty &= Cell.empty();
+    if (Empty)
+      continue; // Latency-only cycles are skipped for readability.
+    std::vector<std::string> Row{formatStr("%u", Cycle)};
+    for (std::string &Cell : Cells[Cycle])
+      Row.push_back(Cell.empty() ? "." : Cell);
+    Table.addRow(std::move(Row));
+  }
+  std::string Out = Table.render();
+  Out += formatStr("length %u cycles, %u intercluster moves"
+                   " (+%u hoisted to preheaders)\n",
+                   BS.Length, BS.NumMoves, BS.HoistedMoves);
+  return Out;
+}

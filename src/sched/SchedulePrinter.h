@@ -1,0 +1,37 @@
+//===- sched/SchedulePrinter.h - Cycle-by-cycle schedule dumps --*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders one region's schedule as a VLIW-style reservation table: one row
+/// per cycle, one column per cluster (plus the interconnect), each cell the
+/// operations issued there. The `gdptool schedule` subcommand and debugging
+/// sessions use this to see exactly where the partitioner put things and
+/// which moves the scheduler materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SCHED_SCHEDULEPRINTER_H
+#define GDP_SCHED_SCHEDULEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+class BlockDFG;
+class MachineModel;
+struct BlockSchedule;
+
+/// Renders \p BS (produced by scheduleBlock over \p DFG with
+/// \p ClusterOfOp) as a per-cycle table.
+std::string printBlockSchedule(const BlockDFG &DFG,
+                               const BlockSchedule &BS,
+                               const MachineModel &MM,
+                               const std::vector<int> &ClusterOfOp);
+
+} // namespace gdp
+
+#endif // GDP_SCHED_SCHEDULEPRINTER_H

@@ -1,0 +1,56 @@
+//===- support/Histogram.cpp - Simple statistics accumulator --------------===//
+
+#include "support/Histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace gdp;
+
+void Stats::add(double X) {
+  if (Count == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++Count;
+  Sum += X;
+  if (X > 0)
+    LogSum += std::log(X);
+  else
+    AnyNonPositive = true;
+}
+
+double Stats::mean() const {
+  assert(Count > 0 && "mean of empty series");
+  return Sum / static_cast<double>(Count);
+}
+
+double Stats::geomean() const {
+  assert(Count > 0 && "geomean of empty series");
+  assert(!AnyNonPositive && "geomean requires positive samples");
+  return std::exp(LogSum / static_cast<double>(Count));
+}
+
+Histogram::Histogram(double LoIn, double HiIn, unsigned NumBuckets)
+    : Lo(LoIn), Hi(HiIn), Buckets(NumBuckets, 0) {
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+  assert(LoIn < HiIn && "histogram range must be nonempty");
+}
+
+void Histogram::add(double X) {
+  double Frac = (X - Lo) / (Hi - Lo);
+  long Index = static_cast<long>(Frac * numBuckets());
+  if (Index < 0)
+    Index = 0;
+  if (Index >= static_cast<long>(numBuckets()))
+    Index = numBuckets() - 1;
+  ++Buckets[static_cast<size_t>(Index)];
+  ++Total;
+}
+
+double Histogram::bucketLo(unsigned I) const {
+  assert(I < numBuckets() && "bucket index out of range");
+  return Lo + (Hi - Lo) * I / numBuckets();
+}

@@ -1,0 +1,68 @@
+//===- support/Histogram.h - Simple statistics accumulator -----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming statistics accumulator (count / mean / min / max / geomean)
+/// used by the benchmark harness to summarize per-benchmark series the way
+/// the paper reports averages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_HISTOGRAM_H
+#define GDP_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+/// Accumulates a series of double samples and reports summary statistics.
+class Stats {
+public:
+  /// Adds one sample.
+  void add(double X);
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double mean() const;
+  /// Geometric mean; all samples must have been positive.
+  double geomean() const;
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0;
+  double LogSum = 0;
+  bool AnyNonPositive = false;
+  double Min = 0;
+  double Max = 0;
+};
+
+/// Fixed-bucket histogram over [Lo, Hi) used by the exhaustive-search bench
+/// to characterize the distribution of partition qualities.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, unsigned NumBuckets);
+
+  /// Adds a sample; out-of-range samples clamp to the first/last bucket.
+  void add(double X);
+
+  unsigned numBuckets() const { return static_cast<unsigned>(Buckets.size()); }
+  uint64_t bucketCount(unsigned I) const { return Buckets[I]; }
+  /// Inclusive lower edge of bucket \p I.
+  double bucketLo(unsigned I) const;
+  uint64_t totalCount() const { return Total; }
+
+private:
+  double Lo, Hi;
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+} // namespace gdp
+
+#endif // GDP_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,64 @@
+//===- support/Random.cpp - Deterministic pseudo-random numbers ----------===//
+
+#include "support/Random.h"
+
+using namespace gdp;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void Random::reseed(uint64_t Seed) {
+  uint64_t X = Seed;
+  State[0] = splitmix64(X);
+  State[1] = splitmix64(X);
+  // A zero state would lock xorshift at zero forever.
+  if (State[0] == 0 && State[1] == 0)
+    State[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Random::next() {
+  uint64_t S1 = State[0];
+  const uint64_t S0 = State[1];
+  const uint64_t Result = S0 + S1;
+  State[0] = S0;
+  S1 ^= S1 << 23;
+  State[1] = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+  return Result;
+}
+
+uint64_t Random::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow() requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Random::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "nextInRange() requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Random::nextDouble() {
+  // 53 high-quality bits into the mantissa.
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}

@@ -1,0 +1,56 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic xorshift-based random number generator.
+///
+/// All randomized components of the library (initial-partition seeding,
+/// synthetic workload inputs, property-test data) use this generator so that
+/// results are reproducible across platforms and standard-library versions;
+/// std::mt19937 distributions are not bit-stable across implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_RANDOM_H
+#define GDP_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gdp {
+
+/// Deterministic xorshift128+ pseudo-random generator.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using splitmix64 so that nearby
+  /// seeds produce unrelated streams.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P = 0.5);
+
+private:
+  uint64_t State[2];
+};
+
+} // namespace gdp
+
+#endif // GDP_SUPPORT_RANDOM_H

@@ -1,0 +1,63 @@
+//===- support/UnionFind.cpp - Disjoint-set forest ------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <cassert>
+#include <map>
+
+using namespace gdp;
+
+void UnionFind::grow(unsigned N) {
+  unsigned Old = size();
+  if (N <= Old)
+    return;
+  Parent.resize(N);
+  Rank.resize(N, 0);
+  for (unsigned I = Old; I != N; ++I)
+    Parent[I] = I;
+}
+
+unsigned UnionFind::find(unsigned X) {
+  assert(X < size() && "id out of range");
+  unsigned Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    unsigned Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+unsigned UnionFind::merge(unsigned A, unsigned B) {
+  unsigned RA = find(A), RB = find(B);
+  if (RA == RB)
+    return RA;
+  if (Rank[RA] < Rank[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  if (Rank[RA] == Rank[RB])
+    ++Rank[RA];
+  return RA;
+}
+
+unsigned UnionFind::numSets() {
+  unsigned Count = 0;
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    if (find(I) == I)
+      ++Count;
+  return Count;
+}
+
+std::vector<std::vector<unsigned>> UnionFind::groups() {
+  std::map<unsigned, std::vector<unsigned>> ByRoot;
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    ByRoot[find(I)].push_back(I);
+  std::vector<std::vector<unsigned>> Result;
+  Result.reserve(ByRoot.size());
+  for (auto &Entry : ByRoot)
+    Result.push_back(std::move(Entry.second));
+  return Result;
+}

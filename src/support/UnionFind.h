@@ -1,0 +1,58 @@
+//===- support/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A union-find (disjoint set) structure over dense integer ids, used by the
+/// access-pattern merging phase of global data partitioning to merge memory
+/// operations and data objects into equivalence classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_UNIONFIND_H
+#define GDP_SUPPORT_UNIONFIND_H
+
+#include <cstddef>
+#include <vector>
+
+namespace gdp {
+
+/// Disjoint-set forest with union by rank and path compression.
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(unsigned N) { grow(N); }
+
+  /// Ensures ids [0, N) exist, each initially in its own singleton set.
+  void grow(unsigned N);
+
+  /// Number of ids tracked.
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Returns the canonical representative of \p X's set.
+  unsigned find(unsigned X);
+
+  /// Merges the sets containing \p A and \p B; returns the new
+  /// representative. Merging an element with itself is a no-op.
+  unsigned merge(unsigned A, unsigned B);
+
+  /// Returns true if \p A and \p B are currently in the same set.
+  bool connected(unsigned A, unsigned B) { return find(A) == find(B); }
+
+  /// Number of distinct sets among tracked ids.
+  unsigned numSets();
+
+  /// Groups all ids by representative. The outer vector is indexed densely;
+  /// each inner vector lists the members of one set in increasing id order.
+  std::vector<std::vector<unsigned>> groups();
+
+private:
+  std::vector<unsigned> Parent;
+  std::vector<unsigned> Rank;
+};
+
+} // namespace gdp
+
+#endif // GDP_SUPPORT_UNIONFIND_H

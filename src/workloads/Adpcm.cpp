@@ -1,0 +1,412 @@
+//===- workloads/Adpcm.cpp - ADPCM speech codecs -----------------------------===//
+//
+// IMA ADPCM encoder/decoder (Mediabench rawcaudio / rawdaudio) and a
+// G.721-style adaptive ADPCM pair. The IMA pair implements the classic
+// Intel/DVI reference algorithm with branch-free (select-based) quantization
+// so each sample is one large scheduling region — the shape VLIW compilers
+// see after if-conversion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+#include "workloads/Inputs.h"
+
+using namespace gdp;
+
+namespace {
+
+/// IMA ADPCM index adjustment table.
+const int64_t IndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                -1, -1, -1, -1, 2, 4, 6, 8};
+
+/// IMA ADPCM step size table (89 entries).
+const int64_t StepSizeTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr unsigned AdpcmSamples = 2048;
+constexpr unsigned AdpcmFrame = 512;
+
+std::vector<int64_t> tableVec(const int64_t *Data, unsigned N) {
+  return std::vector<int64_t>(Data, Data + N);
+}
+
+/// Emits one IMA quantization step: given registers (Val, ValPred, Index)
+/// and the table base addresses, computes (Delta, NewValPred, NewIndex).
+/// Everything is select-based (if-converted).
+struct ImaStep {
+  int Delta;
+  int ValPred;
+  int Index;
+};
+
+ImaStep emitImaEncodeStep(IRBuilder &B, int Val, int ValPred, int Index,
+                          int StepBase, int IdxBase) {
+  int Step = B.load(B.add(StepBase, Index));
+  int Diff = B.sub(Val, ValPred);
+  int Zero = B.movi(0);
+  int SignB = B.cmpLT(Diff, Zero);
+  Diff = B.abs(Diff);
+
+  int VpDiff = B.ashr(Step, B.movi(3));
+  int C2 = B.cmpGE(Diff, Step);
+  Diff = B.select(C2, B.sub(Diff, Step), Diff);
+  VpDiff = B.select(C2, B.add(VpDiff, Step), VpDiff);
+  int Step2 = B.ashr(Step, B.movi(1));
+  int C1 = B.cmpGE(Diff, Step2);
+  Diff = B.select(C1, B.sub(Diff, Step2), Diff);
+  VpDiff = B.select(C1, B.add(VpDiff, Step2), VpDiff);
+  int Step3 = B.ashr(Step2, B.movi(1));
+  int C0 = B.cmpGE(Diff, Step3);
+  VpDiff = B.select(C0, B.add(VpDiff, Step3), VpDiff);
+
+  ImaStep R;
+  R.ValPred = B.select(SignB, B.sub(ValPred, VpDiff), B.add(ValPred, VpDiff));
+  R.ValPred = B.max(R.ValPred, B.movi(-32768));
+  R.ValPred = B.min(R.ValPred, B.movi(32767));
+
+  int DeltaLo = B.or_(B.shl(C1, B.movi(1)), C0);
+  R.Delta = B.or_(B.or_(B.shl(SignB, B.movi(3)), B.shl(C2, B.movi(2))),
+                  DeltaLo);
+
+  int IdxAdj = B.load(B.add(IdxBase, R.Delta));
+  R.Index = B.add(Index, IdxAdj);
+  R.Index = B.max(R.Index, B.movi(0));
+  R.Index = B.min(R.Index, B.movi(88));
+  return R;
+}
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildRawCAudio() {
+  auto P = std::make_unique<Program>("rawcaudio");
+  int IdxTab = P->addGlobal("indexTable", 16, 1);
+  P->getObject(IdxTab).setInit(tableVec(IndexTable, 16));
+  int StepTab = P->addGlobal("stepsizeTable", 89, 2);
+  P->getObject(StepTab).setInit(tableVec(StepSizeTable, 89));
+  int PcmIn = P->addGlobal("pcmIn", AdpcmSamples, 2);
+  P->getObject(PcmIn).setInit(makeAudioInput(AdpcmSamples, 101));
+  int AdpcmOut = P->addGlobal("adpcmOut", AdpcmSamples, 1);
+  int State = P->addGlobal("coderState", 2, 2);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Coder = P->makeFunction("adpcm_coder", 1); // (frameStart)
+
+  // --- adpcm_coder(start): encode one frame, carrying state in memory.
+  {
+    IRBuilder B(Coder);
+    B.setInsertPoint(Coder->makeBlock("entry"));
+    int Start = 0; // Parameter register.
+    int InBase = B.addrOf(PcmIn);
+    int OutBase = B.addrOf(AdpcmOut);
+    int StepBase = B.addrOf(StepTab);
+    int IdxBase = B.addrOf(IdxTab);
+    int StBase = B.addrOf(State);
+    int ValPred = B.newReg();
+    B.loadTo(ValPred, StBase, 0);
+    int Index = B.newReg();
+    B.loadTo(Index, StBase, 1);
+
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(AdpcmFrame));
+    int Pos = B.add(Start, L.IndVar);
+    int Val = B.load(B.add(InBase, Pos));
+    ImaStep S = emitImaEncodeStep(B, Val, ValPred, Index, StepBase, IdxBase);
+    B.store(S.Delta, B.add(OutBase, Pos));
+    B.movTo(ValPred, S.ValPred);
+    B.movTo(Index, S.Index);
+    B.endCountedLoop(L);
+
+    B.store(ValPred, StBase, 0);
+    B.store(Index, StBase, 1);
+    B.ret();
+  }
+
+  // --- main: encode all frames, then checksum the code stream.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto Frames = B.beginCountedLoop(0, static_cast<int64_t>(AdpcmSamples),
+                                     AdpcmFrame);
+    B.call(Coder, {Frames.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(Frames);
+
+    int OutBase = B.addrOf(AdpcmOut);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(AdpcmSamples));
+    int D = B.load(B.add(OutBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, D);
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildRawDAudio() {
+  auto P = std::make_unique<Program>("rawdaudio");
+  int IdxTab = P->addGlobal("indexTable", 16, 1);
+  P->getObject(IdxTab).setInit(tableVec(IndexTable, 16));
+  int StepTab = P->addGlobal("stepsizeTable", 89, 2);
+  P->getObject(StepTab).setInit(tableVec(StepSizeTable, 89));
+  int AdpcmIn = P->addGlobal("adpcmIn", AdpcmSamples, 1);
+  {
+    std::vector<int64_t> Codes = makeByteInput(AdpcmSamples, 202);
+    for (auto &C : Codes)
+      C &= 15;
+    P->getObject(AdpcmIn).setInit(std::move(Codes));
+  }
+  int PcmOut = P->addGlobal("pcmOut", AdpcmSamples, 2);
+  int State = P->addGlobal("decoderState", 2, 2);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Decoder = P->makeFunction("adpcm_decoder", 1); // (frameStart)
+
+  // --- adpcm_decoder(start).
+  {
+    IRBuilder B(Decoder);
+    B.setInsertPoint(Decoder->makeBlock("entry"));
+    int Start = 0;
+    int InBase = B.addrOf(AdpcmIn);
+    int OutBase = B.addrOf(PcmOut);
+    int StepBase = B.addrOf(StepTab);
+    int IdxBase = B.addrOf(IdxTab);
+    int StBase = B.addrOf(State);
+    int ValPred = B.newReg();
+    B.loadTo(ValPred, StBase, 0);
+    int Index = B.newReg();
+    B.loadTo(Index, StBase, 1);
+
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(AdpcmFrame));
+    int Pos = B.add(Start, L.IndVar);
+    int Delta = B.load(B.add(InBase, Pos));
+    int Step = B.load(B.add(StepBase, Index));
+
+    // vpdiff = step>>3 (+ step if bit2) (+ step>>1 if bit1) (+ step>>2 if
+    // bit0); sign = bit3.
+    int One = B.movi(1);
+    int B2 = B.and_(B.ashr(Delta, B.movi(2)), One);
+    int B1 = B.and_(B.ashr(Delta, One), One);
+    int B0 = B.and_(Delta, One);
+    int Sign = B.and_(B.ashr(Delta, B.movi(3)), One);
+    int VpDiff = B.ashr(Step, B.movi(3));
+    int Zero = B.movi(0);
+    VpDiff = B.add(VpDiff, B.select(B2, Step, Zero));
+    VpDiff = B.add(VpDiff, B.select(B1, B.ashr(Step, One), Zero));
+    VpDiff = B.add(VpDiff, B.select(B0, B.ashr(Step, B.movi(2)), Zero));
+
+    int NewPred = B.select(Sign, B.sub(ValPred, VpDiff),
+                           B.add(ValPred, VpDiff));
+    NewPred = B.max(NewPred, B.movi(-32768));
+    NewPred = B.min(NewPred, B.movi(32767));
+    B.movTo(ValPred, NewPred);
+
+    int IdxAdj = B.load(B.add(IdxBase, Delta));
+    int NewIndex = B.add(Index, IdxAdj);
+    NewIndex = B.max(NewIndex, Zero);
+    NewIndex = B.min(NewIndex, B.movi(88));
+    B.movTo(Index, NewIndex);
+
+    B.store(ValPred, B.add(OutBase, Pos));
+    B.endCountedLoop(L);
+
+    B.store(ValPred, StBase, 0);
+    B.store(Index, StBase, 1);
+    B.ret();
+  }
+
+  // --- main.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto Frames = B.beginCountedLoop(0, static_cast<int64_t>(AdpcmSamples),
+                                     AdpcmFrame);
+    B.call(Decoder, {Frames.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(Frames);
+
+    int OutBase = B.addrOf(PcmOut);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(AdpcmSamples));
+    int V = B.load(B.add(OutBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, B.abs(V));
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+namespace {
+
+/// G.721-style tables: quantizer decision levels and the log-step
+/// adaptation increments.
+const int64_t G721Quan[7] = {124, 256, 400, 560, 744, 976, 1284};
+const int64_t G721WiTab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+
+constexpr unsigned G721Samples = 1536;
+
+/// Emits the shared G.721-style per-sample quantizer/predictor update used
+/// by both directions. Registers carried across iterations: Y (log step),
+/// Sr1/Sr2 (reconstructed history). Returns the updated values.
+struct G721State {
+  int Y;
+  int Sr1;
+  int Sr2;
+};
+
+/// Quantizes magnitude \p DqAbs against the scaled decision levels; returns
+/// the 3-bit magnitude code (0..7) using branch-free compares.
+int emitG721Quantize(IRBuilder &B, int DqAbs, int Scale, int QuanBase) {
+  int Code = B.movi(0);
+  for (unsigned I = 0; I != 7; ++I) {
+    int Level = B.load(QuanBase, static_cast<int64_t>(I));
+    int Scaled = B.ashr(B.mul(Level, Scale), B.movi(8));
+    int Ge = B.cmpGE(DqAbs, Scaled);
+    Code = B.add(Code, Ge);
+  }
+  return Code;
+}
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildG721Enc() {
+  auto P = std::make_unique<Program>("g721enc");
+  int Quan = P->addGlobal("quanTable", 7, 2);
+  P->getObject(Quan).setInit(tableVec(G721Quan, 7));
+  int WiTab = P->addGlobal("witab", 8, 2);
+  P->getObject(WiTab).setInit(tableVec(G721WiTab, 8));
+  int PcmIn = P->addGlobal("pcmIn", G721Samples, 2);
+  P->getObject(PcmIn).setInit(makeAudioInput(G721Samples, 303));
+  int CodeOut = P->addGlobal("codeOut", G721Samples, 1);
+  int PredState = P->addGlobal("predState", 3, 2); // y, sr1, sr2
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int InBase = B.addrOf(PcmIn);
+  int OutBase = B.addrOf(CodeOut);
+  int QuanBase = B.addrOf(Quan);
+  int WiBase = B.addrOf(WiTab);
+  int StBase = B.addrOf(PredState);
+
+  int Y = B.newReg();
+  B.loadTo(Y, StBase, 0);
+  B.emitBinaryTo(Y, Opcode::Add, Y, B.movi(256)); // Nonzero initial step.
+  int Sr1 = B.newReg();
+  B.loadTo(Sr1, StBase, 1);
+  int Sr2 = B.newReg();
+  B.loadTo(Sr2, StBase, 2);
+
+  auto L = B.beginCountedLoop(0, static_cast<int64_t>(G721Samples));
+  int Sl = B.load(B.add(InBase, L.IndVar));
+  // Second-order fixed predictor: se = (3*sr1 - sr2) / 2.
+  int Se = B.ashr(B.sub(B.mul(Sr1, B.movi(3)), Sr2), B.movi(1));
+  int D = B.sub(Sl, Se);
+  int Zero = B.movi(0);
+  int Sign = B.cmpLT(D, Zero);
+  int DAbs = B.abs(D);
+  int Code = emitG721Quantize(B, DAbs, Y, QuanBase);
+
+  // Inverse quantize: dq = ((2*code + 1) * y) >> 6.
+  int Dq = B.ashr(B.mul(B.add(B.shl(Code, B.movi(1)), B.movi(1)), Y),
+                  B.movi(6));
+  int SrNew = B.select(Sign, B.sub(Se, Dq), B.add(Se, Dq));
+  SrNew = B.max(SrNew, B.movi(-32768));
+  SrNew = B.min(SrNew, B.movi(32767));
+  B.movTo(Sr2, Sr1);
+  B.movTo(Sr1, SrNew);
+
+  // Step adaptation: y += witab[code]; clamp to [80, 20480].
+  int Wi = B.load(B.add(WiBase, Code));
+  int NewY = B.add(Y, Wi);
+  NewY = B.max(NewY, B.movi(80));
+  NewY = B.min(NewY, B.movi(20480));
+  B.movTo(Y, NewY);
+
+  int CodeWord = B.or_(B.shl(Sign, B.movi(3)), Code);
+  B.store(CodeWord, B.add(OutBase, L.IndVar));
+  B.endCountedLoop(L);
+
+  B.store(Y, StBase, 0);
+  B.store(Sr1, StBase, 1);
+  B.store(Sr2, StBase, 2);
+
+  int Sum = B.movi(0);
+  auto L2 = B.beginCountedLoop(0, static_cast<int64_t>(G721Samples));
+  int C = B.load(B.add(B.addrOf(CodeOut), L2.IndVar));
+  B.emitBinaryTo(Sum, Opcode::Add, Sum, C);
+  B.endCountedLoop(L2);
+  B.ret(Sum);
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildG721Dec() {
+  auto P = std::make_unique<Program>("g721dec");
+  int WiTab = P->addGlobal("witab", 8, 2);
+  P->getObject(WiTab).setInit(tableVec(G721WiTab, 8));
+  int CodeIn = P->addGlobal("codeIn", G721Samples, 1);
+  {
+    std::vector<int64_t> Codes = makeByteInput(G721Samples, 404);
+    for (auto &C : Codes)
+      C &= 15;
+    P->getObject(CodeIn).setInit(std::move(Codes));
+  }
+  int PcmOut = P->addGlobal("pcmOut", G721Samples, 2);
+  int PredState = P->addGlobal("predState", 3, 2);
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int InBase = B.addrOf(CodeIn);
+  int OutBase = B.addrOf(PcmOut);
+  int WiBase = B.addrOf(WiTab);
+  int StBase = B.addrOf(PredState);
+
+  int Y = B.newReg();
+  B.loadTo(Y, StBase, 0);
+  B.emitBinaryTo(Y, Opcode::Add, Y, B.movi(256));
+  int Sr1 = B.newReg();
+  B.loadTo(Sr1, StBase, 1);
+  int Sr2 = B.newReg();
+  B.loadTo(Sr2, StBase, 2);
+
+  auto L = B.beginCountedLoop(0, static_cast<int64_t>(G721Samples));
+  int Word = B.load(B.add(InBase, L.IndVar));
+  int One = B.movi(1);
+  int Sign = B.and_(B.ashr(Word, B.movi(3)), One);
+  int Code = B.and_(Word, B.movi(7));
+
+  int Se = B.ashr(B.sub(B.mul(Sr1, B.movi(3)), Sr2), One);
+  int Dq = B.ashr(B.mul(B.add(B.shl(Code, One), One), Y), B.movi(6));
+  int Sr = B.select(Sign, B.sub(Se, Dq), B.add(Se, Dq));
+  Sr = B.max(Sr, B.movi(-32768));
+  Sr = B.min(Sr, B.movi(32767));
+  B.movTo(Sr2, Sr1);
+  B.movTo(Sr1, Sr);
+  B.store(Sr, B.add(OutBase, L.IndVar));
+
+  int Wi = B.load(B.add(WiBase, Code));
+  int NewY = B.add(Y, Wi);
+  NewY = B.max(NewY, B.movi(80));
+  NewY = B.min(NewY, B.movi(20480));
+  B.movTo(Y, NewY);
+  B.endCountedLoop(L);
+
+  B.store(Y, StBase, 0);
+  B.store(Sr1, StBase, 1);
+  B.store(Sr2, StBase, 2);
+
+  int Sum = B.movi(0);
+  auto L2 = B.beginCountedLoop(0, static_cast<int64_t>(G721Samples));
+  int V = B.load(B.add(B.addrOf(PcmOut), L2.IndVar));
+  B.emitBinaryTo(Sum, Opcode::Add, Sum, B.abs(V));
+  B.endCountedLoop(L2);
+  B.ret(Sum);
+  return P;
+}

@@ -1,0 +1,231 @@
+//===- workloads/Audio.cpp - FIR filter bank and GSM front end ---------------===//
+//
+// `fir`: a two-band FIR filter bank whose coefficient table is chosen
+// per-frame through a select — the pointer-ambiguity pattern of the paper's
+// Figure 4 (one load that may access either of two objects), which drives
+// the access-pattern merge.
+//
+// `gsmenc`: the GSM full-rate encoder front end — per-frame autocorrelation
+// followed by a fixed-point Schur-style recursion producing reflection
+// coefficients.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Random.h"
+#include "workloads/Inputs.h"
+
+using namespace gdp;
+
+namespace {
+
+constexpr unsigned FirSamples = 2048;
+constexpr unsigned FirTaps = 24;
+constexpr unsigned FirFrame = 256;
+
+std::vector<int64_t> makeFirCoeffs(uint64_t Seed, bool HighPass) {
+  Random RNG(Seed);
+  std::vector<int64_t> C(FirTaps);
+  for (unsigned I = 0; I != FirTaps; ++I) {
+    int64_t V = RNG.nextInRange(-128, 128);
+    if (HighPass && (I & 1))
+      V = -V;
+    C[I] = V;
+  }
+  return C;
+}
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildFir() {
+  auto P = std::make_unique<Program>("fir");
+  int CoefLo = P->addGlobal("coefLow", FirTaps, 2);
+  P->getObject(CoefLo).setInit(makeFirCoeffs(11, false));
+  int CoefHi = P->addGlobal("coefHigh", FirTaps, 2);
+  P->getObject(CoefHi).setInit(makeFirCoeffs(12, true));
+  int In = P->addGlobal("audioIn", FirSamples, 2);
+  P->getObject(In).setInit(makeAudioInput(FirSamples, 13));
+  int Out = P->addGlobal("audioOut", FirSamples, 2);
+  int Energy = P->addGlobal("bandEnergy", 2, 4);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Frame = P->makeFunction("fir_frame", 2); // (start, band)
+
+  // --- fir_frame(start, band): filter one frame with the band's table.
+  {
+    IRBuilder B(Frame);
+    B.setInsertPoint(Frame->makeBlock("entry"));
+    int Start = 0, Band = 1;
+    int InBase = B.addrOf(In);
+    int OutBase = B.addrOf(Out);
+    // The Figure-4 pattern: one base pointer that may be either table.
+    int TabBase = B.select(Band, B.addrOf(CoefHi), B.addrOf(CoefLo));
+    int EnergyBase = B.addrOf(Energy);
+
+    int Acc = B.movi(0);
+    auto LI = B.beginCountedLoop(0, static_cast<int64_t>(FirFrame));
+    int Pos = B.add(Start, LI.IndVar);
+    // Fully unrolled tap loop with a tree reduction — the ILP-rich region
+    // shape an unrolling VLIW compiler produces (and the memory-parallel
+    // load stream the paper's partitioning problem is about).
+    std::vector<int> Products;
+    Products.reserve(FirTaps);
+    int Zero = B.movi(0);
+    for (unsigned T = 0; T != FirTaps; ++T) {
+      int Idx = B.sub(Pos, B.movi(T));
+      Idx = B.max(Idx, Zero); // Clamp the warm-up edge.
+      int S = B.load(B.add(InBase, Idx));
+      int C = B.load(TabBase, static_cast<int64_t>(T));
+      Products.push_back(B.mul(S, C));
+    }
+    while (Products.size() > 1) {
+      std::vector<int> Next;
+      for (size_t I = 0; I + 1 < Products.size(); I += 2)
+        Next.push_back(B.add(Products[I], Products[I + 1]));
+      if (Products.size() & 1)
+        Next.push_back(Products.back());
+      Products = std::move(Next);
+    }
+    int Sum = Products[0];
+    int Scaled = B.ashr(Sum, B.movi(7));
+    B.store(Scaled, B.add(OutBase, Pos));
+    B.emitBinaryTo(Acc, Opcode::Add, Acc, B.abs(Scaled));
+    B.endCountedLoop(LI);
+
+    // bandEnergy[band] += frame energy.
+    int EAddr = B.add(EnergyBase, Band);
+    int Old = B.load(EAddr);
+    B.store(B.add(Old, Acc), EAddr);
+    B.ret();
+  }
+
+  // --- main: alternate bands per frame, return total output energy.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto LF = B.beginCountedLoop(0, static_cast<int64_t>(FirSamples),
+                                 FirFrame);
+    int Band = B.and_(B.div(LF.IndVar, B.movi(FirFrame)), B.movi(1));
+    B.call(Frame, {LF.IndVar, Band}, /*WantResult=*/false);
+    B.endCountedLoop(LF);
+
+    int EBase = B.addrOf(Energy);
+    int E0 = B.load(EBase, 0);
+    int E1 = B.load(EBase, 1);
+    B.ret(B.add(E0, E1));
+  }
+  return P;
+}
+
+namespace {
+
+constexpr unsigned GsmFrame = 160;
+constexpr unsigned GsmFrames = 8;
+constexpr unsigned GsmOrder = 8;
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildGSMEnc() {
+  auto P = std::make_unique<Program>("gsmenc");
+  int Speech = P->addGlobal("speechIn", GsmFrame * GsmFrames, 2);
+  P->getObject(Speech).setInit(
+      makeAudioInput(GsmFrame * GsmFrames, 21));
+  int Acf = P->addGlobal("acf", GsmOrder + 1, 4);
+  int PArr = P->addGlobal("schurP", GsmOrder + 1, 4);
+  int KArr = P->addGlobal("schurK", GsmOrder + 1, 4);
+  int LarOut = P->addGlobal("larOut", GsmFrames * GsmOrder, 2);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *AutoC = P->makeFunction("autocorrelation", 1); // (start)
+  Function *Schur = P->makeFunction("schur", 1);           // (frame)
+
+  // --- autocorrelation(start): acf[k] = Σ s[i]·s[i-k] >> 10.
+  {
+    IRBuilder B(AutoC);
+    B.setInsertPoint(AutoC->makeBlock("entry"));
+    int Start = 0;
+    int SBase = B.addrOf(Speech);
+    int ABase = B.addrOf(Acf);
+
+    auto LK = B.beginCountedLoop(0, static_cast<int64_t>(GsmOrder + 1));
+    int Sum = B.movi(0);
+    auto LI = B.beginCountedLoop(0, static_cast<int64_t>(GsmFrame));
+    int Skip = B.cmpLT(LI.IndVar, LK.IndVar);
+    int IdxA = B.add(Start, LI.IndVar);
+    int IdxB = B.sub(IdxA, LK.IndVar);
+    IdxB = B.max(IdxB, B.movi(0));
+    int SA = B.load(B.add(SBase, IdxA));
+    int SB = B.load(B.add(SBase, IdxB));
+    int Prod = B.mul(SA, SB);
+    Prod = B.select(Skip, B.movi(0), Prod);
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, Prod);
+    B.endCountedLoop(LI);
+    B.store(B.ashr(Sum, B.movi(10)), B.add(ABase, LK.IndVar));
+    B.endCountedLoop(LK);
+    B.ret();
+  }
+
+  // --- schur(frame): reflection coefficients from acf into larOut.
+  {
+    IRBuilder B(Schur);
+    B.setInsertPoint(Schur->makeBlock("entry"));
+    int FrameIdx = 0;
+    int ABase = B.addrOf(Acf);
+    int PBase = B.addrOf(PArr);
+    int KBase = B.addrOf(KArr);
+    int LBase = B.addrOf(LarOut);
+
+    auto LInit = B.beginCountedLoop(0, static_cast<int64_t>(GsmOrder + 1));
+    int V = B.load(B.add(ABase, LInit.IndVar));
+    B.store(V, B.add(PBase, LInit.IndVar));
+    B.store(V, B.add(KBase, LInit.IndVar));
+    B.endCountedLoop(LInit);
+
+    int OutPos = B.mul(FrameIdx, B.movi(GsmOrder));
+    auto LN = B.beginCountedLoop(0, static_cast<int64_t>(GsmOrder));
+    int P0 = B.load(PBase, 0);
+    P0 = B.max(P0, B.movi(1)); // Guard the division.
+    int NIdx = B.add(LN.IndVar, B.movi(1));
+    int Pn = B.load(B.add(PBase, NIdx));
+    int Rc = B.div(B.shl(Pn, B.movi(10)), P0);
+    Rc = B.max(Rc, B.movi(-32768));
+    Rc = B.min(Rc, B.movi(32767));
+    B.store(Rc, B.add(B.add(LBase, OutPos), LN.IndVar));
+
+    // Schur-style inner update of the P/K arrays.
+    auto LM = B.beginCountedLoop(0, static_cast<int64_t>(GsmOrder));
+    int MIdx = B.add(LM.IndVar, B.movi(1));
+    int Pm = B.load(B.add(PBase, MIdx));
+    int Km = B.load(B.add(KBase, LM.IndVar));
+    int NewP = B.sub(Pm, B.ashr(B.mul(Rc, Km), B.movi(10)));
+    int NewK = B.sub(Km, B.ashr(B.mul(Rc, Pm), B.movi(10)));
+    B.store(NewP, B.add(PBase, LM.IndVar));
+    B.store(NewK, B.add(KBase, LM.IndVar));
+    B.endCountedLoop(LM);
+    B.endCountedLoop(LN);
+    B.ret();
+  }
+
+  // --- main: process all frames, checksum the reflection coefficients.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto LF = B.beginCountedLoop(0, static_cast<int64_t>(GsmFrames));
+    int Start = B.mul(LF.IndVar, B.movi(GsmFrame));
+    B.call(AutoC, {Start}, /*WantResult=*/false);
+    B.call(Schur, {LF.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(LF);
+
+    int LBase = B.addrOf(LarOut);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(
+        0, static_cast<int64_t>(GsmFrames * GsmOrder));
+    int V = B.load(B.add(LBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, B.abs(V));
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}

@@ -1,0 +1,384 @@
+//===- workloads/Comm.cpp - Viterbi, FFT and cipher kernels ------------------===//
+//
+// `viterbi`: a complete K=3 rate-1/2 convolutional encode → Viterbi decode →
+// compare pipeline; the program returns its own bit-error count (0 when the
+// decoder is correct), making it self-checking.
+//
+// `fft`: 512-point radix-2 fixed-point FFT with table-driven twiddles and a
+// bit-reversal permutation table.
+//
+// `pegwit`: a byte substitution-permutation cipher with a chained state —
+// the serial-dependence-heavy end of the suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Random.h"
+#include "workloads/Inputs.h"
+
+#include <cmath>
+
+using namespace gdp;
+
+namespace {
+
+constexpr unsigned VitBits = 384;
+constexpr unsigned VitTail = 2; // K-1 flush zeros.
+constexpr int64_t VitBig = 1 << 20;
+
+int64_t parity(int64_t X) {
+  X ^= X >> 4;
+  X ^= X >> 2;
+  X ^= X >> 1;
+  return X & 1;
+}
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildViterbi() {
+  auto P = std::make_unique<Program>("viterbi");
+  unsigned Total = VitBits + VitTail;
+
+  // Transition tables for g0 = 7 (111), g1 = 5 (101), 4 states. Index
+  // s*2+b for a current state s and input bit b.
+  std::vector<int64_t> Next(8), Out0(8), Out1(8);
+  for (int64_t S = 0; S != 4; ++S)
+    for (int64_t Bit = 0; Bit != 2; ++Bit) {
+      int64_t Reg = (Bit << 2) | S;
+      Next[S * 2 + Bit] = Reg >> 1;
+      Out0[S * 2 + Bit] = parity(Reg & 7);
+      Out1[S * 2 + Bit] = parity(Reg & 5);
+    }
+  // Predecessor tables: for each new state s', its two (state, bit)
+  // predecessors. Index s'*2+j.
+  std::vector<int64_t> PredS(8), PredB(8);
+  {
+    std::vector<unsigned> Fill(4, 0);
+    for (int64_t S = 0; S != 4; ++S)
+      for (int64_t Bit = 0; Bit != 2; ++Bit) {
+        int64_t NS = Next[S * 2 + Bit];
+        unsigned J = Fill[static_cast<unsigned>(NS)]++;
+        PredS[NS * 2 + J] = S;
+        PredB[NS * 2 + J] = Bit;
+      }
+  }
+
+  int BitsIn = P->addGlobal("bitsIn", VitBits, 1);
+  P->getObject(BitsIn).setInit(makeBitInput(VitBits, 31));
+  int Encoded = P->addGlobal("encoded", 2 * Total, 1);
+  int NextTab = P->addGlobal("transNext", 8, 1);
+  P->getObject(NextTab).setInit(Next);
+  int Out0Tab = P->addGlobal("transOut0", 8, 1);
+  P->getObject(Out0Tab).setInit(Out0);
+  int Out1Tab = P->addGlobal("transOut1", 8, 1);
+  P->getObject(Out1Tab).setInit(Out1);
+  int PredSTab = P->addGlobal("predState", 8, 1);
+  P->getObject(PredSTab).setInit(PredS);
+  int PredBTab = P->addGlobal("predBit", 8, 1);
+  P->getObject(PredBTab).setInit(PredB);
+  int PmA = P->addGlobal("pathMetricA", 4, 4);
+  int PmB = P->addGlobal("pathMetricB", 4, 4);
+  int BackPtr = P->addGlobal("backPtr", Total * 4, 1);
+  int Decoded = P->addGlobal("decoded", VitBits, 1);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Encode = P->makeFunction("conv_encode", 0);
+  Function *Decode = P->makeFunction("viterbi_decode", 0);
+
+  // --- conv_encode: run the shift register over message + tail.
+  {
+    IRBuilder B(Encode);
+    B.setInsertPoint(Encode->makeBlock("entry"));
+    int InBase = B.addrOf(BitsIn);
+    int EncBase = B.addrOf(Encoded);
+    int NextBase = B.addrOf(NextTab);
+    int O0Base = B.addrOf(Out0Tab);
+    int O1Base = B.addrOf(Out1Tab);
+    int State = B.movi(0);
+
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(Total));
+    int IsTail = B.cmpGE(L.IndVar, B.movi(VitBits));
+    int SafeIdx = B.min(L.IndVar, B.movi(VitBits - 1));
+    int Bit = B.load(B.add(InBase, SafeIdx));
+    Bit = B.select(IsTail, B.movi(0), Bit);
+    int TIdx = B.add(B.shl(State, B.movi(1)), Bit);
+    int C0 = B.load(B.add(O0Base, TIdx));
+    int C1 = B.load(B.add(O1Base, TIdx));
+    int Pos = B.shl(L.IndVar, B.movi(1));
+    B.store(C0, B.add(EncBase, Pos));
+    B.store(C1, B.add(B.add(EncBase, Pos), B.movi(1)));
+    int NS = B.load(B.add(NextBase, TIdx));
+    B.movTo(State, NS);
+    B.endCountedLoop(L);
+    B.ret();
+  }
+
+  // --- viterbi_decode: add-compare-select forward pass + traceback.
+  {
+    IRBuilder B(Decode);
+    B.setInsertPoint(Decode->makeBlock("entry"));
+    int EncBase = B.addrOf(Encoded);
+    int PmABase = B.addrOf(PmA);
+    int PmBBase = B.addrOf(PmB);
+    int BpBase = B.addrOf(BackPtr);
+    int PSBase = B.addrOf(PredSTab);
+    int PBBase = B.addrOf(PredBTab);
+    int O0Base = B.addrOf(Out0Tab);
+    int O1Base = B.addrOf(Out1Tab);
+    int DecBase = B.addrOf(Decoded);
+
+    // Initialize path metrics: state 0 reachable, others "infinite".
+    B.store(B.movi(0), PmABase, 0);
+    int Big = B.movi(VitBig);
+    B.store(Big, PmABase, 1);
+    B.store(Big, PmABase, 2);
+    B.store(Big, PmABase, 3);
+
+    auto LT = B.beginCountedLoop(0, static_cast<int64_t>(Total));
+    int Pos = B.shl(LT.IndVar, B.movi(1));
+    int R0 = B.load(B.add(EncBase, Pos));
+    int R1 = B.load(B.add(B.add(EncBase, Pos), B.movi(1)));
+
+    auto LS = B.beginCountedLoop(0, 4); // New states.
+    int SIdx = B.shl(LS.IndVar, B.movi(1));
+    // Candidate 0.
+    int S0 = B.load(B.add(PSBase, SIdx));
+    int B0 = B.load(B.add(PBBase, SIdx));
+    int T0 = B.add(B.shl(S0, B.movi(1)), B0);
+    int E00 = B.abs(B.sub(R0, B.load(B.add(O0Base, T0))));
+    int E01 = B.abs(B.sub(R1, B.load(B.add(O1Base, T0))));
+    int M0 = B.add(B.load(B.add(PmABase, S0)), B.add(E00, E01));
+    // Candidate 1.
+    int SIdx1 = B.add(SIdx, B.movi(1));
+    int S1 = B.load(B.add(PSBase, SIdx1));
+    int B1r = B.load(B.add(PBBase, SIdx1));
+    int T1 = B.add(B.shl(S1, B.movi(1)), B1r);
+    int E10 = B.abs(B.sub(R0, B.load(B.add(O0Base, T1))));
+    int E11 = B.abs(B.sub(R1, B.load(B.add(O1Base, T1))));
+    int M1 = B.add(B.load(B.add(PmABase, S1)), B.add(E10, E11));
+
+    int Take1 = B.cmpLT(M1, M0);
+    B.store(B.min(M0, M1), B.add(PmBBase, LS.IndVar));
+    int BpAddr = B.add(B.add(BpBase, B.shl(LT.IndVar, B.movi(2))),
+                       LS.IndVar);
+    B.store(Take1, BpAddr);
+    B.endCountedLoop(LS);
+
+    // pmA = pmB.
+    auto LC = B.beginCountedLoop(0, 4);
+    int V = B.load(B.add(PmBBase, LC.IndVar));
+    B.store(V, B.add(PmABase, LC.IndVar));
+    B.endCountedLoop(LC);
+    B.endCountedLoop(LT);
+
+    // Traceback from state 0 (the tail forces it).
+    int Cur = B.movi(0);
+    auto LB = B.beginCountedLoop(static_cast<int64_t>(Total) - 1, -1, -1);
+    int BpAddr2 = B.add(B.add(BpBase, B.shl(LB.IndVar, B.movi(2))), Cur);
+    int J = B.load(BpAddr2);
+    int PIdx = B.add(B.shl(Cur, B.movi(1)), J);
+    int Bit = B.load(B.add(PBBase, PIdx));
+    int Prev = B.load(B.add(PSBase, PIdx));
+    int InRange = B.cmpLT(LB.IndVar, B.movi(VitBits));
+    int SafePos = B.min(LB.IndVar, B.movi(VitBits - 1));
+    int Keep = B.load(B.add(DecBase, SafePos));
+    B.store(B.select(InRange, Bit, Keep), B.add(DecBase, SafePos));
+    B.movTo(Cur, Prev);
+    B.endCountedLoop(LB);
+    B.ret();
+  }
+
+  // --- main: encode, decode, count bit errors (expected: 0).
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    B.call(Encode, {}, /*WantResult=*/false);
+    B.call(Decode, {}, /*WantResult=*/false);
+    int InBase = B.addrOf(BitsIn);
+    int DecBase = B.addrOf(Decoded);
+    int Errors = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(VitBits));
+    int A = B.load(B.add(InBase, L.IndVar));
+    int D = B.load(B.add(DecBase, L.IndVar));
+    B.emitBinaryTo(Errors, Opcode::Add, Errors, B.abs(B.sub(A, D)));
+    B.endCountedLoop(L);
+    B.ret(Errors);
+  }
+  return P;
+}
+
+namespace {
+
+constexpr unsigned FftN = 512;
+constexpr unsigned FftLogN = 9;
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildFft() {
+  auto P = std::make_unique<Program>("fft");
+
+  std::vector<int64_t> Cos(FftN / 2), Sin(FftN / 2);
+  for (unsigned I = 0; I != FftN / 2; ++I) {
+    double A = 2.0 * 3.14159265358979323846 * I / FftN;
+    Cos[I] = static_cast<int64_t>(std::lround(std::cos(A) * 16384.0));
+    Sin[I] = static_cast<int64_t>(std::lround(std::sin(A) * 16384.0));
+  }
+  std::vector<int64_t> Brev(FftN);
+  for (unsigned I = 0; I != FftN; ++I) {
+    unsigned R = 0;
+    for (unsigned Bit = 0; Bit != FftLogN; ++Bit)
+      if (I & (1u << Bit))
+        R |= 1u << (FftLogN - 1 - Bit);
+    Brev[I] = R;
+  }
+
+  int SigIn = P->addGlobal("signalIn", FftN, 2);
+  P->getObject(SigIn).setInit(makeAudioInput(FftN, 41));
+  int CosTab = P->addGlobal("twiddleCos", FftN / 2, 2);
+  P->getObject(CosTab).setInit(Cos);
+  int SinTab = P->addGlobal("twiddleSin", FftN / 2, 2);
+  P->getObject(SinTab).setInit(Sin);
+  int BrevTab = P->addGlobal("bitrev", FftN, 2);
+  P->getObject(BrevTab).setInit(Brev);
+  int Re = P->addGlobal("workRe", FftN, 4);
+  int Im = P->addGlobal("workIm", FftN, 4);
+  int Spec = P->addGlobal("spectrum", FftN, 4);
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int InBase = B.addrOf(SigIn);
+  int CosBase = B.addrOf(CosTab);
+  int SinBase = B.addrOf(SinTab);
+  int BrBase = B.addrOf(BrevTab);
+  int ReBase = B.addrOf(Re);
+  int ImBase = B.addrOf(Im);
+  int SpBase = B.addrOf(Spec);
+
+  // Bit-reverse copy into the work arrays.
+  auto LP = B.beginCountedLoop(0, static_cast<int64_t>(FftN));
+  int Src = B.load(B.add(BrBase, LP.IndVar));
+  int V = B.load(B.add(InBase, Src));
+  B.store(V, B.add(ReBase, LP.IndVar));
+  B.store(B.movi(0), B.add(ImBase, LP.IndVar));
+  B.endCountedLoop(LP);
+
+  // Butterfly stages.
+  auto LStage = B.beginCountedLoop(0, static_cast<int64_t>(FftLogN));
+  int M = B.shl(B.movi(2), LStage.IndVar);            // 2 << s
+  int Half = B.ashr(M, B.movi(1));
+  int Step = B.div(B.movi(FftN), M);
+  int NumGroups = B.div(B.movi(FftN), M);
+
+  auto LGroup = B.beginCountedLoopReg(0, NumGroups);
+  int K = B.mul(LGroup.IndVar, M);
+  auto LJ = B.beginCountedLoopReg(0, Half);
+  int TIdx = B.mul(LJ.IndVar, Step);
+  int Wr = B.load(B.add(CosBase, TIdx));
+  int Wi = B.sub(B.movi(0), B.load(B.add(SinBase, TIdx)));
+  int A = B.add(K, LJ.IndVar);
+  int Bi = B.add(A, Half);
+  int ReA = B.load(B.add(ReBase, A));
+  int ImA = B.load(B.add(ImBase, A));
+  int ReB = B.load(B.add(ReBase, Bi));
+  int ImB = B.load(B.add(ImBase, Bi));
+  int Tr = B.ashr(B.sub(B.mul(Wr, ReB), B.mul(Wi, ImB)), B.movi(14));
+  int Ti = B.ashr(B.add(B.mul(Wr, ImB), B.mul(Wi, ReB)), B.movi(14));
+  B.store(B.sub(ReA, Tr), B.add(ReBase, Bi));
+  B.store(B.sub(ImA, Ti), B.add(ImBase, Bi));
+  B.store(B.add(ReA, Tr), B.add(ReBase, A));
+  B.store(B.add(ImA, Ti), B.add(ImBase, A));
+  B.endCountedLoop(LJ);
+  B.endCountedLoop(LGroup);
+  B.endCountedLoop(LStage);
+
+  // Magnitude spectrum + total energy.
+  int Sum = B.movi(0);
+  auto LM = B.beginCountedLoop(0, static_cast<int64_t>(FftN));
+  int R = B.load(B.add(ReBase, LM.IndVar));
+  int I = B.load(B.add(ImBase, LM.IndVar));
+  int Mag = B.ashr(B.add(B.mul(R, R), B.mul(I, I)), B.movi(10));
+  B.store(Mag, B.add(SpBase, LM.IndVar));
+  B.emitBinaryTo(Sum, Opcode::Add, Sum, Mag);
+  B.endCountedLoop(LM);
+  B.ret(Sum);
+  return P;
+}
+
+namespace {
+
+constexpr unsigned PegBytes = 1024;
+constexpr unsigned PegRounds = 3;
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildPegwit() {
+  auto P = std::make_unique<Program>("pegwit");
+
+  // Random byte-substitution box (a permutation of 0..255).
+  std::vector<int64_t> Sbox(256);
+  for (unsigned I = 0; I != 256; ++I)
+    Sbox[I] = I;
+  Random RNG(51);
+  for (unsigned I = 256; I > 1; --I)
+    std::swap(Sbox[I - 1], Sbox[RNG.nextBelow(I)]);
+
+  int SboxTab = P->addGlobal("sbox", 256, 1);
+  P->getObject(SboxTab).setInit(Sbox);
+  int Key = P->addGlobal("key", 16, 1);
+  P->getObject(Key).setInit(makeByteInput(16, 52));
+  int Plain = P->addGlobal("plaintext", PegBytes, 1);
+  P->getObject(Plain).setInit(makeByteInput(PegBytes, 53));
+  int Cipher = P->addGlobal("ciphertext", PegBytes, 1);
+  int Mac = P->addGlobal("macState", 4, 4);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Round = P->makeFunction("cipher_round", 1); // (round)
+
+  // --- cipher_round(r): chained substitution over the buffer.
+  {
+    IRBuilder B(Round);
+    B.setInsertPoint(Round->makeBlock("entry"));
+    int R = 0;
+    int SBase = B.addrOf(SboxTab);
+    int KBase = B.addrOf(Key);
+    int PBase = B.addrOf(Plain);
+    int CBase = B.addrOf(Cipher);
+    int MBase = B.addrOf(Mac);
+    // Round 0 reads the plaintext, later rounds re-encrypt the ciphertext
+    // in place — the Figure-4 ambiguous-pointer pattern.
+    int IsFirst = B.cmpEQ(R, B.movi(0));
+    int SrcBase = B.select(IsFirst, PBase, CBase);
+
+    int Chain = B.load(MBase, 0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(PegBytes));
+    int Pb = B.load(B.add(SrcBase, L.IndVar));
+    int Kb = B.load(B.add(KBase, B.and_(L.IndVar, B.movi(15))));
+    int X = B.and_(B.xor_(B.xor_(Pb, Kb), Chain), B.movi(255));
+    int Sub = B.load(B.add(SBase, X));
+    B.store(Sub, B.add(CBase, L.IndVar));
+    B.movTo(Chain, Sub);
+    B.endCountedLoop(L);
+    B.store(Chain, MBase, 0);
+    B.ret();
+  }
+
+  // --- main.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto LR = B.beginCountedLoop(0, static_cast<int64_t>(PegRounds));
+    B.call(Round, {LR.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(LR);
+    int CBase = B.addrOf(Cipher);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(PegBytes));
+    int C = B.load(B.add(CBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, C);
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}

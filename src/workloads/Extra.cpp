@@ -1,0 +1,324 @@
+//===- workloads/Extra.cpp - Additional kernels beyond the paper's suite ------===//
+//
+// Four extra programs exercising corners the Mediabench-style suite does
+// not: a blocked matrix multiply (three large arrays with regular reuse),
+// a table-driven CRC-32 (tiny hot table, serial chain), an MD5-style
+// digest (long dependence chains through a word schedule), and an
+// iterative quicksort (data-dependent control flow, explicit stack in a
+// heap buffer). They are registered under the "extra" suite: the paper
+// benches run the original 16; tests and tools cover all 20.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Random.h"
+#include "workloads/Inputs.h"
+
+using namespace gdp;
+
+namespace {
+
+constexpr unsigned MatN = 32; // 32×32 matrices.
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildMatmul() {
+  auto P = std::make_unique<Program>("matmul");
+  auto MakeMatrix = [&](const char *Name, uint64_t Seed) {
+    int Obj = P->addGlobal(Name, MatN * MatN, 4);
+    Random RNG(Seed);
+    std::vector<int64_t> Init(MatN * MatN);
+    for (auto &V : Init)
+      V = RNG.nextInRange(-9, 9);
+    P->getObject(Obj).setInit(std::move(Init));
+    return Obj;
+  };
+  int A = MakeMatrix("matA", 81);
+  int Bm = MakeMatrix("matB", 82);
+  int C = P->addGlobal("matC", MatN * MatN, 4);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Row = P->makeFunction("mul_row", 1); // (i)
+
+  // --- mul_row(i): C[i][*] = A[i][*] · B, inner k-loop unrolled by 4.
+  {
+    IRBuilder B(Row);
+    B.setInsertPoint(Row->makeBlock("entry"));
+    int I = 0;
+    int ABase = B.addrOf(A);
+    int BBase = B.addrOf(Bm);
+    int CBase = B.addrOf(C);
+    int ARow = B.add(ABase, B.mul(I, B.movi(MatN)));
+    int CRow = B.add(CBase, B.mul(I, B.movi(MatN)));
+
+    auto LJ = B.beginCountedLoop(0, MatN);
+    int Sum = B.movi(0);
+    auto LK = B.beginCountedLoop(0, MatN, 4);
+    int Partial = B.movi(0);
+    for (int64_t U = 0; U != 4; ++U) {
+      int Av = B.load(B.add(ARow, LK.IndVar), U);
+      int Bv = B.load(B.add(B.add(BBase, B.mul(B.add(LK.IndVar, B.movi(U)),
+                                               B.movi(MatN))),
+                            LJ.IndVar));
+      Partial = B.add(Partial, B.mul(Av, Bv));
+    }
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, Partial);
+    B.endCountedLoop(LK);
+    B.store(Sum, B.add(CRow, LJ.IndVar));
+    B.endCountedLoop(LJ);
+    B.ret();
+  }
+
+  // --- main.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto LI = B.beginCountedLoop(0, MatN);
+    B.call(Row, {LI.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(LI);
+    int CBase = B.addrOf(C);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(MatN * MatN));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum,
+                   B.abs(B.load(B.add(CBase, L.IndVar))));
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildCrc32() {
+  auto P = std::make_unique<Program>("crc32");
+
+  // Standard reflected CRC-32 table.
+  std::vector<int64_t> Table(256);
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t R = I;
+    for (int K = 0; K != 8; ++K)
+      R = (R >> 1) ^ (0xEDB88320u & (0u - (R & 1u)));
+    Table[I] = static_cast<int64_t>(R);
+  }
+  int Tab = P->addGlobal("crcTable", 256, 4);
+  P->getObject(Tab).setInit(std::move(Table));
+  int Msg = P->addGlobal("message", 4096, 1);
+  P->getObject(Msg).setInit(makeByteInput(4096, 91));
+  int Out = P->addGlobal("crcOut", 1, 4);
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int TBase = B.addrOf(Tab);
+  int MBase = B.addrOf(Msg);
+  int Mask32 = B.movi(0xffffffffLL);
+  int Crc = B.movi(0xffffffffLL);
+  auto L = B.beginCountedLoop(0, 4096);
+  int Byte = B.load(B.add(MBase, L.IndVar));
+  int Idx = B.and_(B.xor_(Crc, Byte), B.movi(255));
+  int T = B.load(B.add(TBase, Idx));
+  int Next = B.and_(B.xor_(B.lshr(Crc, B.movi(8)), T), Mask32);
+  B.movTo(Crc, Next);
+  B.endCountedLoop(L);
+  int Final = B.and_(B.xor_(Crc, Mask32), Mask32);
+  B.store(Final, B.addrOf(Out), 0);
+  B.ret(Final);
+  return P;
+}
+
+namespace {
+
+/// MD5 per-round shift amounts and the first 16 sine constants — enough
+/// structure for a faithful round function without the full 64-entry
+/// tables.
+const int64_t Md5Shifts[16] = {7, 12, 17, 22, 7, 12, 17, 22,
+                               7, 12, 17, 22, 7, 12, 17, 22};
+const int64_t Md5K[16] = {
+    static_cast<int64_t>(0xd76aa478), static_cast<int64_t>(0xe8c7b756),
+    static_cast<int64_t>(0x242070db), static_cast<int64_t>(0xc1bdceee),
+    static_cast<int64_t>(0xf57c0faf), static_cast<int64_t>(0x4787c62a),
+    static_cast<int64_t>(0xa8304613), static_cast<int64_t>(0xfd469501),
+    static_cast<int64_t>(0x698098d8), static_cast<int64_t>(0x8b44f7af),
+    static_cast<int64_t>(0xffff5bb1), static_cast<int64_t>(0x895cd7be),
+    static_cast<int64_t>(0x6b901122), static_cast<int64_t>(0xfd987193),
+    static_cast<int64_t>(0xa679438e), static_cast<int64_t>(0x49b40821)};
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildMd5() {
+  auto P = std::make_unique<Program>("md5");
+  int Shifts = P->addGlobal("shifts", 16, 1);
+  P->getObject(Shifts).setInit(
+      std::vector<int64_t>(Md5Shifts, Md5Shifts + 16));
+  int KTab = P->addGlobal("sineK", 16, 4);
+  P->getObject(KTab).setInit(std::vector<int64_t>(Md5K, Md5K + 16));
+  int Msg = P->addGlobal("message", 2048, 4); // 128 blocks of 16 words.
+  {
+    auto Words = makeByteInput(2048, 92);
+    for (auto &W : Words)
+      W = (W << 16) | (W ^ 0x5a);
+    P->getObject(Msg).setInit(std::move(Words));
+  }
+  int Digest = P->addGlobal("digest", 4, 4);
+  P->getObject(Digest).setInit(
+      {0x67452301, static_cast<int64_t>(0xefcdab89),
+       static_cast<int64_t>(0x98badcfe), 0x10325476});
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Block = P->makeFunction("md5_block", 1); // (blockIdx)
+
+  // --- md5_block: one F-round pass over a 16-word block.
+  {
+    IRBuilder B(Block);
+    B.setInsertPoint(Block->makeBlock("entry"));
+    int Idx = 0;
+    int MBase = B.add(B.addrOf(Msg), B.shl(Idx, B.movi(4)));
+    int SBase = B.addrOf(Shifts);
+    int KBase = B.addrOf(KTab);
+    int DBase = B.addrOf(Digest);
+    int Mask32 = B.movi(0xffffffffLL);
+
+    int A = B.newReg(), Bv = B.newReg(), C = B.newReg(), D = B.newReg();
+    B.loadTo(A, DBase, 0);
+    B.loadTo(Bv, DBase, 1);
+    B.loadTo(C, DBase, 2);
+    B.loadTo(D, DBase, 3);
+
+    auto L = B.beginCountedLoop(0, 16);
+    // F = (B & C) | (~B & D), with ~B as B ^ 0xffffffff.
+    int NotB = B.xor_(Bv, Mask32);
+    int Fv = B.or_(B.and_(Bv, C), B.and_(NotB, D));
+    int W = B.load(B.add(MBase, L.IndVar));
+    int K = B.load(B.add(KBase, L.IndVar));
+    int Sum = B.and_(B.add(B.add(B.add(A, Fv), W), K), Mask32);
+    int S = B.load(B.add(SBase, L.IndVar));
+    // 32-bit rotate left by S.
+    int Hi = B.and_(B.shl(Sum, S), Mask32);
+    int Lo = B.lshr(Sum, B.sub(B.movi(32), S));
+    int Rot = B.or_(Hi, Lo);
+    int NewB = B.and_(B.add(Bv, Rot), Mask32);
+    B.movTo(A, D);
+    B.movTo(D, C);
+    B.movTo(C, Bv);
+    B.movTo(Bv, NewB);
+    B.endCountedLoop(L);
+
+    auto Mix = [&](int64_t Slot, int Reg) {
+      int Old = B.load(DBase, Slot);
+      B.store(B.and_(B.add(Old, Reg), Mask32), DBase, Slot);
+    };
+    Mix(0, A);
+    Mix(1, Bv);
+    Mix(2, C);
+    Mix(3, D);
+    B.ret();
+  }
+
+  // --- main.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto L = B.beginCountedLoop(0, 128);
+    B.call(Block, {L.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(L);
+    int DBase = B.addrOf(Digest);
+    int Sum = B.movi(0);
+    auto L2 = B.beginCountedLoop(0, 4);
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, B.load(B.add(DBase, L2.IndVar)));
+    B.endCountedLoop(L2);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildQsort() {
+  auto P = std::make_unique<Program>("qsort");
+  constexpr unsigned N = 1024;
+  int Data = P->addGlobal("data", N, 4);
+  {
+    Random RNG(93);
+    std::vector<int64_t> Init(N);
+    for (auto &V : Init)
+      V = RNG.nextInRange(-100000, 100000);
+    P->getObject(Data).setInit(std::move(Init));
+  }
+  int Stack = P->addHeapSite("sortStack", 4);
+  int Checks = P->addGlobal("checks", 2, 4); // [inversions, checksum]
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int DBase = B.addrOf(Data);
+  // Explicit (lo, hi) work stack in a heap allocation.
+  int SBase = B.mallocOp(B.movi(2048), Stack);
+  int Sp = B.movi(0);
+  // Push initial range [0, N-1].
+  B.store(B.movi(0), B.add(SBase, Sp), 0);
+  B.store(B.movi(N - 1), B.add(SBase, Sp), 1);
+  B.movTo(Sp, B.movi(2));
+
+  BasicBlock *LoopHead = B.makeBlock("work.head");
+  BasicBlock *LoopBody = B.makeBlock("work.body");
+  BasicBlock *Done = B.makeBlock("work.done");
+  B.br(LoopHead);
+  B.setInsertPoint(LoopHead);
+  int HasWork = B.cmpGT(Sp, B.movi(0));
+  B.brCond(HasWork, LoopBody, Done);
+
+  B.setInsertPoint(LoopBody);
+  // Pop a range.
+  B.emitBinaryTo(Sp, Opcode::Sub, Sp, B.movi(2));
+  int Lo = B.load(B.add(SBase, Sp), 0);
+  int Hi = B.load(B.add(SBase, Sp), 1);
+
+  // Lomuto partition around data[hi], fully if-converted: j-scan with
+  // select-guarded swaps.
+  int Pivot = B.load(B.add(DBase, Hi));
+  int StoreIdx = B.mov(Lo);
+  auto LScan = B.beginCountedLoopReg(0, B.sub(Hi, Lo));
+  int J = B.add(Lo, LScan.IndVar);
+  int Vj = B.load(B.add(DBase, J));
+  int Less = B.cmpLE(Vj, Pivot);
+  // Conditional swap data[storeIdx] <-> data[j].
+  int Vi = B.load(B.add(DBase, StoreIdx));
+  B.store(B.select(Less, Vj, Vi), B.add(DBase, StoreIdx));
+  B.store(B.select(Less, Vi, Vj), B.add(DBase, J));
+  B.emitBinaryTo(StoreIdx, Opcode::Add, StoreIdx, Less);
+  B.endCountedLoop(LScan);
+  // Place the pivot.
+  int Vp = B.load(B.add(DBase, StoreIdx));
+  B.store(Vp, B.add(DBase, Hi));
+  B.store(Pivot, B.add(DBase, StoreIdx));
+
+  // Push sub-ranges when nontrivial (guarded pushes via select on size).
+  // Left range [lo, storeIdx-1].
+  int LHi = B.sub(StoreIdx, B.movi(1));
+  int LeftBig = B.cmpLT(Lo, LHi);
+  B.store(Lo, B.add(SBase, Sp), 0);
+  B.store(LHi, B.add(SBase, Sp), 1);
+  B.emitBinaryTo(Sp, Opcode::Add, Sp,
+                 B.shl(LeftBig, B.movi(1))); // +2 if pushed.
+  // Right range [storeIdx+1, hi].
+  int RLo = B.add(StoreIdx, B.movi(1));
+  int RightBig = B.cmpLT(RLo, Hi);
+  B.store(RLo, B.add(SBase, Sp), 0);
+  B.store(Hi, B.add(SBase, Sp), 1);
+  B.emitBinaryTo(Sp, Opcode::Add, Sp, B.shl(RightBig, B.movi(1)));
+  B.br(LoopHead);
+
+  // --- Verification: count inversions (must be 0) and checksum.
+  B.setInsertPoint(Done);
+  int CBase = B.addrOf(Checks);
+  int Inversions = B.movi(0);
+  int Checksum = B.movi(0);
+  auto LV = B.beginCountedLoop(1, N);
+  int Prev = B.load(B.add(B.add(DBase, LV.IndVar), B.movi(-1)));
+  int Cur = B.load(B.add(DBase, LV.IndVar));
+  B.emitBinaryTo(Inversions, Opcode::Add, Inversions, B.cmpGT(Prev, Cur));
+  B.emitBinaryTo(Checksum, Opcode::Add, Checksum, Cur);
+  B.endCountedLoop(LV);
+  B.store(Inversions, CBase, 0);
+  B.store(Checksum, CBase, 1);
+  B.ret(Inversions);
+  return P;
+}

@@ -1,0 +1,291 @@
+//===- workloads/Image.cpp - Image-processing workloads ----------------------===//
+//
+// `epic`: two-level Burt–Adelson lowpass pyramid with heap-allocated levels
+// and a shared filter routine — the loads inside buildLevel may access the
+// source image *or* a pyramid level, exercising interprocedural points-to
+// and the access-pattern merge.
+//
+// `sobel`: 3×3 gradient edge detector with a gradient histogram.
+//
+// `fsed`: Floyd–Steinberg error diffusion over a heap work buffer (the
+// paper's Figure 10 singles fsed out for its intercluster traffic).
+//
+// `histogram`: histogram equalization (histogram → CDF → LUT → remap).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+#include "workloads/Inputs.h"
+
+using namespace gdp;
+
+namespace {
+
+constexpr unsigned ImgW = 64;
+constexpr unsigned ImgH = 64;
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildEpic() {
+  auto P = std::make_unique<Program>("epic");
+  int ImgIn = P->addGlobal("imageIn", ImgW * ImgH, 1);
+  P->getObject(ImgIn).setInit(makeImageInput(ImgW, ImgH, 61));
+  int Kern = P->addGlobal("lowpassKernel", 5, 2);
+  P->getObject(Kern).setInit({1, 4, 6, 4, 1}); // Binomial, sum 16.
+  int Level1 = P->addHeapSite("pyrLevel1", 2);
+  int Level2 = P->addHeapSite("pyrLevel2", 2);
+  int QuantOut = P->addGlobal("quantOut", (ImgW / 4) * (ImgH / 4), 1);
+
+  Function *Main = P->makeFunction("main", 0);
+  // buildLevel(srcPtr, dstPtr, srcW): horizontal 5-tap lowpass + 2x
+  // decimation in both dimensions.
+  Function *Build = P->makeFunction("build_level", 3);
+
+  {
+    IRBuilder B(Build);
+    B.setInsertPoint(Build->makeBlock("entry"));
+    int Src = 0, Dst = 1, SrcW = 2;
+    int KBase = B.addrOf(Kern);
+    int DstW = B.ashr(SrcW, B.movi(1));
+    int Zero = B.movi(0);
+    int WMinus1 = B.sub(SrcW, B.movi(1));
+
+    auto LY = B.beginCountedLoopReg(0, DstW);
+    auto LX = B.beginCountedLoopReg(0, DstW);
+    int SrcY = B.shl(LY.IndVar, B.movi(1));
+    int SrcX = B.shl(LX.IndVar, B.movi(1));
+    // Fully unrolled 5-tap filter (parallel loads, tree reduction).
+    int RowAddr = B.add(Src, B.mul(SrcY, SrcW));
+    std::vector<int> Taps;
+    for (int64_t K = 0; K != 5; ++K) {
+      int X = B.add(SrcX, B.movi(K - 2));
+      X = B.max(X, Zero);
+      X = B.min(X, WMinus1);
+      int Pix = B.load(B.add(RowAddr, X));
+      int W = B.load(KBase, K);
+      Taps.push_back(B.mul(Pix, W));
+    }
+    int Sum = B.add(B.add(B.add(Taps[0], Taps[1]), B.add(Taps[2], Taps[3])),
+                    Taps[4]);
+    int Out = B.ashr(Sum, B.movi(4));
+    B.store(Out, B.add(Dst, B.add(B.mul(LY.IndVar, DstW), LX.IndVar)));
+    B.endCountedLoop(LX);
+    B.endCountedLoop(LY);
+    B.ret();
+  }
+
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    int L1Size = B.movi((ImgW / 2) * (ImgH / 2));
+    int L1 = B.mallocOp(L1Size, Level1);
+    int L2Size = B.movi((ImgW / 4) * (ImgH / 4));
+    int L2 = B.mallocOp(L2Size, Level2);
+    int ImgBase = B.addrOf(ImgIn);
+    B.call(Build, {ImgBase, L1, B.movi(ImgW)}, /*WantResult=*/false);
+    B.call(Build, {L1, L2, B.movi(ImgW / 2)}, /*WantResult=*/false);
+
+    // Quantize the coarsest level.
+    int QBase = B.addrOf(QuantOut);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0,
+                                static_cast<int64_t>((ImgW / 4) * (ImgH / 4)));
+    int V = B.load(B.add(L2, L.IndVar));
+    int Q = B.ashr(V, B.movi(3));
+    B.store(Q, B.add(QBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, Q);
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildSobel() {
+  auto P = std::make_unique<Program>("sobel");
+  int ImgIn = P->addGlobal("imageIn", ImgW * ImgH, 1);
+  P->getObject(ImgIn).setInit(makeImageInput(ImgW, ImgH, 62));
+  int Grad = P->addGlobal("gradientOut", ImgW * ImgH, 2);
+  int Edges = P->addGlobal("edgeMap", ImgW * ImgH, 1);
+  int Hist = P->addGlobal("gradHist", 64, 4);
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int InBase = B.addrOf(ImgIn);
+  int GBase = B.addrOf(Grad);
+  int EBase = B.addrOf(Edges);
+  int HBase = B.addrOf(Hist);
+
+  auto LY = B.beginCountedLoop(1, static_cast<int64_t>(ImgH - 1));
+  auto LX = B.beginCountedLoop(1, static_cast<int64_t>(ImgW - 1));
+  int Center = B.add(B.mul(LY.IndVar, B.movi(ImgW)), LX.IndVar);
+  int Addr = B.add(InBase, Center);
+  constexpr int64_t W = ImgW;
+  int P00 = B.load(Addr, -W - 1);
+  int P01 = B.load(Addr, -W);
+  int P02 = B.load(Addr, -W + 1);
+  int P10 = B.load(Addr, -1);
+  int P12 = B.load(Addr, +1);
+  int P20 = B.load(Addr, W - 1);
+  int P21 = B.load(Addr, W);
+  int P22 = B.load(Addr, W + 1);
+
+  int Two = B.movi(2);
+  // gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
+  int Gx = B.sub(B.add(B.add(P02, B.mul(P12, Two)), P22),
+                 B.add(B.add(P00, B.mul(P10, Two)), P20));
+  // gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)
+  int Gy = B.sub(B.add(B.add(P20, B.mul(P21, Two)), P22),
+                 B.add(B.add(P00, B.mul(P01, Two)), P02));
+  int Mag = B.add(B.abs(Gx), B.abs(Gy));
+  B.store(Mag, B.add(GBase, Center));
+  int IsEdge = B.cmpGE(Mag, B.movi(96));
+  B.store(IsEdge, B.add(EBase, Center));
+  // Histogram bucket: hist[min(mag >> 4, 63)]++.
+  int Bucket = B.min(B.ashr(Mag, B.movi(4)), B.movi(63));
+  int HAddr = B.add(HBase, Bucket);
+  B.store(B.add(B.load(HAddr), B.movi(1)), HAddr);
+  B.endCountedLoop(LX);
+  B.endCountedLoop(LY);
+
+  int Sum = B.movi(0);
+  auto LH = B.beginCountedLoop(0, 64);
+  int C = B.load(B.add(HBase, LH.IndVar));
+  B.emitBinaryTo(Sum, Opcode::Add, Sum, B.mul(C, LH.IndVar));
+  B.endCountedLoop(LH);
+  B.ret(Sum);
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildFsed() {
+  auto P = std::make_unique<Program>("fsed");
+  int ImgIn = P->addGlobal("imageIn", ImgW * ImgH, 1);
+  P->getObject(ImgIn).setInit(makeImageInput(ImgW, ImgH, 63));
+  int Weights = P->addGlobal("errWeights", 4, 1);
+  P->getObject(Weights).setInit({7, 3, 5, 1}); // /16: E, SW, S, SE.
+  int Work = P->addHeapSite("workBuffer", 2);
+  int OutBmp = P->addGlobal("bitmapOut", ImgW * ImgH, 1);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Dither = P->makeFunction("dither", 1); // (workPtr)
+
+  // --- dither(work): serpentine-free classic error diffusion.
+  {
+    IRBuilder B(Dither);
+    B.setInsertPoint(Dither->makeBlock("entry"));
+    int Work0 = 0;
+    int WBase = B.addrOf(Weights);
+    int OBase = B.addrOf(OutBmp);
+    int W7 = B.load(WBase, 0);
+    int W3 = B.load(WBase, 1);
+    int W5 = B.load(WBase, 2);
+    int W1 = B.load(WBase, 3);
+
+    auto LY = B.beginCountedLoop(0, static_cast<int64_t>(ImgH - 1));
+    auto LX = B.beginCountedLoop(1, static_cast<int64_t>(ImgW - 1));
+    int Center = B.add(B.mul(LY.IndVar, B.movi(ImgW)), LX.IndVar);
+    int Addr = B.add(Work0, Center);
+    int Old = B.load(Addr);
+    int White = B.cmpGE(Old, B.movi(128));
+    int New = B.select(White, B.movi(255), B.movi(0));
+    B.store(White, B.add(OBase, Center));
+    int Err = B.sub(Old, New);
+
+    auto Spread = [&](int Weight, int64_t Offset) {
+      int NAddr = B.add(Addr, B.movi(Offset));
+      int Nv = B.load(NAddr);
+      int Delta = B.ashr(B.mul(Err, Weight), B.movi(4));
+      B.store(B.add(Nv, Delta), NAddr);
+    };
+    Spread(W7, 1);
+    Spread(W3, ImgW - 1);
+    Spread(W5, ImgW);
+    Spread(W1, ImgW + 1);
+    B.endCountedLoop(LX);
+    B.endCountedLoop(LY);
+    B.ret();
+  }
+
+  // --- main: copy image into the heap work buffer, dither, checksum.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    int WorkPtr = B.mallocOp(B.movi(ImgW * ImgH), Work);
+    int InBase = B.addrOf(ImgIn);
+    auto LC = B.beginCountedLoop(0, static_cast<int64_t>(ImgW * ImgH));
+    int V = B.load(B.add(InBase, LC.IndVar));
+    B.store(V, B.add(WorkPtr, LC.IndVar));
+    B.endCountedLoop(LC);
+
+    B.call(Dither, {WorkPtr}, /*WantResult=*/false);
+
+    int OBase = B.addrOf(OutBmp);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(ImgW * ImgH));
+    int Bit = B.load(B.add(OBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, Bit);
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildHistogram() {
+  auto P = std::make_unique<Program>("histogram");
+  int ImgIn = P->addGlobal("imageIn", ImgW * ImgH, 1);
+  P->getObject(ImgIn).setInit(makeImageInput(ImgW, ImgH, 64));
+  int Hist = P->addGlobal("hist", 256, 4);
+  int Cdf = P->addGlobal("cdf", 256, 4);
+  int Lut = P->addGlobal("lut", 256, 1);
+  int ImgOut = P->addGlobal("imageOut", ImgW * ImgH, 1);
+
+  Function *Main = P->makeFunction("main", 0);
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+  int InBase = B.addrOf(ImgIn);
+  int HBase = B.addrOf(Hist);
+  int CBase = B.addrOf(Cdf);
+  int LBase = B.addrOf(Lut);
+  int OBase = B.addrOf(ImgOut);
+  constexpr int64_t N = ImgW * ImgH;
+
+  // Histogram.
+  auto L1 = B.beginCountedLoop(0, N);
+  int Pix = B.load(B.add(InBase, L1.IndVar));
+  int HAddr = B.add(HBase, Pix);
+  B.store(B.add(B.load(HAddr), B.movi(1)), HAddr);
+  B.endCountedLoop(L1);
+
+  // CDF (prefix sum).
+  int Run = B.movi(0);
+  auto L2 = B.beginCountedLoop(0, 256);
+  int Count = B.load(B.add(HBase, L2.IndVar));
+  B.emitBinaryTo(Run, Opcode::Add, Run, Count);
+  B.store(Run, B.add(CBase, L2.IndVar));
+  B.endCountedLoop(L2);
+
+  // LUT: lut[v] = cdf[v] * 255 / total.
+  auto L3 = B.beginCountedLoop(0, 256);
+  int C = B.load(B.add(CBase, L3.IndVar));
+  int Mapped = B.div(B.mul(C, B.movi(255)), B.movi(N));
+  B.store(Mapped, B.add(LBase, L3.IndVar));
+  B.endCountedLoop(L3);
+
+  // Remap, unrolled 4×: four independent gather chains per iteration.
+  int Sum = B.movi(0);
+  auto L4 = B.beginCountedLoop(0, N, 4);
+  int Partial = B.movi(0);
+  for (int64_t U = 0; U != 4; ++U) {
+    int Addr = B.add(InBase, L4.IndVar);
+    int V = B.load(Addr, U);
+    int M = B.load(B.add(LBase, V));
+    B.store(M, B.add(B.add(OBase, L4.IndVar), B.movi(U)));
+    Partial = B.add(Partial, M);
+  }
+  B.emitBinaryTo(Sum, Opcode::Add, Sum, Partial);
+  B.endCountedLoop(L4);
+  B.ret(Sum);
+  return P;
+}

@@ -1,0 +1,65 @@
+//===- workloads/Inputs.cpp - Synthetic workload inputs ---------------------===//
+
+#include "workloads/Inputs.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace gdp;
+
+std::vector<int64_t> gdp::makeAudioInput(unsigned NumSamples, uint64_t Seed) {
+  Random RNG(Seed);
+  std::vector<int64_t> Out(NumSamples);
+  double Phase1 = RNG.nextDouble() * 6.28318530718;
+  double Phase2 = RNG.nextDouble() * 6.28318530718;
+  for (unsigned I = 0; I != NumSamples; ++I) {
+    double T = static_cast<double>(I);
+    double S = 9000.0 * std::sin(0.031 * T + Phase1) +
+               4500.0 * std::sin(0.123 * T + Phase2) +
+               1500.0 * std::sin(0.511 * T);
+    S += static_cast<double>(RNG.nextInRange(-400, 400));
+    if (S > 32767)
+      S = 32767;
+    if (S < -32768)
+      S = -32768;
+    Out[I] = static_cast<int64_t>(S);
+  }
+  return Out;
+}
+
+std::vector<int64_t> gdp::makeImageInput(unsigned Width, unsigned Height,
+                                         uint64_t Seed) {
+  Random RNG(Seed);
+  std::vector<int64_t> Out(static_cast<size_t>(Width) * Height);
+  double CX = Width / 2.0, CY = Height / 2.0;
+  for (unsigned Y = 0; Y != Height; ++Y)
+    for (unsigned X = 0; X != Width; ++X) {
+      double DX = (X - CX) / Width, DY = (Y - CY) / Height;
+      double V = 128 + 90 * std::sin(8.0 * DX) * std::cos(6.0 * DY) +
+                 40 * std::exp(-12.0 * (DX * DX + DY * DY));
+      V += static_cast<double>(RNG.nextInRange(-10, 10));
+      if (V < 0)
+        V = 0;
+      if (V > 255)
+        V = 255;
+      Out[static_cast<size_t>(Y) * Width + X] = static_cast<int64_t>(V);
+    }
+  return Out;
+}
+
+std::vector<int64_t> gdp::makeBitInput(unsigned NumBits, uint64_t Seed) {
+  Random RNG(Seed);
+  std::vector<int64_t> Out(NumBits);
+  for (auto &B : Out)
+    B = static_cast<int64_t>(RNG.nextBelow(2));
+  return Out;
+}
+
+std::vector<int64_t> gdp::makeByteInput(unsigned NumBytes, uint64_t Seed) {
+  Random RNG(Seed);
+  std::vector<int64_t> Out(NumBytes);
+  for (auto &B : Out)
+    B = static_cast<int64_t>(RNG.nextBelow(256));
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- workloads/Inputs.h - Synthetic workload inputs -----------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic input generators for the workload suite. The
+/// paper profiles Mediabench programs on their reference inputs; we
+/// substitute deterministic signals with the same character (band-limited
+/// audio, natural-statistics images, random bitstreams) so the profiled
+/// access patterns are representative and every run is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_WORKLOADS_INPUTS_H
+#define GDP_WORKLOADS_INPUTS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+/// 16-bit PCM-like audio: a sum of sinusoids plus small noise.
+std::vector<int64_t> makeAudioInput(unsigned NumSamples, uint64_t Seed);
+
+/// 8-bit grayscale image with smooth gradients plus texture noise,
+/// row-major Width × Height.
+std::vector<int64_t> makeImageInput(unsigned Width, unsigned Height,
+                                    uint64_t Seed);
+
+/// Uniform random bits (0/1).
+std::vector<int64_t> makeBitInput(unsigned NumBits, uint64_t Seed);
+
+/// Uniform random bytes [0, 255].
+std::vector<int64_t> makeByteInput(unsigned NumBytes, uint64_t Seed);
+
+} // namespace gdp
+
+#endif // GDP_WORKLOADS_INPUTS_H

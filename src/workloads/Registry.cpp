@@ -1,0 +1,38 @@
+//===- workloads/Registry.cpp - Benchmark suite registry ---------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace gdp;
+
+const std::vector<WorkloadInfo> &gdp::allWorkloads() {
+  static const std::vector<WorkloadInfo> Suite = {
+      {"rawcaudio", "mediabench", buildRawCAudio},
+      {"rawdaudio", "mediabench", buildRawDAudio},
+      {"g721enc", "mediabench", buildG721Enc},
+      {"g721dec", "mediabench", buildG721Dec},
+      {"gsmenc", "mediabench", buildGSMEnc},
+      {"epic", "mediabench", buildEpic},
+      {"mpeg2enc", "mediabench", buildMpeg2Enc},
+      {"mpeg2dec", "mediabench", buildMpeg2Dec},
+      {"cjpeg", "mediabench", buildCjpeg},
+      {"pegwit", "mediabench", buildPegwit},
+      {"fir", "dsp", buildFir},
+      {"fsed", "dsp", buildFsed},
+      {"sobel", "dsp", buildSobel},
+      {"viterbi", "dsp", buildViterbi},
+      {"fft", "dsp", buildFft},
+      {"histogram", "dsp", buildHistogram},
+      {"matmul", "extra", buildMatmul},
+      {"crc32", "extra", buildCrc32},
+      {"md5", "extra", buildMd5},
+      {"qsort", "extra", buildQsort},
+  };
+  return Suite;
+}
+
+std::unique_ptr<Program> gdp::buildWorkload(const std::string &Name) {
+  for (const WorkloadInfo &W : allWorkloads())
+    if (W.Name == Name)
+      return W.Build();
+  return nullptr;
+}

@@ -1,0 +1,485 @@
+//===- workloads/Video.cpp - DCT-based image/video coders --------------------===//
+//
+// `mpeg2enc`: per-8×8-block separable forward DCT, intra quantization and
+// zigzag scan — the core loop nest of an MPEG-2 intra encoder.
+//
+// `mpeg2dec`: the inverse pipeline — dezigzag, dequantization, separable
+// inverse DCT, saturation into the reconstructed frame.
+//
+// `cjpeg`: RGB→YCbCr color conversion followed by the same DCT/quantize
+// machinery on the luma plane with JPEG's luminance table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Random.h"
+#include "workloads/Inputs.h"
+
+#include <cmath>
+
+using namespace gdp;
+
+namespace {
+
+constexpr unsigned FrameW = 64;
+constexpr unsigned FrameH = 64;
+constexpr unsigned NumBlocks = (FrameW / 8) * (FrameH / 8);
+
+/// Scaled DCT-II basis: C[u*8+x] = round(cos((2x+1)uπ/16) · 2048),
+/// with the 1/√2 normalization folded into row u = 0.
+std::vector<int64_t> makeCosTable() {
+  std::vector<int64_t> T(64);
+  for (unsigned U = 0; U != 8; ++U)
+    for (unsigned X = 0; X != 8; ++X) {
+      double V = std::cos((2 * X + 1) * U * 3.14159265358979323846 / 16.0);
+      if (U == 0)
+        V *= 0.70710678118654752440;
+      T[U * 8 + X] = static_cast<int64_t>(std::lround(V * 2048.0));
+    }
+  return T;
+}
+
+/// The MPEG-2 default intra quantizer matrix.
+const int64_t IntraQuant[64] = {
+    8,  16, 19, 22, 26, 27, 29, 34, 16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38, 22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83};
+
+/// JPEG Annex K luminance table.
+const int64_t JpegLum[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+/// Standard zigzag scan order.
+const int64_t Zigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+std::vector<int64_t> tableVec64(const int64_t *Data) {
+  return std::vector<int64_t>(Data, Data + 64);
+}
+
+/// Emits a fully unrolled 8-element dot product with a tree reduction —
+/// the region shape an unrolling VLIW compiler produces from the DCT
+/// inner loops (8 parallel load pairs, log-depth adds).
+template <typename LoadA, typename LoadB>
+int emitDot8(IRBuilder &B, LoadA A, LoadB Bv) {
+  std::vector<int> Products;
+  Products.reserve(8);
+  for (unsigned I = 0; I != 8; ++I)
+    Products.push_back(B.mul(A(I), Bv(I)));
+  for (unsigned Stride = 1; Stride < 8; Stride *= 2)
+    for (unsigned I = 0; I + Stride < 8; I += 2 * Stride)
+      Products[I] = B.add(Products[I], Products[I + Stride]);
+  return Products[0];
+}
+
+/// Emits the separable 8×8 transform: reads block (bx, by) from
+/// \p SrcBase (frame of width FrameW), writes 64 coefficients into
+/// \p TmpBase/DstBase scratch order. Used forward (RowsThenCols with the
+/// cos table) by the encoders.
+void emitForwardDct(IRBuilder &B, int SrcBase, int TmpBase, int DstBase,
+                    int CosBase, int Bx, int By) {
+  int RowOrigin = B.add(B.mul(B.mul(By, B.movi(8)), B.movi(FrameW)),
+                        B.mul(Bx, B.movi(8)));
+  // Pass 1 (rows): tmp[u*8+y] = Σx src(x, y) · C[u*8+x]  >> 11.
+  // The y dimension is fully unrolled: each u-iteration is one wide,
+  // memory-parallel region of 8 independent dot products (the superblock
+  // shape the paper's Trimaran regions have after unrolling).
+  auto LU = B.beginCountedLoop(0, 8);
+  int CosRow = B.add(CosBase, B.mul(LU.IndVar, B.movi(8)));
+  for (int64_t Y = 0; Y != 8; ++Y) {
+    int RowAddr = B.add(B.add(SrcBase, RowOrigin), B.movi(Y * FrameW));
+    int Sum = emitDot8(
+        B, [&](unsigned X) { return B.load(RowAddr, X); },
+        [&](unsigned X) { return B.load(CosRow, X); });
+    B.store(B.ashr(Sum, B.movi(11)),
+            B.add(B.add(TmpBase, B.mul(LU.IndVar, B.movi(8))), B.movi(Y)));
+  }
+  B.endCountedLoop(LU);
+
+  // Pass 2 (cols): dst[v*8+u] = Σy tmp[u*8+y] · C[v*8+y]  >> 13.
+  auto LV = B.beginCountedLoop(0, 8);
+  int CosRow2 = B.add(CosBase, B.mul(LV.IndVar, B.movi(8)));
+  for (int64_t U = 0; U != 8; ++U) {
+    int TmpRow = B.add(TmpBase, B.movi(U * 8));
+    int Sum2 = emitDot8(
+        B, [&](unsigned Y) { return B.load(TmpRow, Y); },
+        [&](unsigned Y) { return B.load(CosRow2, Y); });
+    B.store(B.ashr(Sum2, B.movi(13)),
+            B.add(B.add(DstBase, B.mul(LV.IndVar, B.movi(8))), B.movi(U)));
+  }
+  B.endCountedLoop(LV);
+}
+
+} // namespace
+
+std::unique_ptr<Program> gdp::buildMpeg2Enc() {
+  auto P = std::make_unique<Program>("mpeg2enc");
+  int Frame = P->addGlobal("frameIn", FrameW * FrameH, 1);
+  P->getObject(Frame).setInit(makeImageInput(FrameW, FrameH, 71));
+  // Reference frame for motion estimation: the same scene, slightly
+  // shifted and re-noised.
+  int RefFrame = P->addGlobal("refFrame", FrameW * FrameH, 1);
+  {
+    auto Cur = makeImageInput(FrameW, FrameH, 71);
+    Random RNG(75);
+    std::vector<int64_t> Ref(FrameW * FrameH);
+    for (unsigned Y = 0; Y != FrameH; ++Y)
+      for (unsigned X = 0; X != FrameW; ++X) {
+        unsigned SrcX = X > 0 ? X - 1 : X;
+        int64_t V = Cur[Y * FrameW + SrcX] + RNG.nextInRange(-4, 4);
+        Ref[Y * FrameW + X] = std::min<int64_t>(255, std::max<int64_t>(0, V));
+      }
+    P->getObject(RefFrame).setInit(std::move(Ref));
+  }
+  int CosTab = P->addGlobal("dctCos", 64, 2);
+  P->getObject(CosTab).setInit(makeCosTable());
+  int QMat = P->addGlobal("intraQuant", 64, 1);
+  P->getObject(QMat).setInit(tableVec64(IntraQuant));
+  int Zz = P->addGlobal("zigzag", 64, 1);
+  P->getObject(Zz).setInit(tableVec64(Zigzag));
+  int Tmp = P->addGlobal("dctTmp", 64, 4);
+  int Coef = P->addGlobal("dctCoef", 64, 4);
+  int Out = P->addGlobal("coefOut", NumBlocks * 64, 2);
+  int Motion = P->addGlobal("motionOut", NumBlocks * 2, 1);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *DoBlock = P->makeFunction("encode_block", 2); // (bx, by)
+  Function *MotionEst = P->makeFunction("motion_estimate", 2); // (bx, by)
+
+  // --- motion_estimate(bx, by): full search in a ±2 window, SAD metric.
+  // The hot loop reads the current and the reference frame in parallel —
+  // the two-buffer access pattern that dominates real MPEG-2 encoding and
+  // that data partitioning serves well (one frame per cluster memory).
+  {
+    IRBuilder B(MotionEst);
+    B.setInsertPoint(MotionEst->makeBlock("entry"));
+    int Bx = 0, By = 1;
+    int CurBase = B.addrOf(Frame);
+    int RefBase = B.addrOf(RefFrame);
+    int MotionBase = B.addrOf(Motion);
+    int RowOrigin = B.add(B.mul(B.mul(By, B.movi(8)), B.movi(FrameW)),
+                          B.mul(Bx, B.movi(8)));
+
+    int BestSad = B.movi(1 << 24);
+    int BestDx = B.movi(0);
+    int BestDy = B.movi(0);
+    // Clamp the candidate window against the frame edges.
+    int Zero = B.movi(0);
+    auto LDy = B.beginCountedLoop(-2, 3);
+    auto LDx = B.beginCountedLoop(-2, 3);
+    int Sad = B.movi(0);
+    auto LRow = B.beginCountedLoop(0, 8);
+    int CurRow = B.add(B.add(CurBase, RowOrigin),
+                       B.mul(LRow.IndVar, B.movi(FrameW)));
+    // Clamped reference row start.
+    int RefY = B.add(B.add(B.mul(By, B.movi(8)), LRow.IndVar), LDy.IndVar);
+    RefY = B.max(RefY, Zero);
+    RefY = B.min(RefY, B.movi(FrameH - 1));
+    int RefX = B.add(B.mul(Bx, B.movi(8)), LDx.IndVar);
+    RefX = B.max(RefX, Zero);
+    RefX = B.min(RefX, B.movi(FrameW - 9));
+    int RefRow = B.add(B.add(RefBase, B.mul(RefY, B.movi(FrameW))), RefX);
+    // Unrolled 8-pixel SAD row: 16 parallel loads, tree reduction.
+    std::vector<int> Diffs;
+    for (unsigned X = 0; X != 8; ++X) {
+      int C = B.load(CurRow, X);
+      int R = B.load(RefRow, X);
+      Diffs.push_back(B.abs(B.sub(C, R)));
+    }
+    for (unsigned Stride = 1; Stride < 8; Stride *= 2)
+      for (unsigned I = 0; I + Stride < 8; I += 2 * Stride)
+        Diffs[I] = B.add(Diffs[I], Diffs[I + Stride]);
+    B.emitBinaryTo(Sad, Opcode::Add, Sad, Diffs[0]);
+    B.endCountedLoop(LRow);
+
+    int Better = B.cmpLT(Sad, BestSad);
+    B.movTo(BestSad, B.select(Better, Sad, BestSad));
+    B.movTo(BestDx, B.select(Better, LDx.IndVar, BestDx));
+    B.movTo(BestDy, B.select(Better, LDy.IndVar, BestDy));
+    B.endCountedLoop(LDx);
+    B.endCountedLoop(LDy);
+
+    int BlockIdx = B.add(B.mul(By, B.movi(FrameW / 8)), Bx);
+    int MvAddr = B.add(MotionBase, B.shl(BlockIdx, B.movi(1)));
+    B.store(BestDx, MvAddr, 0);
+    B.store(BestDy, MvAddr, 1);
+    B.ret();
+  }
+
+  {
+    IRBuilder B(DoBlock);
+    B.setInsertPoint(DoBlock->makeBlock("entry"));
+    int Bx = 0, By = 1;
+    int FrameBase = B.addrOf(Frame);
+    int CosBase = B.addrOf(CosTab);
+    int TmpBase = B.addrOf(Tmp);
+    int CoefBase = B.addrOf(Coef);
+    emitForwardDct(B, FrameBase, TmpBase, CoefBase, CosBase, Bx, By);
+
+    // Quantize + zigzag into the output stream.
+    int QBase = B.addrOf(QMat);
+    int ZBase = B.addrOf(Zz);
+    int OutBase = B.addrOf(Out);
+    int BlockIdx = B.add(B.mul(By, B.movi(FrameW / 8)), Bx);
+    int OutOrigin = B.add(OutBase, B.mul(BlockIdx, B.movi(64)));
+    auto LQ = B.beginCountedLoop(0, 64);
+    int Pos = B.load(B.add(ZBase, LQ.IndVar));
+    int C = B.load(B.add(CoefBase, Pos));
+    int Q = B.load(B.add(QBase, Pos));
+    int Sign = B.cmpLT(C, B.movi(0));
+    int Mag = B.div(B.shl(B.abs(C), B.movi(1)), B.max(Q, B.movi(1)));
+    int Level = B.select(Sign, B.sub(B.movi(0), Mag), Mag);
+    B.store(Level, B.add(OutOrigin, LQ.IndVar));
+    B.endCountedLoop(LQ);
+    B.ret();
+  }
+
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto LBy = B.beginCountedLoop(0, FrameH / 8);
+    auto LBx = B.beginCountedLoop(0, FrameW / 8);
+    B.call(MotionEst, {LBx.IndVar, LBy.IndVar}, /*WantResult=*/false);
+    B.call(DoBlock, {LBx.IndVar, LBy.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(LBx);
+    B.endCountedLoop(LBy);
+
+    int OutBase = B.addrOf(Out);
+    int NonZero = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(NumBlocks * 64));
+    int V = B.load(B.add(OutBase, L.IndVar));
+    B.emitBinaryTo(NonZero, Opcode::Add, NonZero, B.cmpNE(V, B.movi(0)));
+    B.endCountedLoop(L);
+    // Fold the motion vectors into the checksum so motion estimation is
+    // observable.
+    int MvBase = B.addrOf(Motion);
+    auto LM = B.beginCountedLoop(0, static_cast<int64_t>(NumBlocks * 2));
+    int Mv = B.load(B.add(MvBase, LM.IndVar));
+    B.emitBinaryTo(NonZero, Opcode::Add, NonZero, B.abs(Mv));
+    B.endCountedLoop(LM);
+    B.ret(NonZero);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildMpeg2Dec() {
+  auto P = std::make_unique<Program>("mpeg2dec");
+
+  // Synthetic coefficient stream: sparse small levels, DC-heavy.
+  std::vector<int64_t> CoefStream(NumBlocks * 64, 0);
+  {
+    Random RNG(72);
+    for (unsigned Blk = 0; Blk != NumBlocks; ++Blk) {
+      CoefStream[Blk * 64] = RNG.nextInRange(60, 180); // DC.
+      for (unsigned I = 1; I != 12; ++I)
+        CoefStream[Blk * 64 + I] = RNG.nextInRange(-24, 24);
+    }
+  }
+  int CoefIn = P->addGlobal("coefIn", NumBlocks * 64, 2);
+  P->getObject(CoefIn).setInit(std::move(CoefStream));
+  int CosTab = P->addGlobal("dctCos", 64, 2);
+  P->getObject(CosTab).setInit(makeCosTable());
+  int QMat = P->addGlobal("intraQuant", 64, 1);
+  P->getObject(QMat).setInit(tableVec64(IntraQuant));
+  int Zz = P->addGlobal("zigzag", 64, 1);
+  P->getObject(Zz).setInit(tableVec64(Zigzag));
+  int Block = P->addGlobal("coefBlock", 64, 4);
+  int Tmp = P->addGlobal("idctTmp", 64, 4);
+  int Recon = P->addGlobal("reconFrame", FrameW * FrameH, 1);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *DoBlock = P->makeFunction("decode_block", 2); // (bx, by)
+
+  {
+    IRBuilder B(DoBlock);
+    B.setInsertPoint(DoBlock->makeBlock("entry"));
+    int Bx = 0, By = 1;
+    int InBase = B.addrOf(CoefIn);
+    int ZBase = B.addrOf(Zz);
+    int QBase = B.addrOf(QMat);
+    int BlkBase = B.addrOf(Block);
+    int TmpBase = B.addrOf(Tmp);
+    int CosBase = B.addrOf(CosTab);
+    int ReconBase = B.addrOf(Recon);
+
+    // Dezigzag + dequantize into the natural-order block.
+    int BlockIdx = B.add(B.mul(By, B.movi(FrameW / 8)), Bx);
+    int InOrigin = B.add(InBase, B.mul(BlockIdx, B.movi(64)));
+    auto LD = B.beginCountedLoop(0, 64);
+    int Level = B.load(B.add(InOrigin, LD.IndVar));
+    int Pos = B.load(B.add(ZBase, LD.IndVar));
+    int Q = B.load(B.add(QBase, Pos));
+    int Val = B.ashr(B.mul(Level, Q), B.movi(1));
+    B.store(Val, B.add(BlkBase, Pos));
+    B.endCountedLoop(LD);
+
+    // Inverse separable transform (v fully unrolled per x — see
+    // emitForwardDct on region shape):
+    // tmp[x*8+v] = Σu blk[v*8+u] · C[u*8+x]  >> 11
+    auto LX = B.beginCountedLoop(0, 8);
+    int CosCol = B.add(CosBase, LX.IndVar);
+    for (int64_t V = 0; V != 8; ++V) {
+      int BlkRow = B.add(BlkBase, B.movi(V * 8));
+      int Sum = emitDot8(
+          B, [&](unsigned U) { return B.load(BlkRow, U); },
+          [&](unsigned U) { return B.load(CosCol, 8 * U); });
+      B.store(B.ashr(Sum, B.movi(11)),
+              B.add(B.add(TmpBase, B.mul(LX.IndVar, B.movi(8))), B.movi(V)));
+    }
+    B.endCountedLoop(LX);
+
+    // pix(x, y) = clamp(Σv tmp[x*8+v] · C[v*8+y] >> 13, 0, 255).
+    int RowOrigin = B.add(B.mul(B.mul(By, B.movi(8)), B.movi(FrameW)),
+                          B.mul(Bx, B.movi(8)));
+    auto LX2 = B.beginCountedLoop(0, 8);
+    int TmpRow = B.add(TmpBase, B.mul(LX2.IndVar, B.movi(8)));
+    for (int64_t Y = 0; Y != 8; ++Y) {
+      int CosCol2 = B.add(CosBase, B.movi(Y));
+      int Sum2 = emitDot8(
+          B, [&](unsigned V) { return B.load(TmpRow, V); },
+          [&](unsigned V) { return B.load(CosCol2, 8 * V); });
+      int Pix = B.ashr(Sum2, B.movi(13));
+      Pix = B.max(Pix, B.movi(0));
+      Pix = B.min(Pix, B.movi(255));
+      B.store(Pix, B.add(B.add(ReconBase, RowOrigin),
+                         B.add(B.movi(Y * FrameW), LX2.IndVar)));
+    }
+    B.endCountedLoop(LX2);
+    B.ret();
+  }
+
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    auto LBy = B.beginCountedLoop(0, FrameH / 8);
+    auto LBx = B.beginCountedLoop(0, FrameW / 8);
+    B.call(DoBlock, {LBx.IndVar, LBy.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(LBx);
+    B.endCountedLoop(LBy);
+
+    int ReconBase = B.addrOf(Recon);
+    int Sum = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(FrameW * FrameH));
+    int V = B.load(B.add(ReconBase, L.IndVar));
+    B.emitBinaryTo(Sum, Opcode::Add, Sum, V);
+    B.endCountedLoop(L);
+    B.ret(Sum);
+  }
+  return P;
+}
+
+std::unique_ptr<Program> gdp::buildCjpeg() {
+  auto P = std::make_unique<Program>("cjpeg");
+  unsigned N = FrameW * FrameH;
+
+  // Interleaved RGB input (three correlated planes).
+  std::vector<int64_t> Rgb(3 * N);
+  {
+    auto Y = makeImageInput(FrameW, FrameH, 73);
+    Random RNG(74);
+    for (unsigned I = 0; I != N; ++I) {
+      Rgb[3 * I + 0] = std::min<int64_t>(255, Y[I] + RNG.nextInRange(0, 30));
+      Rgb[3 * I + 1] = Y[I];
+      Rgb[3 * I + 2] = std::max<int64_t>(0, Y[I] - RNG.nextInRange(0, 30));
+    }
+  }
+  int RgbIn = P->addGlobal("rgbIn", 3 * N, 1);
+  P->getObject(RgbIn).setInit(std::move(Rgb));
+  int YPlane = P->addGlobal("yPlane", N, 1);
+  int CbPlane = P->addGlobal("cbPlane", N, 1);
+  int CrPlane = P->addGlobal("crPlane", N, 1);
+  int CosTab = P->addGlobal("dctCos", 64, 2);
+  P->getObject(CosTab).setInit(makeCosTable());
+  int QLum = P->addGlobal("lumQuant", 64, 1);
+  P->getObject(QLum).setInit(tableVec64(JpegLum));
+  int Tmp = P->addGlobal("dctTmp", 64, 4);
+  int Coef = P->addGlobal("dctCoef", 64, 4);
+  int Out = P->addGlobal("coefOut", NumBlocks * 64, 2);
+
+  Function *Main = P->makeFunction("main", 0);
+  Function *Convert = P->makeFunction("color_convert", 0);
+  Function *DoBlock = P->makeFunction("compress_block", 2); // (bx, by)
+
+  // --- color_convert: integer BT.601.
+  {
+    IRBuilder B(Convert);
+    B.setInsertPoint(Convert->makeBlock("entry"));
+    int RgbBase = B.addrOf(RgbIn);
+    int YBase = B.addrOf(YPlane);
+    int CbBase = B.addrOf(CbPlane);
+    int CrBase = B.addrOf(CrPlane);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(N));
+    int Addr = B.add(RgbBase, B.mul(L.IndVar, B.movi(3)));
+    int R = B.load(Addr, 0);
+    int G = B.load(Addr, 1);
+    int Bl = B.load(Addr, 2);
+    int Y = B.ashr(B.add(B.add(B.mul(R, B.movi(77)), B.mul(G, B.movi(150))),
+                         B.mul(Bl, B.movi(29))),
+                   B.movi(8));
+    int Cb = B.add(B.ashr(B.sub(Bl, Y), B.movi(1)), B.movi(128));
+    int Cr = B.add(B.ashr(B.sub(R, Y), B.movi(1)), B.movi(128));
+    B.store(Y, B.add(YBase, L.IndVar));
+    B.store(B.max(B.min(Cb, B.movi(255)), B.movi(0)),
+            B.add(CbBase, L.IndVar));
+    B.store(B.max(B.min(Cr, B.movi(255)), B.movi(0)),
+            B.add(CrBase, L.IndVar));
+    B.endCountedLoop(L);
+    B.ret();
+  }
+
+  // --- compress_block(bx, by): DCT + quantize the luma plane.
+  {
+    IRBuilder B(DoBlock);
+    B.setInsertPoint(DoBlock->makeBlock("entry"));
+    int Bx = 0, By = 1;
+    int YBase = B.addrOf(YPlane);
+    int CosBase = B.addrOf(CosTab);
+    int TmpBase = B.addrOf(Tmp);
+    int CoefBase = B.addrOf(Coef);
+    emitForwardDct(B, YBase, TmpBase, CoefBase, CosBase, Bx, By);
+
+    int QBase = B.addrOf(QLum);
+    int OutBase = B.addrOf(Out);
+    int BlockIdx = B.add(B.mul(By, B.movi(FrameW / 8)), Bx);
+    int OutOrigin = B.add(OutBase, B.mul(BlockIdx, B.movi(64)));
+    auto LQ = B.beginCountedLoop(0, 64);
+    int C = B.load(B.add(CoefBase, LQ.IndVar));
+    int Q = B.load(B.add(QBase, LQ.IndVar));
+    int Sign = B.cmpLT(C, B.movi(0));
+    int Mag = B.div(B.abs(C), B.max(Q, B.movi(1)));
+    B.store(B.select(Sign, B.sub(B.movi(0), Mag), Mag),
+            B.add(OutOrigin, LQ.IndVar));
+    B.endCountedLoop(LQ);
+    B.ret();
+  }
+
+  // --- main.
+  {
+    IRBuilder B(Main);
+    B.setInsertPoint(Main->makeBlock("entry"));
+    B.call(Convert, {}, /*WantResult=*/false);
+    auto LBy = B.beginCountedLoop(0, FrameH / 8);
+    auto LBx = B.beginCountedLoop(0, FrameW / 8);
+    B.call(DoBlock, {LBx.IndVar, LBy.IndVar}, /*WantResult=*/false);
+    B.endCountedLoop(LBx);
+    B.endCountedLoop(LBy);
+
+    int OutBase = B.addrOf(Out);
+    int NonZero = B.movi(0);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(NumBlocks * 64));
+    int V = B.load(B.add(OutBase, L.IndVar));
+    B.emitBinaryTo(NonZero, Opcode::Add, NonZero, B.cmpNE(V, B.movi(0)));
+    B.endCountedLoop(L);
+    B.ret(NonZero);
+  }
+  return P;
+}

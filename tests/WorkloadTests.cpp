@@ -1,0 +1,484 @@
+//===- tests/WorkloadTests.cpp - Benchmark suite correctness -------------------===//
+//
+// Every workload is verified structurally, executed by the interpreter, and
+// — where a reference implementation is practical — checked against an
+// independent C++ model computing the same algorithm on the same inputs.
+// This is what grounds the experiments: the access patterns the partitioner
+// sees come from genuinely correct kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+#include "ir/Verifier.h"
+#include "partition/Pipeline.h"
+#include "profile/Interpreter.h"
+#include "support/Random.h"
+#include "workloads/Inputs.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace gdp;
+
+// --- Generic suite-wide checks (parameterized over every workload) -----------
+
+class WorkloadSuiteTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadSuiteTest, Verifies) {
+  auto P = buildWorkload(GetParam());
+  ASSERT_NE(P, nullptr);
+  VerifyResult VR = verifyProgram(*P);
+  EXPECT_TRUE(VR.ok()) << VR.message();
+}
+
+TEST_P(WorkloadSuiteTest, ExecutesAndReturns) {
+  auto P = buildWorkload(GetParam());
+  ASSERT_NE(P, nullptr);
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.HasReturn);
+  EXPECT_GT(R.Steps, 100u) << "workload too trivial to profile";
+}
+
+TEST_P(WorkloadSuiteTest, DeterministicChecksum) {
+  auto P1 = buildWorkload(GetParam());
+  auto P2 = buildWorkload(GetParam());
+  Interpreter I1(*P1), I2(*P2);
+  InterpResult R1 = I1.run(), R2 = I2.run();
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.ReturnValue.I, R2.ReturnValue.I);
+}
+
+TEST_P(WorkloadSuiteTest, PointsToFindsEveryAccess) {
+  auto P = buildWorkload(GetParam());
+  EXPECT_EQ(annotateMemoryAccesses(*P), 0u)
+      << "a load/store has an empty access set";
+}
+
+TEST_P(WorkloadSuiteTest, PointsToSoundAgainstExecution) {
+  // Soundness: every dynamically observed (operation, object) access must
+  // be predicted by the static access set.
+  auto P = buildWorkload(GetParam());
+  annotateMemoryAccesses(*P);
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  const ProfileData &Prof = I.getProfile();
+  for (unsigned F = 0; F != P->getNumFunctions(); ++F) {
+    const Function &Fn = P->getFunction(F);
+    for (const auto &BB : Fn.blocks())
+      for (const auto &Op : BB->operations()) {
+        if (!Op->isMemoryAccess())
+          continue;
+        for (const auto &[Obj, Count] :
+             Prof.getAccessMap(F, static_cast<unsigned>(Op->getId())))
+          EXPECT_TRUE(Op->mayAccess(Obj))
+              << Fn.getName() << " op" << Op->getId()
+              << " dynamically accessed obj" << Obj
+              << " outside its static access set";
+      }
+  }
+}
+
+TEST_P(WorkloadSuiteTest, HasPartitionableData) {
+  // The paper's benchmark criterion: enough data objects for placement to
+  // matter.
+  auto P = buildWorkload(GetParam());
+  EXPECT_GE(P->getNumObjects(), 3u);
+  uint64_t Bytes = 0;
+  PreparedProgram PP = prepareProgram(*P);
+  ASSERT_TRUE(PP.Ok) << PP.Error;
+  for (const DataObject &Obj : P->objects())
+    Bytes += Obj.getSizeBytes();
+  EXPECT_GT(Bytes, 100u);
+}
+
+namespace {
+
+std::vector<const char *> workloadNames() {
+  std::vector<const char *> Names;
+  for (const WorkloadInfo &W : allWorkloads())
+    Names.push_back(W.Name.c_str());
+  return Names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSuiteTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+// --- IMA ADPCM reference checks --------------------------------------------------
+
+namespace {
+
+const int RefIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                               -1, -1, -1, -1, 2, 4, 6, 8};
+const int RefStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+/// Reference IMA encoder mirroring the kernel's select-based formulation.
+std::vector<int64_t> refAdpcmEncode(const std::vector<int64_t> &Pcm) {
+  std::vector<int64_t> Out(Pcm.size());
+  int64_t ValPred = 0;
+  int64_t Index = 0;
+  for (size_t I = 0; I != Pcm.size(); ++I) {
+    int64_t Step = RefStepTable[Index];
+    int64_t Diff = Pcm[I] - ValPred;
+    int64_t Sign = Diff < 0;
+    Diff = Diff < 0 ? -Diff : Diff;
+    int64_t VpDiff = Step >> 3;
+    int64_t C2 = Diff >= Step;
+    if (C2) {
+      Diff -= Step;
+      VpDiff += Step;
+    }
+    int64_t Step2 = Step >> 1;
+    int64_t C1 = Diff >= Step2;
+    if (C1) {
+      Diff -= Step2;
+      VpDiff += Step2;
+    }
+    int64_t Step3 = Step2 >> 1;
+    int64_t C0 = Diff >= Step3;
+    if (C0)
+      VpDiff += Step3;
+    ValPred = Sign ? ValPred - VpDiff : ValPred + VpDiff;
+    ValPred = std::max<int64_t>(-32768, std::min<int64_t>(32767, ValPred));
+    int64_t Delta = (Sign << 3) | (C2 << 2) | (C1 << 1) | C0;
+    Index += RefIndexTable[Delta];
+    Index = std::max<int64_t>(0, std::min<int64_t>(88, Index));
+    Out[I] = Delta;
+  }
+  return Out;
+}
+
+/// Reference IMA decoder.
+std::vector<int64_t> refAdpcmDecode(const std::vector<int64_t> &Codes) {
+  std::vector<int64_t> Out(Codes.size());
+  int64_t ValPred = 0, Index = 0;
+  for (size_t I = 0; I != Codes.size(); ++I) {
+    int64_t Delta = Codes[I];
+    int64_t Step = RefStepTable[Index];
+    int64_t VpDiff = Step >> 3;
+    if ((Delta >> 2) & 1)
+      VpDiff += Step;
+    if ((Delta >> 1) & 1)
+      VpDiff += Step >> 1;
+    if (Delta & 1)
+      VpDiff += Step >> 2;
+    ValPred = ((Delta >> 3) & 1) ? ValPred - VpDiff : ValPred + VpDiff;
+    ValPred = std::max<int64_t>(-32768, std::min<int64_t>(32767, ValPred));
+    Index += RefIndexTable[Delta];
+    Index = std::max<int64_t>(0, std::min<int64_t>(88, Index));
+    Out[I] = ValPred;
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(AdpcmReferenceTest, EncoderMatchesReference) {
+  auto P = buildWorkload("rawcaudio");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  auto Pcm = makeAudioInput(2048, 101); // Same input the builder installs.
+  auto Expected = refAdpcmEncode(Pcm);
+  // adpcmOut is object 3 (indexTable, stepsizeTable, pcmIn, adpcmOut, ...).
+  for (unsigned S = 0; S != 2048; ++S)
+    ASSERT_EQ(I.readGlobalInt(3, S), Expected[S]) << "sample " << S;
+}
+
+TEST(AdpcmReferenceTest, DecoderMatchesReference) {
+  auto P = buildWorkload("rawdaudio");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  auto Codes = makeByteInput(2048, 202);
+  for (auto &C : Codes)
+    C &= 15;
+  auto Expected = refAdpcmDecode(Codes);
+  // pcmOut is object 3 of rawdaudio.
+  for (unsigned S = 0; S != 2048; ++S)
+    ASSERT_EQ(I.readGlobalInt(3, S), Expected[S]) << "sample " << S;
+}
+
+TEST(AdpcmReferenceTest, EncoderOutputIsNibbles) {
+  auto P = buildWorkload("rawcaudio");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  for (unsigned S = 0; S != 2048; ++S) {
+    int64_t V = I.readGlobalInt(3, S);
+    EXPECT_GE(V, 0);
+    EXPECT_LE(V, 15);
+  }
+}
+
+// --- Self-checking / structural kernels --------------------------------------------
+
+TEST(ViterbiTest, DecodesWithZeroErrors) {
+  auto P = buildWorkload("viterbi");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.I, 0) << "viterbi decoder made bit errors";
+}
+
+TEST(HistogramTest, EqualizationInvariants) {
+  auto P = buildWorkload("histogram");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  // Objects: imageIn(0), hist(1), cdf(2), lut(3), imageOut(4).
+  uint64_t HistSum = 0;
+  for (unsigned V = 0; V != 256; ++V)
+    HistSum += static_cast<uint64_t>(I.readGlobalInt(1, V));
+  EXPECT_EQ(HistSum, 64u * 64u);
+  // CDF is monotone and ends at the pixel count.
+  int64_t Prev = 0;
+  for (unsigned V = 0; V != 256; ++V) {
+    int64_t C = I.readGlobalInt(2, V);
+    EXPECT_GE(C, Prev);
+    Prev = C;
+  }
+  EXPECT_EQ(Prev, 64 * 64);
+  // LUT values are valid intensities.
+  for (unsigned V = 0; V != 256; ++V) {
+    EXPECT_GE(I.readGlobalInt(3, V), 0);
+    EXPECT_LE(I.readGlobalInt(3, V), 255);
+  }
+}
+
+TEST(SobelTest, EdgeMapIsBinaryAndFlatRegionsQuiet) {
+  auto P = buildWorkload("sobel");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  // Objects: imageIn(0), gradientOut(1), edgeMap(2), gradHist(3).
+  for (unsigned Pix = 0; Pix != 64 * 64; ++Pix) {
+    int64_t E = I.readGlobalInt(2, Pix);
+    EXPECT_TRUE(E == 0 || E == 1);
+  }
+  // Border rows were never written (loops run over the interior).
+  EXPECT_EQ(I.readGlobalInt(1, 0), 0);
+}
+
+TEST(FsedTest, OutputIsBinaryAndDensityTracksBrightness) {
+  auto P = buildWorkload("fsed");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  // bitmapOut is object 3. Count white pixels in the processed region.
+  auto Img = makeImageInput(64, 64, 63);
+  uint64_t White = 0, Bright = 0, Considered = 0;
+  for (unsigned Y = 0; Y + 1 < 64; ++Y)
+    for (unsigned X = 1; X + 1 < 64; ++X) {
+      unsigned Pix = Y * 64 + X;
+      int64_t V = I.readGlobalInt(3, Pix);
+      EXPECT_TRUE(V == 0 || V == 1);
+      White += static_cast<uint64_t>(V);
+      Bright += Img[Pix] >= 128;
+      ++Considered;
+    }
+  // Dithering preserves average brightness within a loose band.
+  double WhiteFrac = static_cast<double>(White) / Considered;
+  double BrightFrac = static_cast<double>(Bright) / Considered;
+  EXPECT_NEAR(WhiteFrac, BrightFrac, 0.15);
+}
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  auto P = buildWorkload("fft");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Σ|X[k]|² == N·Σ|x[n]|² for an exact FFT; the fixed-point version
+  // must land within a few percent.
+  auto Sig = makeAudioInput(512, 41);
+  double TimeEnergy = 0;
+  for (int64_t S : Sig)
+    TimeEnergy += static_cast<double>(S) * static_cast<double>(S);
+  double FreqEnergy = 0;
+  for (unsigned K = 0; K != 512; ++K)
+    FreqEnergy +=
+        static_cast<double>(I.readGlobalInt(6, K)) * 1024.0; // >>10 undone.
+  EXPECT_NEAR(FreqEnergy / (512.0 * TimeEnergy), 1.0, 0.05);
+}
+
+TEST(MpegTest, EncoderProducesSparseCoefficients) {
+  auto P = buildWorkload("mpeg2enc");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Nonzero count is positive but well below total (quantization zeros the
+  // high frequencies of a smooth image).
+  EXPECT_GT(R.ReturnValue.I, 64);
+  EXPECT_LT(R.ReturnValue.I, 64 * 64 * 40);
+}
+
+TEST(MpegTest, DecoderOutputIsPixelRange) {
+  auto P = buildWorkload("mpeg2dec");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  // reconFrame is object 6.
+  for (unsigned Pix = 0; Pix != 64 * 64; ++Pix) {
+    int64_t V = I.readGlobalInt(6, Pix);
+    EXPECT_GE(V, 0);
+    EXPECT_LE(V, 255);
+  }
+}
+
+TEST(EpicTest, PyramidLevelsShrinkSmoothly) {
+  auto P = buildWorkload("epic");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(I.getNumHeapRegions(), 2u); // Two malloc'd pyramid levels.
+  EXPECT_GT(R.ReturnValue.I, 0);
+  // Heap profile recorded the level sizes.
+  EXPECT_EQ(I.getProfile().getHeapBytes(2), 32u * 32 * 2);
+  EXPECT_EQ(I.getProfile().getHeapBytes(3), 16u * 16 * 2);
+}
+
+TEST(PegwitTest, CipherIsDecryptableStructure) {
+  auto P = buildWorkload("pegwit");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok);
+  // Cipher output differs from the plaintext (object 2 in, 3 out).
+  unsigned Diffs = 0;
+  for (unsigned I2 = 0; I2 != 1024; ++I2)
+    Diffs += I.readGlobalInt(3, I2) != I.readGlobalInt(2, I2);
+  EXPECT_GT(Diffs, 900u);
+}
+
+TEST(GsmTest, ReflectionCoefficientsBounded) {
+  auto P = buildWorkload("gsmenc");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  // larOut is object 4: 8 frames × 8 coefficients, clamped to int16.
+  bool AnyNonZero = false;
+  for (unsigned I2 = 0; I2 != 64; ++I2) {
+    int64_t V = I.readGlobalInt(4, I2);
+    EXPECT_GE(V, -32768);
+    EXPECT_LE(V, 32767);
+    AnyNonZero |= V != 0;
+  }
+  EXPECT_TRUE(AnyNonZero);
+}
+
+TEST(FirTest, OutputEnergySplitAcrossBands) {
+  auto P = buildWorkload("fir");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok);
+  // bandEnergy (object 4) has both entries populated.
+  EXPECT_GT(I.readGlobalInt(4, 0), 0);
+  EXPECT_GT(I.readGlobalInt(4, 1), 0);
+  EXPECT_EQ(R.ReturnValue.I,
+            I.readGlobalInt(4, 0) + I.readGlobalInt(4, 1));
+}
+
+TEST(G721Test, CodecStreamsAreNibblesAndBoundedPcm) {
+  auto Enc = buildWorkload("g721enc");
+  Interpreter IE(*Enc);
+  ASSERT_TRUE(IE.run().Ok);
+  for (unsigned S = 0; S != 1536; ++S) {
+    int64_t C = IE.readGlobalInt(3, S); // codeOut.
+    EXPECT_GE(C, 0);
+    EXPECT_LE(C, 15);
+  }
+  auto Dec = buildWorkload("g721dec");
+  Interpreter ID(*Dec);
+  ASSERT_TRUE(ID.run().Ok);
+  for (unsigned S = 0; S != 1536; ++S) {
+    int64_t V = ID.readGlobalInt(2, S); // pcmOut.
+    EXPECT_GE(V, -32768);
+    EXPECT_LE(V, 32767);
+  }
+}
+
+// --- Extra-suite reference checks ---------------------------------------------
+
+TEST(ExtraSuiteTest, QsortSortsPerfectly) {
+  auto P = buildWorkload("qsort");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.I, 0) << "inversions remain after sorting";
+  // The kernel's checksum sums data[1..N) (the verification loop starts at
+  // index 1), so it equals the input sum minus the minimum element, which
+  // sorting moved to slot 0.
+  Random RNG(93);
+  int64_t Sum = 0, Min = 0;
+  bool First = true;
+  for (unsigned N = 0; N != 1024; ++N) {
+    int64_t V = RNG.nextInRange(-100000, 100000);
+    Sum += V;
+    Min = First ? V : std::min(Min, V);
+    First = false;
+  }
+  EXPECT_EQ(I.readGlobalInt(2, 1), Sum - Min);
+  EXPECT_EQ(I.readGlobalInt(0, 0), Min); // data[0] is the minimum.
+}
+
+TEST(ExtraSuiteTest, MatmulMatchesReference) {
+  auto P = buildWorkload("matmul");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  constexpr unsigned N = 32;
+  // Rebuild the operand matrices exactly as the builder does.
+  auto MakeMatrix = [](uint64_t Seed) {
+    Random RNG(Seed);
+    std::vector<int64_t> M(N * N);
+    for (auto &V : M)
+      V = RNG.nextInRange(-9, 9);
+    return M;
+  };
+  auto A = MakeMatrix(81), B = MakeMatrix(82);
+  for (unsigned Row = 0; Row < N; Row += 7)
+    for (unsigned Col = 0; Col < N; Col += 5) {
+      int64_t Expected = 0;
+      for (unsigned K = 0; K != N; ++K)
+        Expected += A[Row * N + K] * B[K * N + Col];
+      EXPECT_EQ(I.readGlobalInt(2, Row * N + Col), Expected)
+          << "C[" << Row << "][" << Col << "]";
+    }
+}
+
+TEST(ExtraSuiteTest, Crc32MatchesReference) {
+  auto P = buildWorkload("crc32");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Ok);
+  auto Msg = makeByteInput(4096, 91);
+  uint32_t Crc = 0xffffffffu;
+  for (int64_t Byte : Msg) {
+    uint32_t Idx = (Crc ^ static_cast<uint32_t>(Byte)) & 0xffu;
+    uint32_t T = Idx;
+    for (int K = 0; K != 8; ++K)
+      T = (T >> 1) ^ (0xEDB88320u & (0u - (T & 1u)));
+    Crc = (Crc >> 8) ^ T;
+  }
+  Crc ^= 0xffffffffu;
+  EXPECT_EQ(static_cast<uint32_t>(R.ReturnValue.I), Crc);
+}
+
+TEST(ExtraSuiteTest, Md5DigestIs32BitClean) {
+  auto P = buildWorkload("md5");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Ok);
+  for (unsigned Slot = 0; Slot != 4; ++Slot) {
+    int64_t V = I.readGlobalInt(3, Slot);
+    EXPECT_GE(V, 0);
+    EXPECT_LE(V, 0xffffffffLL);
+  }
+}

@@ -1,0 +1,323 @@
+//===- tools/gdptool.cpp - Command-line driver ---------------------------------===//
+//
+// The standalone driver: load a program (a bundled workload or a textual IR
+// file), run one or all partitioning strategies on a configurable machine,
+// and print reports — cycles, intercluster traffic, the data placement, the
+// per-cluster distribution, or the IR itself.
+//
+// Usage:
+//   gdptool list
+//   gdptool print   <workload|file.gdp> [--init]
+//   gdptool profile <workload|file.gdp>
+//   gdptool run     <workload|file.gdp> [--strategy=gdp|profilemax|naive|
+//                   unified|all] [--latency=N] [--clusters=N] [--placement]
+//   gdptool schedule <workload|file.gdp> [--strategy=...] [--latency=N]
+//                   (dumps the hottest region's cycle-by-cycle schedule)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "analysis/CFG.h"
+#include "analysis/DefUse.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/OpIndex.h"
+#include "opt/Transforms.h"
+#include "partition/AccessMerge.h"
+#include "partition/DotExport.h"
+#include "partition/GlobalDataPartitioner.h"
+#include "partition/Pipeline.h"
+#include "partition/ProgramGraph.h"
+#include "sched/BlockDFG.h"
+#include "sched/ListScheduler.h"
+#include "sched/SchedulePrinter.h"
+#include "support/StrUtil.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace gdp;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gdptool <command> [args]\n"
+      "  list                         list bundled workloads\n"
+      "  schedule <prog> [options]    dump the hottest region's schedule\n"
+      "  dot <prog>                   GraphViz of the merged program graph\n"
+      "  print <prog> [--init]        dump the program's IR\n"
+      "  profile <prog>               run the profiler and dump statistics\n"
+      "  run <prog> [options]         partition and report\n"
+      "      --strategy=gdp|profilemax|naive|unified|all   (default: all)\n"
+      "      --latency=N              intercluster move latency (default 5)\n"
+      "      --clusters=N             cluster count (default 2)\n"
+      "      --placement              also print the object placement\n"
+      "      --optimize               run fold/copy-prop/DCE first\n"
+      "<prog> is a bundled workload name or a path to a textual IR file.\n");
+}
+
+bool OptimizeFlag = false;
+
+std::unique_ptr<Program> loadProgram(const std::string &Spec) {
+  if (auto P = buildWorkload(Spec))
+    return P;
+  std::ifstream In(Spec);
+  if (!In) {
+    std::fprintf(stderr, "error: '%s' is neither a workload nor a readable "
+                         "file (try 'gdptool list')\n",
+                 Spec.c_str());
+    return nullptr;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  ParseResult R = parseProgram(Buf.str());
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", Spec.c_str(), R.Error.c_str());
+    return nullptr;
+  }
+  return std::move(R.P);
+}
+
+/// Applies the optimizer when --optimize was given; reports what changed.
+void maybeOptimize(Program &P) {
+  if (!OptimizeFlag)
+    return;
+  unsigned Before = P.getNumOps();
+  unsigned Changes = optimizeProgram(P);
+  std::printf("optimizer: %u changes, %u -> %u operations\n", Changes,
+              Before, P.getNumOps());
+}
+
+int cmdList() {
+  TextTable Table({"name", "suite"});
+  for (const WorkloadInfo &W : allWorkloads())
+    Table.addRow({W.Name, W.Suite});
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdPrint(const std::string &Spec, bool IncludeInit) {
+  auto P = loadProgram(Spec);
+  if (!P)
+    return 1;
+  std::printf("%s", printProgram(*P, IncludeInit).c_str());
+  return 0;
+}
+
+int cmdProfile(const std::string &Spec) {
+  auto P = loadProgram(Spec);
+  if (!P)
+    return 1;
+  maybeOptimize(*P);
+  PreparedProgram PP = prepareProgram(*P);
+  if (!PP.Ok) {
+    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
+    return 1;
+  }
+  std::printf("program %s: %u functions, %u ops, %u data objects\n\n",
+              P->getName().c_str(), P->getNumFunctions(), P->getNumOps(),
+              P->getNumObjects());
+  TextTable Table({"object", "kind", "bytes", "dynamic accesses"});
+  for (const DataObject &Obj : P->objects())
+    Table.addRow(
+        {Obj.getName(), Obj.isGlobal() ? "global" : "heap-site",
+         formatStr("%llu",
+                   static_cast<unsigned long long>(Obj.getSizeBytes())),
+         formatStr("%llu", static_cast<unsigned long long>(
+                               PP.Prof.getObjectAccessTotal(Obj.getId())))});
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdRun(const std::string &Spec, const std::string &StrategyArg,
+           unsigned Latency, unsigned Clusters, bool ShowPlacement) {
+  auto P = loadProgram(Spec);
+  if (!P)
+    return 1;
+  maybeOptimize(*P);
+  PreparedProgram PP = prepareProgram(*P);
+  if (!PP.Ok) {
+    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
+    return 1;
+  }
+
+  std::vector<StrategyKind> Kinds;
+  if (StrategyArg == "all" || StrategyArg.empty())
+    Kinds = {StrategyKind::Unified, StrategyKind::GDP,
+             StrategyKind::ProfileMax, StrategyKind::Naive};
+  else if (StrategyArg == "gdp")
+    Kinds = {StrategyKind::GDP};
+  else if (StrategyArg == "profilemax")
+    Kinds = {StrategyKind::ProfileMax};
+  else if (StrategyArg == "naive")
+    Kinds = {StrategyKind::Naive};
+  else if (StrategyArg == "unified")
+    Kinds = {StrategyKind::Unified};
+  else {
+    std::fprintf(stderr, "error: unknown strategy '%s'\n",
+                 StrategyArg.c_str());
+    return 1;
+  }
+
+  std::printf("program %s on %u clusters, %u-cycle moves\n\n",
+              P->getName().c_str(), Clusters, Latency);
+  TextTable Table({"strategy", "cycles", "dyn moves", "partition ms"});
+  uint64_t UnifiedCycles = 0;
+  for (StrategyKind K : Kinds) {
+    PipelineOptions Opt;
+    Opt.Strategy = K;
+    Opt.MoveLatency = Latency;
+    Opt.NumClusters = Clusters;
+    PipelineResult R = runStrategy(PP, Opt);
+    if (K == StrategyKind::Unified)
+      UnifiedCycles = R.Cycles;
+    Table.addRow(
+        {strategyName(K),
+         formatStr("%llu", static_cast<unsigned long long>(R.Cycles)),
+         formatStr("%llu", static_cast<unsigned long long>(R.DynamicMoves)),
+         formatDouble(R.PartitionSeconds * 1e3, 2)});
+    if (ShowPlacement && K != StrategyKind::Unified) {
+      std::printf("%s placement:", strategyName(K));
+      for (unsigned O = 0; O != P->getNumObjects(); ++O)
+        std::printf(" %s=%d", P->getObject(O).getName().c_str(),
+                    R.Placement.getHome(O));
+      std::printf("\n");
+    }
+  }
+  std::printf("%s", Table.render().c_str());
+  if (UnifiedCycles)
+    std::printf("\n(unified memory is the upper-bound reference)\n");
+  return 0;
+}
+
+int cmdDot(const std::string &Spec) {
+  auto P = loadProgram(Spec);
+  if (!P)
+    return 1;
+  maybeOptimize(*P);
+  PreparedProgram PP = prepareProgram(*P);
+  if (!PP.Ok) {
+    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
+    return 1;
+  }
+  ProgramGraph PG(*P, PP.Prof);
+  AccessMerge Merge(PG, *P, MergePolicy::AccessPattern);
+  GDPResult D = runGlobalDataPartitioning(*P, PP.Prof, 2);
+  std::printf("%s", exportProgramGraphDot(*P, PG, Merge,
+                                          &D.Placement).c_str());
+  return 0;
+}
+
+int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
+                unsigned Latency, unsigned Clusters) {
+  auto P = loadProgram(Spec);
+  if (!P)
+    return 1;
+  maybeOptimize(*P);
+  PreparedProgram PP = prepareProgram(*P);
+  if (!PP.Ok) {
+    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
+    return 1;
+  }
+  PipelineOptions Opt;
+  Opt.Strategy = StrategyArg == "unified"     ? StrategyKind::Unified
+                 : StrategyArg == "naive"     ? StrategyKind::Naive
+                 : StrategyArg == "profilemax" ? StrategyKind::ProfileMax
+                                               : StrategyKind::GDP;
+  Opt.MoveLatency = Latency;
+  Opt.NumClusters = Clusters;
+  PipelineResult R = runStrategy(PP, Opt);
+  MachineModel MM = machineFor(Opt);
+
+  // Find the hottest block (largest cycle contribution).
+  unsigned BestF = 0, BestB = 0;
+  uint64_t BestContrib = 0;
+  ProgramSchedule PS = scheduleProgram(*P, PP.Prof, MM, R.Assignment);
+  for (unsigned F = 0; F != P->getNumFunctions(); ++F)
+    for (unsigned Bk = 0; Bk != P->getFunction(F).getNumBlocks(); ++Bk) {
+      uint64_t Contrib = static_cast<uint64_t>(PS.BlockLengths[F][Bk]) *
+                         PP.Prof.getBlockFreq(F, Bk);
+      if (Contrib > BestContrib) {
+        BestContrib = Contrib;
+        BestF = F;
+        BestB = Bk;
+      }
+    }
+
+  const Function &Fn = P->getFunction(BestF);
+  OpIndex OI(Fn);
+  DefUse DU(Fn);
+  CFG Cfg(Fn);
+  LoopInfo LI(Fn, Cfg);
+  BlockDFG DFG(Fn, Fn.getBlock(BestB), DU, OI, &LI);
+  BlockSchedule BS = scheduleBlock(DFG, MM, R.Assignment.func(BestF));
+  std::printf("hottest region: %s/bb%u (%s), executed %llu times under %s\n\n",
+              Fn.getName().c_str(), BestB,
+              Fn.getBlock(BestB).getName().c_str(),
+              static_cast<unsigned long long>(
+                  PP.Prof.getBlockFreq(BestF, BestB)),
+              strategyName(Opt.Strategy));
+  std::printf("%s", printBlockSchedule(DFG, BS, MM,
+                                       R.Assignment.func(BestF)).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Cmd = argv[1];
+  if (Cmd == "list")
+    return cmdList();
+
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  std::string Spec = argv[2];
+  std::string Strategy = "all";
+  unsigned Latency = 5, Clusters = 2;
+  bool IncludeInit = false, ShowPlacement = false, Optimize = false;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--init")
+      IncludeInit = true;
+    else if (Arg == "--placement")
+      ShowPlacement = true;
+    else if (Arg == "--optimize")
+      Optimize = true;
+    else if (Arg.rfind("--strategy=", 0) == 0)
+      Strategy = Arg.substr(11);
+    else if (Arg.rfind("--latency=", 0) == 0)
+      Latency = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    else if (Arg.rfind("--clusters=", 0) == 0)
+      Clusters = static_cast<unsigned>(std::atoi(Arg.c_str() + 11));
+    else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return 1;
+    }
+  }
+
+  OptimizeFlag = Optimize;
+  if (Cmd == "print")
+    return cmdPrint(Spec, IncludeInit);
+  if (Cmd == "profile")
+    return cmdProfile(Spec);
+  if (Cmd == "run")
+    return cmdRun(Spec, Strategy, Latency, Clusters, ShowPlacement);
+  if (Cmd == "schedule")
+    return cmdSchedule(Spec, Strategy, Latency, Clusters);
+  if (Cmd == "dot")
+    return cmdDot(Spec);
+  usage();
+  return 1;
+}
