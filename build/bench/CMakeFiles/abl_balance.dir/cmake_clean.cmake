@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_balance.dir/abl_balance.cpp.o"
+  "CMakeFiles/abl_balance.dir/abl_balance.cpp.o.d"
+  "abl_balance"
+  "abl_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

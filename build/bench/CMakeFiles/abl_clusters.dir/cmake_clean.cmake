@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clusters.dir/abl_clusters.cpp.o"
+  "CMakeFiles/abl_clusters.dir/abl_clusters.cpp.o.d"
+  "abl_clusters"
+  "abl_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

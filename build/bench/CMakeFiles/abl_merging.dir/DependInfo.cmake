@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_merging.cpp" "bench/CMakeFiles/abl_merging.dir/abl_merging.cpp.o" "gcc" "bench/CMakeFiles/abl_merging.dir/abl_merging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gdp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gdp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gdp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gdp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/gdp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gdp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gdp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gdp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

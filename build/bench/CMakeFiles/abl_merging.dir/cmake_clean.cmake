@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_merging.dir/abl_merging.cpp.o"
+  "CMakeFiles/abl_merging.dir/abl_merging.cpp.o.d"
+  "abl_merging"
+  "abl_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

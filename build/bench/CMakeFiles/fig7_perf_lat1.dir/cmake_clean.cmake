@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_perf_lat1.dir/fig7_perf_lat1.cpp.o"
+  "CMakeFiles/fig7_perf_lat1.dir/fig7_perf_lat1.cpp.o.d"
+  "fig7_perf_lat1"
+  "fig7_perf_lat1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_perf_lat1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

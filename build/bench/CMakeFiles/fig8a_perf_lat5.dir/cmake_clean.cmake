@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_perf_lat5.dir/fig8a_perf_lat5.cpp.o"
+  "CMakeFiles/fig8a_perf_lat5.dir/fig8a_perf_lat5.cpp.o.d"
+  "fig8a_perf_lat5"
+  "fig8a_perf_lat5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_perf_lat5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_perf_lat5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_perf_lat10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_exhaustive.dir/fig9_exhaustive.cpp.o"
+  "CMakeFiles/fig9_exhaustive.dir/fig9_exhaustive.cpp.o.d"
+  "fig9_exhaustive"
+  "fig9_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgdp_bench_common.a"
+)

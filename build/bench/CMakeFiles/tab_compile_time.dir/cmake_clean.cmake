@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_compile_time.dir/tab_compile_time.cpp.o"
+  "CMakeFiles/tab_compile_time.dir/tab_compile_time.cpp.o.d"
+  "tab_compile_time"
+  "tab_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

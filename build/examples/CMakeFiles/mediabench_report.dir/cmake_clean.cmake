@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediabench_report.dir/mediabench_report.cpp.o"
+  "CMakeFiles/mediabench_report.dir/mediabench_report.cpp.o.d"
+  "mediabench_report"
+  "mediabench_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediabench_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/gdp_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/gdp_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/gdp_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/gdp_analysis.dir/DefUse.cpp.o"
+  "CMakeFiles/gdp_analysis.dir/DefUse.cpp.o.d"
+  "CMakeFiles/gdp_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/gdp_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/gdp_analysis.dir/OpIndex.cpp.o"
+  "CMakeFiles/gdp_analysis.dir/OpIndex.cpp.o.d"
+  "CMakeFiles/gdp_analysis.dir/PointsTo.cpp.o"
+  "CMakeFiles/gdp_analysis.dir/PointsTo.cpp.o.d"
+  "libgdp_analysis.a"
+  "libgdp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

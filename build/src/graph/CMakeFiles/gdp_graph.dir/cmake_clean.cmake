@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_graph.dir/MultilevelPartitioner.cpp.o"
+  "CMakeFiles/gdp_graph.dir/MultilevelPartitioner.cpp.o.d"
+  "CMakeFiles/gdp_graph.dir/PartitionGraph.cpp.o"
+  "CMakeFiles/gdp_graph.dir/PartitionGraph.cpp.o.d"
+  "libgdp_graph.a"
+  "libgdp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/gdp_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/Function.cpp.o"
+  "CMakeFiles/gdp_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/gdp_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/gdp_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/gdp_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/gdp_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/Program.cpp.o"
+  "CMakeFiles/gdp_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/gdp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/gdp_ir.dir/Verifier.cpp.o.d"
+  "libgdp_ir.a"
+  "libgdp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/gdp_machine.dir/MachineModel.cpp.o.d"
+  "libgdp_machine.a"
+  "libgdp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

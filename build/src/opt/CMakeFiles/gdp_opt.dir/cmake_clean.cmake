@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_opt.dir/Transforms.cpp.o"
+  "CMakeFiles/gdp_opt.dir/Transforms.cpp.o.d"
+  "libgdp_opt.a"
+  "libgdp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/AccessMerge.cpp" "src/partition/CMakeFiles/gdp_partition.dir/AccessMerge.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/AccessMerge.cpp.o.d"
+  "/root/repo/src/partition/CacheModel.cpp" "src/partition/CMakeFiles/gdp_partition.dir/CacheModel.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/CacheModel.cpp.o.d"
+  "/root/repo/src/partition/DataPlacement.cpp" "src/partition/CMakeFiles/gdp_partition.dir/DataPlacement.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/DataPlacement.cpp.o.d"
+  "/root/repo/src/partition/DotExport.cpp" "src/partition/CMakeFiles/gdp_partition.dir/DotExport.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/DotExport.cpp.o.d"
+  "/root/repo/src/partition/Exhaustive.cpp" "src/partition/CMakeFiles/gdp_partition.dir/Exhaustive.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/Exhaustive.cpp.o.d"
+  "/root/repo/src/partition/GlobalDataPartitioner.cpp" "src/partition/CMakeFiles/gdp_partition.dir/GlobalDataPartitioner.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/GlobalDataPartitioner.cpp.o.d"
+  "/root/repo/src/partition/Pipeline.cpp" "src/partition/CMakeFiles/gdp_partition.dir/Pipeline.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/partition/ProgramGraph.cpp" "src/partition/CMakeFiles/gdp_partition.dir/ProgramGraph.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/ProgramGraph.cpp.o.d"
+  "/root/repo/src/partition/RHOP.cpp" "src/partition/CMakeFiles/gdp_partition.dir/RHOP.cpp.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/RHOP.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gdp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/gdp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gdp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gdp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gdp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

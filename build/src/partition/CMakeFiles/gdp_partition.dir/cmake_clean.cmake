@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_partition.dir/AccessMerge.cpp.o"
+  "CMakeFiles/gdp_partition.dir/AccessMerge.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/CacheModel.cpp.o"
+  "CMakeFiles/gdp_partition.dir/CacheModel.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/DataPlacement.cpp.o"
+  "CMakeFiles/gdp_partition.dir/DataPlacement.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/DotExport.cpp.o"
+  "CMakeFiles/gdp_partition.dir/DotExport.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/Exhaustive.cpp.o"
+  "CMakeFiles/gdp_partition.dir/Exhaustive.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/GlobalDataPartitioner.cpp.o"
+  "CMakeFiles/gdp_partition.dir/GlobalDataPartitioner.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/Pipeline.cpp.o"
+  "CMakeFiles/gdp_partition.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/ProgramGraph.cpp.o"
+  "CMakeFiles/gdp_partition.dir/ProgramGraph.cpp.o.d"
+  "CMakeFiles/gdp_partition.dir/RHOP.cpp.o"
+  "CMakeFiles/gdp_partition.dir/RHOP.cpp.o.d"
+  "libgdp_partition.a"
+  "libgdp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_profile.dir/Interpreter.cpp.o"
+  "CMakeFiles/gdp_profile.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/gdp_profile.dir/ProfileData.cpp.o"
+  "CMakeFiles/gdp_profile.dir/ProfileData.cpp.o.d"
+  "libgdp_profile.a"
+  "libgdp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/BlockDFG.cpp" "src/sched/CMakeFiles/gdp_sched.dir/BlockDFG.cpp.o" "gcc" "src/sched/CMakeFiles/gdp_sched.dir/BlockDFG.cpp.o.d"
+  "/root/repo/src/sched/Estimator.cpp" "src/sched/CMakeFiles/gdp_sched.dir/Estimator.cpp.o" "gcc" "src/sched/CMakeFiles/gdp_sched.dir/Estimator.cpp.o.d"
+  "/root/repo/src/sched/ListScheduler.cpp" "src/sched/CMakeFiles/gdp_sched.dir/ListScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/gdp_sched.dir/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/SchedulePrinter.cpp" "src/sched/CMakeFiles/gdp_sched.dir/SchedulePrinter.cpp.o" "gcc" "src/sched/CMakeFiles/gdp_sched.dir/SchedulePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gdp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gdp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/gdp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gdp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_sched.dir/BlockDFG.cpp.o"
+  "CMakeFiles/gdp_sched.dir/BlockDFG.cpp.o.d"
+  "CMakeFiles/gdp_sched.dir/Estimator.cpp.o"
+  "CMakeFiles/gdp_sched.dir/Estimator.cpp.o.d"
+  "CMakeFiles/gdp_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/gdp_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/gdp_sched.dir/SchedulePrinter.cpp.o"
+  "CMakeFiles/gdp_sched.dir/SchedulePrinter.cpp.o.d"
+  "libgdp_sched.a"
+  "libgdp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_support.dir/Histogram.cpp.o"
+  "CMakeFiles/gdp_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/gdp_support.dir/Random.cpp.o"
+  "CMakeFiles/gdp_support.dir/Random.cpp.o.d"
+  "CMakeFiles/gdp_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/gdp_support.dir/StrUtil.cpp.o.d"
+  "CMakeFiles/gdp_support.dir/UnionFind.cpp.o"
+  "CMakeFiles/gdp_support.dir/UnionFind.cpp.o.d"
+  "libgdp_support.a"
+  "libgdp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

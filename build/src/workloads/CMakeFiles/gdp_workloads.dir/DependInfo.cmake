@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Adpcm.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Adpcm.cpp.o.d"
+  "/root/repo/src/workloads/Audio.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Audio.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Audio.cpp.o.d"
+  "/root/repo/src/workloads/Comm.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Comm.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Comm.cpp.o.d"
+  "/root/repo/src/workloads/Extra.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Extra.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Extra.cpp.o.d"
+  "/root/repo/src/workloads/Image.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Image.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Image.cpp.o.d"
+  "/root/repo/src/workloads/Inputs.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Inputs.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Inputs.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Video.cpp" "src/workloads/CMakeFiles/gdp_workloads.dir/Video.cpp.o" "gcc" "src/workloads/CMakeFiles/gdp_workloads.dir/Video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gdp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_workloads.dir/Adpcm.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Adpcm.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Audio.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Audio.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Comm.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Comm.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Extra.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Extra.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Image.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Image.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Inputs.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Inputs.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/gdp_workloads.dir/Video.cpp.o"
+  "CMakeFiles/gdp_workloads.dir/Video.cpp.o.d"
+  "libgdp_workloads.a"
+  "libgdp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTests.cpp" "tests/CMakeFiles/gdp_tests.dir/AnalysisTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/AnalysisTests.cpp.o.d"
+  "/root/repo/tests/CacheModelTests.cpp" "tests/CMakeFiles/gdp_tests.dir/CacheModelTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/CacheModelTests.cpp.o.d"
+  "/root/repo/tests/FuzzTests.cpp" "tests/CMakeFiles/gdp_tests.dir/FuzzTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/FuzzTests.cpp.o.d"
+  "/root/repo/tests/GraphTests.cpp" "tests/CMakeFiles/gdp_tests.dir/GraphTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/GraphTests.cpp.o.d"
+  "/root/repo/tests/IRTests.cpp" "tests/CMakeFiles/gdp_tests.dir/IRTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/IRTests.cpp.o.d"
+  "/root/repo/tests/InterpTests.cpp" "tests/CMakeFiles/gdp_tests.dir/InterpTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/InterpTests.cpp.o.d"
+  "/root/repo/tests/ParserTests.cpp" "tests/CMakeFiles/gdp_tests.dir/ParserTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/ParserTests.cpp.o.d"
+  "/root/repo/tests/PartitionTests.cpp" "tests/CMakeFiles/gdp_tests.dir/PartitionTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/PartitionTests.cpp.o.d"
+  "/root/repo/tests/PropertyTests.cpp" "tests/CMakeFiles/gdp_tests.dir/PropertyTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/PropertyTests.cpp.o.d"
+  "/root/repo/tests/SchedTests.cpp" "tests/CMakeFiles/gdp_tests.dir/SchedTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/SchedTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/gdp_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/TransformTests.cpp" "tests/CMakeFiles/gdp_tests.dir/TransformTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/TransformTests.cpp.o.d"
+  "/root/repo/tests/WorkloadTests.cpp" "tests/CMakeFiles/gdp_tests.dir/WorkloadTests.cpp.o" "gcc" "tests/CMakeFiles/gdp_tests.dir/WorkloadTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/gdp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gdp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gdp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gdp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/gdp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/gdp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gdp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gdp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

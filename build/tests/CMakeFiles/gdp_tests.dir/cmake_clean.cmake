@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_tests.dir/AnalysisTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/AnalysisTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/CacheModelTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/CacheModelTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/FuzzTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/FuzzTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/GraphTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/GraphTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/IRTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/IRTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/InterpTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/InterpTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/ParserTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/ParserTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/PartitionTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/PartitionTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/PropertyTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/PropertyTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/SchedTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/SchedTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/SupportTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/SupportTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/TransformTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/TransformTests.cpp.o.d"
+  "CMakeFiles/gdp_tests.dir/WorkloadTests.cpp.o"
+  "CMakeFiles/gdp_tests.dir/WorkloadTests.cpp.o.d"
+  "gdp_tests"
+  "gdp_tests.pdb"
+  "gdp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

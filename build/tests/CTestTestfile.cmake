@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gdp_tests[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart_workload "/root/repo/build/examples/quickstart" "sobel" "5")
+set_tests_properties(example_quickstart_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_design_space "/root/repo/build/examples/design_space")
+set_tests_properties(example_design_space PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_custom_machine "/root/repo/build/examples/custom_machine" "fir")
+set_tests_properties(example_custom_machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_list "/root/repo/build/tools/gdptool" "list")
+set_tests_properties(tool_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_profile "/root/repo/build/tools/gdptool" "profile" "histogram")
+set_tests_properties(tool_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_run "/root/repo/build/tools/gdptool" "run" "viterbi" "--strategy=gdp" "--placement")
+set_tests_properties(tool_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_print "/root/repo/build/tools/gdptool" "print" "crc32" "--init")
+set_tests_properties(tool_print PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_schedule "/root/repo/build/tools/gdptool" "schedule" "fft" "--strategy=gdp")
+set_tests_properties(tool_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_dot "/root/repo/build/tools/gdptool" "dot" "fir")
+set_tests_properties(tool_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_unknown_workload "/root/repo/build/tools/gdptool" "run" "no_such_thing")
+set_tests_properties(tool_unknown_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_bad_strategy "/root/repo/build/tools/gdptool" "run" "fir" "--strategy=bogus")
+set_tests_properties(tool_bad_strategy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_no_args "/root/repo/build/tools/gdptool")
+set_tests_properties(tool_no_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdptool.dir/gdptool.cpp.o"
+  "CMakeFiles/gdptool.dir/gdptool.cpp.o.d"
+  "gdptool"
+  "gdptool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdptool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdptool.
+# This may be replaced when dependencies are built.
