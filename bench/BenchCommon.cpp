@@ -4,9 +4,117 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 using namespace gdp;
 using namespace gdp::bench;
+
+namespace {
+
+std::string JsonPath;
+std::vector<std::string> JsonRecords;
+// One record per (benchmark, strategy, latency): google-benchmark timing
+// loops re-evaluate the same configuration thousands of times, and each
+// re-evaluation replaces its record instead of appending.
+std::map<std::string, size_t> JsonRecordIndex;
+
+/// Writes the accumulated records as {"schema":...,"records":[...]}.
+/// Atomic (temp file + rename) so a concurrent reader never sees a
+/// half-written file.
+void flushJson() {
+  if (JsonPath.empty())
+    return;
+  std::string Body = "{\n  \"schema\": \"gdp-bench-v1\",\n  \"records\": [";
+  for (size_t I = 0; I != JsonRecords.size(); ++I) {
+    Body += I ? ",\n    " : "\n    ";
+    Body += JsonRecords[I];
+  }
+  Body += "\n  ]\n}\n";
+  std::string Tmp = JsonPath + ".tmp";
+  {
+    std::ofstream Out(Tmp);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Tmp.c_str());
+      return;
+    }
+    Out << Body;
+  }
+  if (std::rename(Tmp.c_str(), JsonPath.c_str()) != 0)
+    std::fprintf(stderr, "error: cannot rename '%s' to '%s'\n", Tmp.c_str(),
+                 JsonPath.c_str());
+}
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+void gdp::bench::initBench(int &argc, char **argv) {
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(7);
+    } else {
+      argv[Out++] = argv[I];
+    }
+  }
+  argc = Out;
+  argv[argc] = nullptr;
+  if (!JsonPath.empty())
+    std::atexit(flushJson);
+}
+
+bool gdp::bench::jsonEnabled() { return !JsonPath.empty(); }
+
+void gdp::bench::recordResult(const std::string &Benchmark,
+                              const std::string &Strategy,
+                              unsigned MoveLatency, const PipelineResult &R,
+                              const telemetry::TelemetrySession *Session) {
+  if (!jsonEnabled())
+    return;
+  std::string Rec = formatStr(
+      "{\"benchmark\": \"%s\", \"strategy\": \"%s\", "
+      "\"move_latency\": %u, \"cycles\": %llu, \"dynamic_moves\": %llu, "
+      "\"static_moves\": %llu, \"rhop_runs\": %u, "
+      "\"prepare_sec\": %.9g, \"data_partition_sec\": %.9g, "
+      "\"rhop_sec\": %.9g, \"schedule_sec\": %.9g",
+      escape(Benchmark).c_str(), escape(Strategy).c_str(), MoveLatency,
+      static_cast<unsigned long long>(R.Cycles),
+      static_cast<unsigned long long>(R.DynamicMoves),
+      static_cast<unsigned long long>(R.StaticMoves), R.RHOPRuns,
+      R.Phases.PrepareSeconds, R.Phases.DataPartitionSeconds,
+      R.Phases.RhopSeconds, R.Phases.ScheduleSeconds);
+  if (Session) {
+    Rec += ", \"counters\": {";
+    bool First = true;
+    for (const auto &[Name, Value] : Session->stats().counterSnapshot()) {
+      Rec += formatStr("%s\"%s\": %llu", First ? "" : ", ",
+                       escape(Name).c_str(),
+                       static_cast<unsigned long long>(Value));
+      First = false;
+    }
+    Rec += "}";
+  }
+  Rec += "}";
+  std::string Key =
+      Benchmark + "|" + Strategy + "|" + std::to_string(MoveLatency);
+  auto [It, Inserted] = JsonRecordIndex.emplace(Key, JsonRecords.size());
+  if (Inserted)
+    JsonRecords.push_back(std::move(Rec));
+  else
+    JsonRecords[It->second] = std::move(Rec);
+}
 
 std::vector<SuiteEntry> gdp::bench::loadSuite() {
   std::vector<SuiteEntry> Suite;
@@ -33,7 +141,18 @@ PipelineResult gdp::bench::run(const SuiteEntry &Entry,
   PipelineOptions Opt;
   Opt.Strategy = Strategy;
   Opt.MoveLatency = MoveLatency;
-  return runStrategy(Entry.PP, Opt);
+  if (!jsonEnabled())
+    return runStrategy(Entry.PP, Opt);
+  // Capture this evaluation's counters in a private session so the record
+  // reflects exactly one (benchmark, strategy) run.
+  telemetry::TelemetrySession S;
+  PipelineResult R;
+  {
+    telemetry::ScopedSession Scope(S);
+    R = runStrategy(Entry.PP, Opt);
+  }
+  recordResult(Entry.Name, strategyName(Strategy), MoveLatency, R, &S);
+  return R;
 }
 
 double gdp::bench::relativePerf(uint64_t BaselineCycles, uint64_t Cycles) {

@@ -18,6 +18,7 @@
 #include "partition/Pipeline.h"
 #include "support/Histogram.h"
 #include "support/StrUtil.h"
+#include "support/Telemetry.h"
 #include "workloads/Workloads.h"
 
 #include <memory>
@@ -33,6 +34,23 @@ struct SuiteEntry {
   std::unique_ptr<Program> P;
   PreparedProgram PP;
 };
+
+/// Parses and strips the harness-level flags out of argv so the remaining
+/// arguments can go to the binary's own parser (e.g. google-benchmark).
+/// Call it first thing in main(). Recognizes:
+///   --json=FILE   append one machine-readable record per (benchmark,
+///                 strategy) evaluation done through run(); the file is
+///                 written atomically when the process exits.
+void initBench(int &argc, char **argv);
+
+/// True when --json=FILE was given to initBench().
+bool jsonEnabled();
+
+/// Appends one JSON record for an evaluation done outside run() (custom
+/// options, ablations). \p Session, when given, contributes its counters.
+void recordResult(const std::string &Benchmark, const std::string &Strategy,
+                  unsigned MoveLatency, const PipelineResult &R,
+                  const telemetry::TelemetrySession *Session = nullptr);
 
 /// Builds, verifies, annotates and profiles every workload. Exits with a
 /// diagnostic if any preparation fails (the test suite guards this).

@@ -14,7 +14,8 @@
 using namespace gdp;
 using namespace gdp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Ablation B: GDP memory-balance tolerance sweep (5-cycle moves)",
          "Chu & Mahlke, CGO'06, §4.3 (balance/performance trade-off)");
 

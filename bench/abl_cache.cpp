@@ -17,7 +17,8 @@
 using namespace gdp;
 using namespace gdp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Ablation D: data placement under partitioned caches",
          "Chu & Mahlke, CGO'06, §5 (future work, implemented here)");
 

@@ -14,7 +14,8 @@
 using namespace gdp;
 using namespace gdp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Ablation C: cluster-count scaling (GDP vs unified, 5-cycle moves)",
          "extension of Chu & Mahlke, CGO'06 §4 (machine scaling)");
 

@@ -14,7 +14,8 @@
 using namespace gdp;
 using namespace gdp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Ablation A: access-pattern merging policies (GDP, 5-cycle moves)",
          "Chu & Mahlke, CGO'06, §3.3.1 (design-choice discussion)");
 

@@ -16,7 +16,8 @@
 using namespace gdp;
 using namespace gdp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Figure 2: cycle increase of Naive data placement vs unified memory",
          "Chu & Mahlke, CGO'06, Figure 2");
 

@@ -90,7 +90,8 @@ void runOne(const SuiteEntry &E) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Figure 9: exhaustive search of all data-object mappings",
          "Chu & Mahlke, CGO'06, Figure 9(a)/(b)");
   auto Suite = loadSuite();

@@ -35,12 +35,15 @@ void BM_Strategy(benchmark::State &State, const SuiteEntry *Entry,
 } // namespace
 
 int main(int argc, char **argv) {
+  initBench(argc, argv);
   banner("Section 4.5: compile time of the partitioning strategies",
          "Chu & Mahlke, CGO'06, §4.5");
 
   // --- Aggregate table: partitioning seconds and detailed-partitioner runs.
   TextTable Table({"benchmark", "GDP ms", "ProfileMax ms", "Naive ms",
                    "PM/GDP ratio"});
+  TextTable Phases({"benchmark", "prepare ms", "data-part ms", "RHOP ms",
+                    "schedule ms"});
   double GDPTotal = 0, PMTotal = 0, NaiveTotal = 0;
   for (const SuiteEntry &E : suite()) {
     PipelineResult G = run(E, StrategyKind::GDP, 5);
@@ -55,6 +58,10 @@ int main(int argc, char **argv) {
                   formatDouble(PM.PartitionSeconds /
                                    std::max(1e-9, G.PartitionSeconds),
                                2)});
+    Phases.addRow({E.Name, formatDouble(G.Phases.PrepareSeconds * 1e3, 2),
+                   formatDouble(G.Phases.DataPartitionSeconds * 1e3, 2),
+                   formatDouble(G.Phases.RhopSeconds * 1e3, 2),
+                   formatDouble(G.Phases.ScheduleSeconds * 1e3, 2)});
   }
   Table.addRow({"total", formatDouble(GDPTotal * 1e3, 2),
                 formatDouble(PMTotal * 1e3, 2),
@@ -64,6 +71,9 @@ int main(int argc, char **argv) {
   std::printf("Paper shape: Profile Max is two complete runs of the detailed "
               "computation\npartitioner, so its compile time is roughly twice "
               "GDP's (which, like Naive,\nneeds only one run).\n\n");
+  std::printf("Per-phase wall clock under GDP (preparation is shared by all "
+              "strategies):\n%s\n",
+              Phases.render().c_str());
 
   // --- google-benchmark timings on representative benchmarks.
   for (const SuiteEntry &E : suite()) {

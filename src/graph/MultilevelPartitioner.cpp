@@ -3,6 +3,7 @@
 #include "graph/MultilevelPartitioner.h"
 
 #include "support/Random.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -28,6 +29,15 @@ namespace {
 
 /// Per-part, per-constraint capacity table.
 using CapacityTable = std::vector<std::vector<uint64_t>>;
+
+/// Event counts of one partitionGraph() call, accumulated locally and
+/// flushed to telemetry once at the end (keeps the hot loops branch-free).
+struct RunStats {
+  uint64_t RefinePasses = 0;
+  uint64_t RefineMoves = 0;
+  uint64_t SwapMoves = 0;
+  uint64_t BalanceMoves = 0;
+};
 
 /// Shared helpers for one partitioning run.
 struct Context {
@@ -178,7 +188,8 @@ PartitionGraph coarsenOnce(const PartitionGraph &G, Random &RNG,
 void repairBalance(const PartitionGraph &G, std::vector<unsigned> &Assign,
                    std::vector<std::vector<uint64_t>> &PW,
                    const CapacityTable &MaxAllowed,
-                   const GraphPartitionOptions &Opt, Random &RNG) {
+                   const GraphPartitionOptions &Opt, Random &RNG,
+                   RunStats &RS) {
   unsigned NumParts = Opt.NumParts;
   for (unsigned Round = 0; Round != 4 * G.getNumNodes() + 16; ++Round) {
     // Find the most overloaded (part, constraint).
@@ -237,16 +248,17 @@ void repairBalance(const PartitionGraph &G, std::vector<unsigned> &Assign,
       PW[Target][C] += W;
     }
     Assign[static_cast<unsigned>(BestNode)] = Target;
+    ++RS.BalanceMoves;
   }
 }
 
-/// One FM-style refinement pass; returns true if any move was applied.
-bool refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
-                std::vector<std::vector<uint64_t>> &PW,
-                const CapacityTable &MaxAllowed,
-                const std::vector<uint64_t> &Totals,
-                const GraphPartitionOptions &Opt, Random &RNG) {
-  bool Moved = false;
+/// One FM-style refinement pass; returns the number of applied moves.
+unsigned refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
+                    std::vector<std::vector<uint64_t>> &PW,
+                    const CapacityTable &MaxAllowed,
+                    const std::vector<uint64_t> &Totals,
+                    const GraphPartitionOptions &Opt, Random &RNG) {
+  unsigned Moved = 0;
   unsigned NumParts = Opt.NumParts;
   std::vector<int64_t> Conn(NumParts);
 
@@ -292,7 +304,7 @@ bool refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
       double After = normalizedLoad(PW, Totals);
       if (After + 1e-12 < Before) {
         Assign[Node] = static_cast<unsigned>(BestPart);
-        Moved = true;
+        ++Moved;
         continue;
       }
       // Revert.
@@ -309,18 +321,18 @@ bool refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
       PW[static_cast<unsigned>(BestPart)][C] += NW[C];
     }
     Assign[Node] = static_cast<unsigned>(BestPart);
-    Moved = true;
+    ++Moved;
   }
   return Moved;
 }
 
 /// Pairwise swap pass over boundary nodes: escapes the local minima where
 /// every single move is blocked by a balance constraint but exchanging two
-/// nodes across the cut is both feasible and profitable. Returns true if a
-/// swap was applied.
-bool swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
-              std::vector<std::vector<uint64_t>> &PW,
-              const CapacityTable &MaxAllowed) {
+/// nodes across the cut is both feasible and profitable. Returns the
+/// number of applied swaps.
+unsigned swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
+                  std::vector<std::vector<uint64_t>> &PW,
+                  const CapacityTable &MaxAllowed) {
   // Boundary nodes only (nodes with a cut edge), capped for cost.
   constexpr unsigned MaxBoundary = 256;
   std::vector<unsigned> Boundary;
@@ -348,7 +360,7 @@ bool swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
     return It == Adj.end() ? 0 : It->second;
   };
 
-  bool Swapped = false;
+  unsigned Swapped = 0;
   for (size_t I = 0; I != Boundary.size(); ++I) {
     unsigned A = Boundary[I];
     for (size_t J = I + 1; J != Boundary.size(); ++J) {
@@ -382,7 +394,7 @@ bool swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
       }
       Assign[A] = PB;
       Assign[B] = PA;
-      Swapped = true;
+      ++Swapped;
       break; // A moved; continue with the next A.
     }
   }
@@ -391,14 +403,17 @@ bool swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
 
 void refine(const PartitionGraph &G, std::vector<unsigned> &Assign,
             const GraphPartitionOptions &Opt, const Context &Ctx,
-            Random &RNG) {
+            Random &RNG, RunStats &RS) {
   auto PW = computePartWeights(G, Assign, Opt.NumParts);
   auto MaxAllowed = Ctx.maxAllowed(G);
   auto Totals = G.totalWeights();
-  repairBalance(G, Assign, PW, MaxAllowed, Opt, RNG);
+  repairBalance(G, Assign, PW, MaxAllowed, Opt, RNG, RS);
   for (unsigned Pass = 0; Pass != Opt.MaxRefinePasses; ++Pass) {
-    bool Moved = refinePass(G, Assign, PW, MaxAllowed, Totals, Opt, RNG);
-    bool Swapped = swapPass(G, Assign, PW, MaxAllowed);
+    unsigned Moved = refinePass(G, Assign, PW, MaxAllowed, Totals, Opt, RNG);
+    unsigned Swapped = swapPass(G, Assign, PW, MaxAllowed);
+    ++RS.RefinePasses;
+    RS.RefineMoves += Moved;
+    RS.SwapMoves += Swapped;
     if (!Moved && !Swapped)
       break;
   }
@@ -533,6 +548,7 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
   assert(Opt.NumParts >= 1 && "need at least one part");
   Context Ctx{Opt};
   Random RNG(Opt.Seed);
+  RunStats RS;
 
   GraphPartition Result;
   if (G.getNumNodes() == 0) {
@@ -568,7 +584,7 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
   uint64_t BestCut = 0;
   double BestLoad = 0;
   auto Consider = [&](std::vector<unsigned> Assign) {
-    refine(Coarsest, Assign, Opt, Ctx, RNG);
+    refine(Coarsest, Assign, Opt, Ctx, RNG, RS);
     uint64_t Cut = Coarsest.cutWeight(Assign);
     GraphPartition Tmp;
     Tmp.PartWeights = computePartWeights(Coarsest, Assign, Opt.NumParts);
@@ -601,6 +617,10 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
   }
 
   // --- Uncoarsening with refinement at every level.
+  bool Observed = telemetry::enabled();
+  if (Observed)
+    telemetry::value("partitioner.cut_trajectory",
+                     static_cast<double>(Coarsest.cutWeight(Best)));
   std::vector<unsigned> Assign = std::move(Best);
   for (size_t Level = Mappings.size(); Level-- > 0;) {
     const auto &FineToCoarse = Mappings[Level];
@@ -608,11 +628,27 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
     for (unsigned N = 0; N != FineToCoarse.size(); ++N)
       FineAssign[N] = Assign[FineToCoarse[N]];
     Assign = std::move(FineAssign);
-    refine(Graphs[Level], Assign, Opt, Ctx, RNG);
+    refine(Graphs[Level], Assign, Opt, Ctx, RNG, RS);
+    // Cut-weight trajectory across uncoarsening (costs a graph sweep, so
+    // only computed when someone is watching).
+    if (Observed)
+      telemetry::value("partitioner.cut_trajectory",
+                       static_cast<double>(Graphs[Level].cutWeight(Assign)));
   }
 
   Result.Assignment = std::move(Assign);
   Result.CutWeight = G.cutWeight(Result.Assignment);
   Result.PartWeights = computePartWeights(G, Result.Assignment, Opt.NumParts);
+
+  if (Observed) {
+    telemetry::counter("partitioner.runs");
+    telemetry::counter("partitioner.coarsen_levels", Graphs.size() - 1);
+    telemetry::counter("partitioner.refine_passes", RS.RefinePasses);
+    telemetry::counter("partitioner.refine_moves", RS.RefineMoves);
+    telemetry::counter("partitioner.swap_moves", RS.SwapMoves);
+    telemetry::counter("partitioner.balance_moves", RS.BalanceMoves);
+    telemetry::value("partitioner.final_cut",
+                     static_cast<double>(Result.CutWeight));
+  }
   return Result;
 }

@@ -5,6 +5,7 @@
 #include "graph/MultilevelPartitioner.h"
 #include "ir/Program.h"
 #include "profile/ProfileData.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 
@@ -73,5 +74,11 @@ GDPResult gdp::runGlobalDataPartitioning(const Program &P,
   for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj)
     Result.Placement.setHome(
         Obj, static_cast<int>(Part.Assignment[Merge.groupOfObject(Obj)]));
+
+  telemetry::counter("gdp.runs");
+  telemetry::counter("gdp.graph_nodes", G.getNumNodes());
+  telemetry::counter("gdp.merged_groups", Merge.getNumGroups());
+  telemetry::counter("gdp.objects_placed", P.getNumObjects());
+  telemetry::value("gdp.cut_weight", static_cast<double>(Part.CutWeight));
   return Result;
 }

@@ -7,6 +7,7 @@
 #include "profile/Interpreter.h"
 #include "sched/ListScheduler.h"
 #include "support/StrUtil.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -29,33 +30,54 @@ const char *gdp::strategyName(StrategyKind K) {
 }
 
 PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps) {
+  telemetry::ScopedTimer Phase("pipeline.prepare");
+  auto Start = std::chrono::steady_clock::now();
   PreparedProgram PP;
   PP.P = &P;
+  auto Done = [&] {
+    PP.PrepareSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  };
 
-  VerifyResult VR = verifyProgram(P);
-  if (!VR.ok()) {
-    PP.Error = "verification failed:\n" + VR.message();
-    return PP;
+  {
+    telemetry::ScopedTimer T("pipeline.prepare.verify");
+    VerifyResult VR = verifyProgram(P);
+    if (!VR.ok()) {
+      PP.Error = "verification failed:\n" + VR.message();
+      Done();
+      return PP;
+    }
   }
 
-  unsigned EmptyAccess = annotateMemoryAccesses(P);
-  if (EmptyAccess != 0) {
-    PP.Error = formatStr(
-        "%u memory operations have empty access sets (address not rooted "
-        "in any data object)",
-        EmptyAccess);
-    return PP;
+  {
+    telemetry::ScopedTimer T("pipeline.prepare.points_to");
+    unsigned EmptyAccess = annotateMemoryAccesses(P);
+    if (EmptyAccess != 0) {
+      PP.Error = formatStr(
+          "%u memory operations have empty access sets (address not rooted "
+          "in any data object)",
+          EmptyAccess);
+      Done();
+      return PP;
+    }
   }
 
-  Interpreter Interp(P);
-  InterpResult IR = Interp.run(MaxSteps);
-  if (!IR.Ok) {
-    PP.Error = "profiling run failed: " + IR.Error;
-    return PP;
+  {
+    telemetry::ScopedTimer T("pipeline.prepare.profile");
+    Interpreter Interp(P);
+    InterpResult IR = Interp.run(MaxSteps);
+    if (!IR.Ok) {
+      PP.Error = "profiling run failed: " + IR.Error;
+      Done();
+      return PP;
+    }
+    PP.Prof = Interp.getProfile();
+    PP.Prof.applyHeapSizes(P);
   }
-  PP.Prof = Interp.getProfile();
-  PP.Prof.applyHeapSizes(P);
   PP.Ok = true;
+  Done();
   return PP;
 }
 
@@ -75,6 +97,33 @@ using Clock = std::chrono::steady_clock;
 double secondsSince(Clock::time_point Start) {
   return std::chrono::duration<double>(Clock::now() - Start).count();
 }
+
+/// Times one pipeline phase into a PhaseTimes field while also feeding the
+/// telemetry timer/trace of the same name (when a session is attached).
+class PhaseClock {
+public:
+  PhaseClock(double &Into, const char *TelemetryName)
+      : Into(Into), Scope(TelemetryName), Start(Clock::now()) {}
+
+  /// Ends the phase now instead of at scope exit (idempotent).
+  void stop() {
+    if (Stopped)
+      return;
+    Stopped = true;
+    Into += secondsSince(Start);
+    Scope.stop();
+  }
+
+  ~PhaseClock() { stop(); }
+  PhaseClock(const PhaseClock &) = delete;
+  PhaseClock &operator=(const PhaseClock &) = delete;
+
+private:
+  double &Into;
+  telemetry::ScopedTimer Scope;
+  Clock::time_point Start;
+  bool Stopped = false;
+};
 
 /// Dynamic access count of every object on every cluster under an existing
 /// computation partition — the statistic both ProfileMax and Naive rank
@@ -103,27 +152,31 @@ PipelineResult runGDPStrategy(const PreparedProgram &PP,
                               const PipelineOptions &Opt,
                               const MachineModel &MM) {
   PipelineResult R;
-  auto Start = Clock::now();
-  GDPOptions DataOpt = Opt.DataOpt;
-  if (DataOpt.ClusterCapacityShares.empty()) {
-    // Heterogeneous machines: scale each cluster's data capacity with its
-    // memory resources.
-    bool Uniform = true;
-    std::vector<double> Shares(MM.getNumClusters());
-    for (unsigned C = 0; C != MM.getNumClusters(); ++C) {
-      Shares[C] = std::max(1u, MM.getFUCount(C, FUKind::Memory));
-      Uniform &= Shares[C] == Shares[0];
+  {
+    PhaseClock T(R.Phases.DataPartitionSeconds, "pipeline.data_partition");
+    GDPOptions DataOpt = Opt.DataOpt;
+    if (DataOpt.ClusterCapacityShares.empty()) {
+      // Heterogeneous machines: scale each cluster's data capacity with its
+      // memory resources.
+      bool Uniform = true;
+      std::vector<double> Shares(MM.getNumClusters());
+      for (unsigned C = 0; C != MM.getNumClusters(); ++C) {
+        Shares[C] = std::max(1u, MM.getFUCount(C, FUKind::Memory));
+        Uniform &= Shares[C] == Shares[0];
+      }
+      if (!Uniform)
+        DataOpt.ClusterCapacityShares = std::move(Shares);
     }
-    if (!Uniform)
-      DataOpt.ClusterCapacityShares = std::move(Shares);
+    GDPResult D = runGlobalDataPartitioning(*PP.P, PP.Prof,
+                                            MM.getNumClusters(), DataOpt);
+    R.Placement = D.Placement;
   }
-  GDPResult D = runGlobalDataPartitioning(*PP.P, PP.Prof,
-                                          MM.getNumClusters(), DataOpt);
-  R.Placement = D.Placement;
-  LockMap Locks = buildLockMap(*PP.P, R.Placement, PP.Prof);
-  R.Assignment = runRHOP(*PP.P, PP.Prof, MM, &Locks, Opt.RhopOpt);
+  {
+    PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    LockMap Locks = buildLockMap(*PP.P, R.Placement, PP.Prof);
+    R.Assignment = runRHOP(*PP.P, PP.Prof, MM, &Locks, Opt.RhopOpt);
+  }
   R.RHOPRuns = 1;
-  R.PartitionSeconds = secondsSince(Start);
   return R;
 }
 
@@ -131,13 +184,17 @@ PipelineResult runProfileMaxStrategy(const PreparedProgram &PP,
                                      const PipelineOptions &Opt,
                                      const MachineModel &MM) {
   PipelineResult R;
-  auto Start = Clock::now();
   const Program &P = *PP.P;
   unsigned NumClusters = MM.getNumClusters();
 
   // First detailed run: unified-memory assumption (no locks).
-  ClusterAssignment First = runRHOP(P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  ClusterAssignment First = [&] {
+    PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    return runRHOP(P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  }();
 
+  PhaseClock PlacementClock(R.Phases.DataPartitionSeconds,
+                            "pipeline.data_partition");
   // Objects are grouped exactly as in GDP's coarsening (paper §4.1: "the
   // program-level graph of the application is created and coarsened as
   // before, so objects are grouped together the same").
@@ -202,11 +259,15 @@ PipelineResult runProfileMaxStrategy(const PreparedProgram &PP,
     ClusterBytes[Chosen] += CI.Bytes;
   }
 
+  PlacementClock.stop();
+
   // Second detailed run, cognizant of the placement.
-  LockMap Locks = buildLockMap(P, R.Placement, PP.Prof);
-  R.Assignment = runRHOP(P, PP.Prof, MM, &Locks, Opt.RhopOpt);
+  {
+    PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    LockMap Locks = buildLockMap(P, R.Placement, PP.Prof);
+    R.Assignment = runRHOP(P, PP.Prof, MM, &Locks, Opt.RhopOpt);
+  }
   R.RHOPRuns = 2;
-  R.PartitionSeconds = secondsSince(Start);
   return R;
 }
 
@@ -214,14 +275,18 @@ PipelineResult runNaiveStrategy(const PreparedProgram &PP,
                                 const PipelineOptions &Opt,
                                 const MachineModel &MM) {
   PipelineResult R;
-  auto Start = Clock::now();
   const Program &P = *PP.P;
   unsigned NumClusters = MM.getNumClusters();
 
   // Data-incognizant partitioning (unified-memory assumption).
-  R.Assignment = runRHOP(P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  {
+    PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    R.Assignment = runRHOP(P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  }
   R.RHOPRuns = 1;
 
+  PhaseClock PlacementClock(R.Phases.DataPartitionSeconds,
+                            "pipeline.data_partition");
   // Postpass object placement: each object to the cluster with the most
   // dynamic accesses (no balance consideration, paper §2).
   auto Counts = objectAccessByCluster(P, PP.Prof, R.Assignment, NumClusters);
@@ -250,7 +315,7 @@ PipelineResult runNaiveStrategy(const PreparedProgram &PP,
           R.Assignment.set(F, static_cast<unsigned>(Op->getId()), Home);
       }
   }
-  R.PartitionSeconds = secondsSince(Start);
+  PlacementClock.stop();
   return R;
 }
 
@@ -258,11 +323,12 @@ PipelineResult runUnifiedStrategy(const PreparedProgram &PP,
                                   const PipelineOptions &Opt,
                                   const MachineModel &MM) {
   PipelineResult R;
-  auto Start = Clock::now();
-  R.Assignment = runRHOP(*PP.P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  {
+    PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    R.Assignment = runRHOP(*PP.P, PP.Prof, MM, nullptr, Opt.RhopOpt);
+  }
   R.RHOPRuns = 1;
   R.Placement = DataPlacement(PP.P->getNumObjects()); // All unplaced.
-  R.PartitionSeconds = secondsSince(Start);
   return R;
 }
 
@@ -289,9 +355,16 @@ PipelineResult gdp::runStrategy(const PreparedProgram &PP,
     break;
   }
 
-  ProgramSchedule PS = scheduleProgram(*PP.P, PP.Prof, MM, R.Assignment);
-  R.Cycles = PS.TotalCycles;
-  R.DynamicMoves = PS.DynamicMoves;
-  R.StaticMoves = PS.StaticMoves;
+  R.Phases.PrepareSeconds = PP.PrepareSeconds;
+  R.PartitionSeconds = R.Phases.partitionSeconds();
+  telemetry::counter("pipeline.strategy_runs");
+
+  {
+    PhaseClock T(R.Phases.ScheduleSeconds, "pipeline.schedule");
+    ProgramSchedule PS = scheduleProgram(*PP.P, PP.Prof, MM, R.Assignment);
+    R.Cycles = PS.TotalCycles;
+    R.DynamicMoves = PS.DynamicMoves;
+    R.StaticMoves = PS.StaticMoves;
+  }
   return R;
 }

@@ -68,11 +68,26 @@ struct PreparedProgram {
   ProfileData Prof;
   bool Ok = false;
   std::string Error; ///< Verifier/points-to/interpreter failure, if any.
+  double PrepareSeconds = 0; ///< Verify + points-to + profiling wall clock.
 };
 
 /// Verifies \p P, annotates memory access sets (points-to), interprets the
 /// program to collect the profile, and applies the profiled heap sizes.
 PreparedProgram prepareProgram(Program &P, uint64_t MaxSteps = 200000000ULL);
+
+/// Wall-clock breakdown of one strategy evaluation (the §4.5 compile-time
+/// comparison, now per phase instead of one opaque duration).
+struct PhaseTimes {
+  double PrepareSeconds = 0;       ///< Verify + points-to + profile (shared).
+  double DataPartitionSeconds = 0; ///< GDP pass 1 / ProfileMax placement.
+  double RhopSeconds = 0;          ///< All detailed-partitioner runs.
+  double ScheduleSeconds = 0;      ///< Final program schedule.
+  /// Total partitioning time (what the paper's Table reports): everything
+  /// after preparation, excluding the final evaluation schedule.
+  double partitionSeconds() const {
+    return DataPartitionSeconds + RhopSeconds;
+  }
+};
 
 /// Result of evaluating one strategy.
 struct PipelineResult {
@@ -82,6 +97,7 @@ struct PipelineResult {
   DataPlacement Placement; ///< All homes -1 under Unified.
   ClusterAssignment Assignment;
   double PartitionSeconds = 0; ///< Wall-clock spent partitioning.
+  PhaseTimes Phases;           ///< Per-phase breakdown of the above.
   unsigned RHOPRuns = 0;       ///< Detailed-partitioner runs (§4.5).
 };
 

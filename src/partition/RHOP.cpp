@@ -11,6 +11,7 @@
 #include "sched/BlockDFG.h"
 #include "sched/Estimator.h"
 #include "support/Random.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -20,14 +21,24 @@ using namespace gdp;
 
 namespace {
 
+/// Event counts of one runRHOP() call, aggregated across regions and
+/// flushed to telemetry once (cheap local increments on the hot path).
+struct RhopStats {
+  uint64_t Regions = 0;
+  uint64_t CoarsenLevels = 0;
+  uint64_t RefinePasses = 0;
+  uint64_t GroupMoves = 0;
+  uint64_t LockedOps = 0;
+};
+
 /// Multilevel partitioner for one region.
 class RegionPartitioner {
 public:
   RegionPartitioner(const BlockDFG &DFG, const MachineModel &MM,
                     const std::vector<int> *Locks, std::vector<int> &Assign,
-                    const RHOPOptions &Opt, Random &RNG)
+                    const RHOPOptions &Opt, Random &RNG, RhopStats &RS)
       : DFG(DFG), MM(MM), Est(DFG, MM), Locks(Locks), Assign(Assign),
-        Opt(Opt), RNG(RNG) {}
+        Opt(Opt), RNG(RNG), RS(RS) {}
 
   void run();
 
@@ -51,6 +62,7 @@ private:
   std::vector<int> &Assign; ///< Function-wide op-id → cluster table.
   const RHOPOptions &Opt;
   Random &RNG;
+  RhopStats &RS;
 
   /// Slack-derived weight per DFG edge index (data edges only; 0 others).
   std::vector<uint64_t> EdgeWeight;
@@ -269,8 +281,12 @@ void RegionPartitioner::refineLevel(
         }
       }
       SetGroup(G, Best);
-      Moved |= Best != Cur;
+      if (Best != Cur) {
+        Moved = true;
+        ++RS.GroupMoves;
+      }
     }
+    ++RS.RefinePasses;
     if (!Moved)
       break;
   }
@@ -280,18 +296,22 @@ void RegionPartitioner::run() {
   unsigned N = DFG.size();
   if (N == 0)
     return;
+  ++RS.Regions;
 
   // Apply locks up front; locked operations never move.
   for (unsigned I = 0; I != N; ++I) {
     int L = lockOf(I);
-    if (L >= 0)
+    if (L >= 0) {
       Assign[static_cast<unsigned>(DFG.getOp(I).getId())] = L;
+      ++RS.LockedOps;
+    }
   }
   if (MM.getNumClusters() == 1)
     return;
 
   computeSlackWeights();
   coarsen();
+  RS.CoarsenLevels += GroupOfLevel.size() - 1;
 
   // Uncoarsen from the top, refining at every level.
   for (size_t Level = GroupOfLevel.size(); Level-- > 0;) {
@@ -333,6 +353,7 @@ ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
               // independent here (each block optimized on its own).
   ClusterAssignment CA(P);
   Random RNG(Opt.Seed);
+  RhopStats RS;
 
   for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
     const Function &Fn = P.getFunction(F);
@@ -352,9 +373,18 @@ ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
          ++Pass)
       for (int B : Cfg.reversePostOrder()) {
         RegionPartitioner RP(DFGs[static_cast<unsigned>(B)], MM, FuncLocks,
-                             CA.func(F), Opt, RNG);
+                             CA.func(F), Opt, RNG, RS);
         RP.run();
       }
+  }
+
+  if (telemetry::enabled()) {
+    telemetry::counter("rhop.runs");
+    telemetry::counter("rhop.regions", RS.Regions);
+    telemetry::counter("rhop.coarsen_levels", RS.CoarsenLevels);
+    telemetry::counter("rhop.refine_passes", RS.RefinePasses);
+    telemetry::counter("rhop.group_moves", RS.GroupMoves);
+    telemetry::counter("rhop.locked_ops", RS.LockedOps);
   }
   return CA;
 }

@@ -5,6 +5,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Program.h"
 #include "support/StrUtil.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <climits>
@@ -97,6 +98,9 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
     }
     return &Rg;
   };
+
+  // Hot-loop event counts, flushed to telemetry once after the run.
+  uint64_t MemOps = 0, Allocs = 0, Calls = 0;
 
   while (!Stack.empty() && Error.empty()) {
     // Index-based access: PushFrame may reallocate the stack.
@@ -267,6 +271,7 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
         break;
       Regs[Op.getDest()] = Rg->Cells[Off];
       Profile.addAccess(FId, static_cast<unsigned>(Op.getId()), Rg->ObjectId);
+      ++MemOps;
       break;
     }
     case Opcode::Store: {
@@ -276,6 +281,7 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
         break;
       Rg->Cells[Off] = Regs[Op.getSrc(0)];
       Profile.addAccess(FId, static_cast<unsigned>(Op.getId()), Rg->ObjectId);
+      ++MemOps;
       break;
     }
     case Opcode::Malloc: {
@@ -298,6 +304,7 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
                            static_cast<uint64_t>(Size) *
                                SiteObj.getElemBytes());
       Profile.addHeapAlloc(Site);
+      ++Allocs;
       break;
     }
     case Opcode::Br:
@@ -320,6 +327,7 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
       PushFrame(Callee, Op.getDest());
       for (unsigned A = 0; A != Args.size(); ++A)
         Stack.back().Regs[A] = Args[A];
+      ++Calls;
       break;
     }
     case Opcode::Ret: {
@@ -350,5 +358,13 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
 
   R.Ok = Error.empty();
   R.Error = Error;
+
+  if (telemetry::enabled()) {
+    telemetry::counter("interp.runs");
+    telemetry::counter("interp.steps", R.Steps);
+    telemetry::counter("interp.mem_ops", MemOps);
+    telemetry::counter("interp.heap_allocs", Allocs);
+    telemetry::counter("interp.calls", Calls);
+  }
   return R;
 }

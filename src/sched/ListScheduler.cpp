@@ -8,6 +8,7 @@
 #include "analysis/OpIndex.h"
 #include "machine/MachineModel.h"
 #include "profile/ProfileData.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -158,6 +159,8 @@ BlockSchedule gdp::scheduleBlock(const BlockDFG &DFG, const MachineModel &MM,
   unsigned Scheduled = 0;
 
   while (!Ready.empty()) {
+    Result.ReadyPeak =
+        std::max(Result.ReadyPeak, static_cast<unsigned>(Ready.size()));
     unsigned U = *Ready.begin();
     Ready.erase(Ready.begin());
 
@@ -171,7 +174,7 @@ BlockSchedule gdp::scheduleBlock(const BlockDFG &DFG, const MachineModel &MM,
     for (unsigned E : DFG.succs(U)) {
       const BlockDFG::Edge &Edge = DFG.edges()[E];
       unsigned V = Edge.To;
-      unsigned Avail;
+      unsigned Avail = 0;
       switch (Edge.Kind) {
       case BlockDFG::EdgeKind::Data: {
         Avail = Issue + Lat(U);
@@ -212,6 +215,17 @@ ProgramSchedule gdp::scheduleProgram(const Program &P,
                                      const ClusterAssignment &CA) {
   ProgramSchedule Result;
   Result.BlockLengths.resize(P.getNumFunctions());
+
+  // Issue slots per cycle across the whole machine (FU kinds 0..3; the
+  // interconnect is accounted separately as moves).
+  bool Observed = telemetry::enabled();
+  uint64_t SlotsPerCycle = 0;
+  if (Observed)
+    for (unsigned C = 0; C != MM.getNumClusters(); ++C)
+      for (unsigned K = 0; K != 4; ++K)
+        SlotsPerCycle += MM.getFUCount(C, static_cast<FUKind>(K));
+
+  uint64_t Blocks = 0, Ops = 0;
   for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
     const Function &Fn = P.getFunction(F);
     OpIndex OI(Fn);
@@ -229,7 +243,25 @@ ProgramSchedule gdp::scheduleProgram(const Program &P,
       Result.DynamicMoves += static_cast<uint64_t>(BS.HoistedMoves) *
                              LI.entryCountOf(B, F, Prof);
       Result.StaticMoves += BS.NumMoves + BS.HoistedMoves;
+      ++Blocks;
+      Ops += DFG.size();
+      if (Observed && BS.Length > 0 && SlotsPerCycle > 0) {
+        telemetry::value("sched.block_length",
+                         static_cast<double>(BS.Length));
+        telemetry::value("sched.ready_list_peak",
+                         static_cast<double>(BS.ReadyPeak));
+        telemetry::value("sched.issue_slot_utilization",
+                         static_cast<double>(DFG.size()) /
+                             (static_cast<double>(BS.Length) *
+                              static_cast<double>(SlotsPerCycle)));
+      }
     }
+  }
+  if (Observed) {
+    telemetry::counter("sched.program_runs");
+    telemetry::counter("sched.blocks_scheduled", Blocks);
+    telemetry::counter("sched.ops_scheduled", Ops);
+    telemetry::counter("sched.static_moves", Result.StaticMoves);
   }
   return Result;
 }

@@ -43,6 +43,7 @@ struct BlockSchedule {
   unsigned NumMoves = 0; ///< Intercluster moves per block execution.
   unsigned HoistedMoves = 0; ///< Loop-invariant transfers hoisted out of
                              ///< the block (paid per loop entry).
+  unsigned ReadyPeak = 0; ///< Largest ready-list population seen.
   std::vector<unsigned> IssueCycle; ///< Per local operation index.
 };
 

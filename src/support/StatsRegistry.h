@@ -1,0 +1,120 @@
+//===- support/StatsRegistry.h - Named counters and histograms --*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe registry of named monotonic counters, value histograms and
+/// phase timers — the statistics half of the `gdp::telemetry` subsystem
+/// (TELEMETRY.md / docs/OBSERVABILITY.md). Counters count deterministic
+/// algorithm events (refinement moves, coarsening levels, interpreted
+/// steps); timers hold wall-clock seconds and are kept separate so tests
+/// can compare the deterministic part of two runs exactly.
+///
+/// Export is a flat JSON object with stable (sorted) key order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_STATSREGISTRY_H
+#define GDP_SUPPORT_STATSREGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gdp {
+namespace telemetry {
+
+/// Streaming summary of a series of values (count/sum/min/max), used for
+/// per-event distributions such as block schedule lengths or cut weights.
+struct ValueStats {
+  uint64_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+
+  void add(double X) {
+    if (Count == 0) {
+      Min = Max = X;
+    } else {
+      if (X < Min)
+        Min = X;
+      if (X > Max)
+        Max = X;
+    }
+    ++Count;
+    Sum += X;
+  }
+
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+
+  /// Merges another series into this one (order-independent).
+  void merge(const ValueStats &O) {
+    if (O.Count == 0)
+      return;
+    if (Count == 0) {
+      *this = O;
+      return;
+    }
+    Count += O.Count;
+    Sum += O.Sum;
+    if (O.Min < Min)
+      Min = O.Min;
+    if (O.Max > Max)
+      Max = O.Max;
+  }
+};
+
+/// Thread-safe collection of named statistics.
+class StatsRegistry {
+public:
+  /// Adds \p Delta to the monotonic counter \p Name (created at 0).
+  void addCounter(const std::string &Name, uint64_t Delta);
+
+  /// Records one sample of the value histogram \p Name.
+  void recordValue(const std::string &Name, double Value);
+
+  /// Adds \p Seconds to the wall-clock timer \p Name.
+  void addTime(const std::string &Name, double Seconds);
+
+  /// Current value of a counter (0 if never touched).
+  uint64_t getCounter(const std::string &Name) const;
+
+  /// Current accumulated seconds of a timer (0 if never touched).
+  double getTime(const std::string &Name) const;
+
+  /// Snapshot of a value histogram (zero stats if never touched).
+  ValueStats getValue(const std::string &Name) const;
+
+  /// Number of distinct counters.
+  size_t numCounters() const;
+
+  /// Copy of the counter table (for diffing before/after a region).
+  std::map<std::string, uint64_t> counterSnapshot() const;
+
+  /// Copy of the timer table.
+  std::map<std::string, double> timerSnapshot() const;
+
+  /// Merges every counter, histogram and timer of \p O into this registry.
+  void mergeFrom(const StatsRegistry &O);
+
+  /// Drops all recorded statistics.
+  void reset();
+
+  /// Flat JSON object: {"counters":{...},"values":{name:{count,sum,min,
+  /// max,mean}},"timers_sec":{...}} with keys in sorted order.
+  std::string toJson() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, ValueStats> Values;
+  std::map<std::string, double> Timers;
+};
+
+} // namespace telemetry
+} // namespace gdp
+
+#endif // GDP_SUPPORT_STATSREGISTRY_H

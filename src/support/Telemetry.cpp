@@ -1,0 +1,12 @@
+//===- support/Telemetry.cpp - Telemetry facade -----------------------------===//
+
+#include "support/Telemetry.h"
+
+using namespace gdp;
+using namespace gdp::telemetry;
+
+std::atomic<TelemetrySession *> gdp::telemetry::detail::Current{nullptr};
+
+TelemetrySession *gdp::telemetry::install(TelemetrySession *S) {
+  return detail::Current.exchange(S, std::memory_order_acq_rel);
+}

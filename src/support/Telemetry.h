@@ -1,0 +1,139 @@
+//===- support/Telemetry.h - Telemetry facade -------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `gdp::telemetry` subsystem's entry point. A TelemetrySession bundles
+/// a StatsRegistry (counters, value histograms, phase timers) with a
+/// TraceRecorder (Chrome trace_event log). Instrumented code talks to the
+/// *installed* session through free helpers that compile to a single
+/// branch-on-null when no session is attached:
+///
+///   telemetry::counter("rhop.moves", N);          // no-op when disabled
+///   telemetry::value("sched.block_length", Len);
+///   { telemetry::ScopedTimer T("pipeline.rhop");  // timer + trace event
+///     ... }
+///
+/// Sessions are installed/uninstalled with ScopedSession (RAII) — the CLI
+/// and bench harness attach one only when --stats/--trace/--json was
+/// given, so the instrumented hot paths cost nothing by default: no
+/// allocation, no locking, no clock reads.
+///
+/// The disabled fast path is allocation-free by construction: every helper
+/// takes `const char *` names and checks the global pointer before touching
+/// anything that could allocate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_TELEMETRY_H
+#define GDP_SUPPORT_TELEMETRY_H
+
+#include "support/StatsRegistry.h"
+#include "support/TraceEvent.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace gdp {
+namespace telemetry {
+
+/// One observability session: statistics plus a trace log.
+class TelemetrySession {
+public:
+  StatsRegistry &stats() { return Stats; }
+  const StatsRegistry &stats() const { return Stats; }
+  TraceRecorder &trace() { return Trace; }
+  const TraceRecorder &trace() const { return Trace; }
+
+private:
+  StatsRegistry Stats;
+  TraceRecorder Trace;
+};
+
+namespace detail {
+/// The installed session (null = telemetry disabled). Relaxed atomics:
+/// installation happens-before instrumented work in every existing caller
+/// (single-threaded install, then run).
+extern std::atomic<TelemetrySession *> Current;
+} // namespace detail
+
+/// The installed session, or null when telemetry is off.
+inline TelemetrySession *session() {
+  return detail::Current.load(std::memory_order_acquire);
+}
+
+/// True when a session is attached.
+inline bool enabled() { return session() != nullptr; }
+
+/// Installs \p S globally (pass null to disable). Returns the previous
+/// session so scopes can nest.
+TelemetrySession *install(TelemetrySession *S);
+
+/// RAII installation of a session for one region of code.
+class ScopedSession {
+public:
+  explicit ScopedSession(TelemetrySession &S) : Prev(install(&S)) {}
+  ~ScopedSession() { install(Prev); }
+  ScopedSession(const ScopedSession &) = delete;
+  ScopedSession &operator=(const ScopedSession &) = delete;
+
+private:
+  TelemetrySession *Prev;
+};
+
+/// Adds \p Delta to counter \p Name in the installed session, if any.
+inline void counter(const char *Name, uint64_t Delta = 1) {
+  if (TelemetrySession *S = session())
+    S->stats().addCounter(Name, Delta);
+}
+
+/// Records one histogram sample in the installed session, if any.
+inline void value(const char *Name, double V) {
+  if (TelemetrySession *S = session())
+    S->stats().recordValue(Name, V);
+}
+
+/// Drops an instant marker into the trace of the installed session.
+inline void instant(const char *Name, const char *Category = "mark") {
+  if (TelemetrySession *S = session())
+    S->trace().addInstant(Name, Category);
+}
+
+/// RAII phase timer: on destruction adds the elapsed seconds to the timer
+/// named \p Name and appends a complete trace event. Inert (no clock read,
+/// no allocation) when no session is installed at construction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char *Name, const char *Category = "phase")
+      : S(session()), Name(Name), Category(Category),
+        StartUs(S ? S->trace().nowUs() : 0) {}
+
+  /// Ends the phase now instead of at scope exit (idempotent).
+  void stop() {
+    if (!S)
+      return;
+    uint64_t EndUs = S->trace().nowUs();
+    uint64_t Dur = EndUs >= StartUs ? EndUs - StartUs : 0;
+    S->trace().addComplete(Name, Category, StartUs, Dur);
+    S->stats().addTime(Name, static_cast<double>(Dur) * 1e-6);
+    S = nullptr;
+  }
+
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  TelemetrySession *S;
+  const char *Name;
+  const char *Category;
+  uint64_t StartUs;
+};
+
+} // namespace telemetry
+} // namespace gdp
+
+#endif // GDP_SUPPORT_TELEMETRY_H

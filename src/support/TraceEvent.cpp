@@ -1,0 +1,117 @@
+//===- support/TraceEvent.cpp - Chrome trace_event recorder -----------------===//
+
+#include "support/TraceEvent.h"
+
+#include "support/StrUtil.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace gdp;
+using namespace gdp::telemetry;
+
+namespace {
+
+/// Small dense thread ids for the trace (std::thread::id hashes are
+/// unreadable in a viewer).
+uint32_t currentTid() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Tid = Next.fetch_add(1);
+  return Tid;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatStr("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceRecorder::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void TraceRecorder::addComplete(const std::string &Name,
+                                const std::string &Category,
+                                uint64_t StartUs, uint64_t DurUs) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = 'X';
+  E.TimestampUs = StartUs;
+  E.DurationUs = DurUs;
+  E.Tid = currentTid();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::addInstant(const std::string &Name,
+                               const std::string &Category) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = 'i';
+  E.TimestampUs = nowUs();
+  E.Tid = currentTid();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+size_t TraceRecorder::numEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+std::string TraceRecorder::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    if (E.Phase == 'X')
+      Out += formatStr(
+          "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+          "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %u}",
+          jsonEscape(E.Name).c_str(), jsonEscape(E.Category).c_str(),
+          static_cast<unsigned long long>(E.TimestampUs),
+          static_cast<unsigned long long>(E.DurationUs), E.Tid);
+    else
+      Out += formatStr(
+          "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", "
+          "\"ts\": %llu, \"s\": \"t\", \"pid\": 1, \"tid\": %u}",
+          jsonEscape(E.Name).c_str(), jsonEscape(E.Category).c_str(),
+          static_cast<unsigned long long>(E.TimestampUs), E.Tid);
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- support/TraceEvent.h - Chrome trace_event recorder -------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recorder for Chrome's `trace_event` JSON format (the "Trace Event
+/// Format" consumed by chrome://tracing and Perfetto). Phase timers emit
+/// complete ("X") duration events; instant markers emit "i" events. The
+/// exporter writes `{"traceEvents": [...]}` which both viewers accept.
+///
+/// Timestamps are microseconds on a steady clock, zeroed at recorder
+/// construction so traces start near t=0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_TRACEEVENT_H
+#define GDP_SUPPORT_TRACEEVENT_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gdp {
+namespace telemetry {
+
+/// One recorded trace event.
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  char Phase = 'X';       ///< 'X' complete, 'i' instant.
+  uint64_t TimestampUs = 0;
+  uint64_t DurationUs = 0; ///< Only meaningful for 'X'.
+  uint32_t Tid = 0;
+};
+
+/// Thread-safe append-only event log.
+class TraceRecorder {
+public:
+  TraceRecorder();
+
+  /// Microseconds since recorder construction (the trace timebase).
+  uint64_t nowUs() const;
+
+  /// Appends a complete ("X") event covering [StartUs, StartUs+DurUs).
+  void addComplete(const std::string &Name, const std::string &Category,
+                   uint64_t StartUs, uint64_t DurUs);
+
+  /// Appends an instant ("i") event at the current time.
+  void addInstant(const std::string &Name, const std::string &Category);
+
+  size_t numEvents() const;
+
+  /// Copy of the event log (for tests).
+  std::vector<TraceEvent> events() const;
+
+  /// Renders `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+  std::string toJson() const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace telemetry
+} // namespace gdp
+
+#endif // GDP_SUPPORT_TRACEEVENT_H

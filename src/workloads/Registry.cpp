@@ -34,5 +34,16 @@ std::unique_ptr<Program> gdp::buildWorkload(const std::string &Name) {
   for (const WorkloadInfo &W : allWorkloads())
     if (W.Name == Name)
       return W.Build();
+  // Mediabench prefixes the ADPCM programs with their package name
+  // ("adpcm/rawcaudio"); accept the composite spellings as aliases.
+  static const std::pair<const char *, const char *> Aliases[] = {
+      {"adpcm_rawcaudio", "rawcaudio"},
+      {"adpcm_rawdaudio", "rawdaudio"},
+      {"adpcm/rawcaudio", "rawcaudio"},
+      {"adpcm/rawdaudio", "rawdaudio"},
+  };
+  for (const auto &[Alias, Target] : Aliases)
+    if (Name == Alias)
+      return buildWorkload(Target);
   return nullptr;
 }

@@ -1,0 +1,344 @@
+//===- tests/TelemetryTests.cpp - Telemetry subsystem tests -------------------===//
+//
+// Covers the gdp::telemetry subsystem: registry semantics, histogram
+// merging, trace-event JSON well-formedness (parsed back with the minimal
+// parser in TestJson.h), determinism of the counters across identical
+// pipeline runs, and the allocation-free disabled fast path. The
+// BenchJsonFile suite validates the bench harness's --json output when the
+// ctest fixture provides one (GDP_BENCH_JSON), and skips otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "partition/Pipeline.h"
+#include "support/Telemetry.h"
+#include "workloads/Workloads.h"
+
+#include "TestJson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <set>
+#include <sstream>
+#include <utility>
+
+using namespace gdp;
+using namespace gdp::telemetry;
+
+// --- Global allocation counter: the whole test binary routes operator new
+// through this so the disabled-telemetry fast path can be shown to be
+// allocation-free.
+namespace {
+std::atomic<uint64_t> GAllocCount{0};
+
+void *countedAlloc(std::size_t Size) {
+  ++GAllocCount;
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+} // namespace
+
+void *operator new(std::size_t Size) { return countedAlloc(Size); }
+void *operator new[](std::size_t Size) { return countedAlloc(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+TEST(StatsRegistry, CountersAccumulate) {
+  StatsRegistry R;
+  EXPECT_EQ(R.getCounter("a"), 0u);
+  R.addCounter("a", 1);
+  R.addCounter("a", 41);
+  R.addCounter("b", 7);
+  EXPECT_EQ(R.getCounter("a"), 42u);
+  EXPECT_EQ(R.getCounter("b"), 7u);
+  EXPECT_EQ(R.numCounters(), 2u);
+  auto Snap = R.counterSnapshot();
+  EXPECT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap["a"], 42u);
+}
+
+TEST(StatsRegistry, TimersAccumulateSeparately) {
+  StatsRegistry R;
+  R.addTime("phase", 0.25);
+  R.addTime("phase", 0.5);
+  EXPECT_DOUBLE_EQ(R.getTime("phase"), 0.75);
+  // Timers never leak into the counter table.
+  EXPECT_EQ(R.numCounters(), 0u);
+  auto Timers = R.timerSnapshot();
+  ASSERT_EQ(Timers.size(), 1u);
+  EXPECT_DOUBLE_EQ(Timers["phase"], 0.75);
+}
+
+TEST(StatsRegistry, ValueStatsTrackExtremes) {
+  StatsRegistry R;
+  for (double X : {3.0, -1.0, 10.0, 4.0})
+    R.recordValue("v", X);
+  ValueStats V = R.getValue("v");
+  EXPECT_EQ(V.Count, 4u);
+  EXPECT_DOUBLE_EQ(V.Sum, 16.0);
+  EXPECT_DOUBLE_EQ(V.Min, -1.0);
+  EXPECT_DOUBLE_EQ(V.Max, 10.0);
+  EXPECT_DOUBLE_EQ(V.mean(), 4.0);
+}
+
+TEST(StatsRegistry, HistogramMergeMatchesSequentialAdds) {
+  // Merging two partial series must equal adding every sample to one
+  // series, in any order.
+  ValueStats A, B, All;
+  for (double X : {5.0, 1.0, 9.0}) {
+    A.add(X);
+    All.add(X);
+  }
+  for (double X : {-2.0, 7.0}) {
+    B.add(X);
+    All.add(X);
+  }
+  ValueStats Merged = A;
+  Merged.merge(B);
+  EXPECT_EQ(Merged.Count, All.Count);
+  EXPECT_DOUBLE_EQ(Merged.Sum, All.Sum);
+  EXPECT_DOUBLE_EQ(Merged.Min, All.Min);
+  EXPECT_DOUBLE_EQ(Merged.Max, All.Max);
+
+  // Merging into an empty series copies; merging an empty one is a no-op.
+  ValueStats Empty;
+  Empty.merge(A);
+  EXPECT_EQ(Empty.Count, A.Count);
+  ValueStats Copy = A;
+  Copy.merge(ValueStats());
+  EXPECT_EQ(Copy.Count, A.Count);
+  EXPECT_DOUBLE_EQ(Copy.Sum, A.Sum);
+}
+
+TEST(StatsRegistry, MergeFromCombinesAllSections) {
+  StatsRegistry A, B;
+  A.addCounter("c", 1);
+  A.addTime("t", 0.5);
+  A.recordValue("v", 2.0);
+  B.addCounter("c", 2);
+  B.addCounter("only_b", 3);
+  B.addTime("t", 0.25);
+  B.recordValue("v", 6.0);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.getCounter("c"), 3u);
+  EXPECT_EQ(A.getCounter("only_b"), 3u);
+  EXPECT_DOUBLE_EQ(A.getTime("t"), 0.75);
+  EXPECT_EQ(A.getValue("v").Count, 2u);
+  EXPECT_DOUBLE_EQ(A.getValue("v").Max, 6.0);
+}
+
+TEST(StatsRegistry, JsonParsesBackWithAllSections) {
+  StatsRegistry R;
+  R.addCounter("ops \"quoted\"", 12);
+  R.recordValue("len", 3.5);
+  R.addTime("phase", 0.125);
+  testjson::JVal Doc;
+  std::string Err;
+  ASSERT_TRUE(testjson::parse(R.toJson(), Doc, Err)) << Err;
+  ASSERT_EQ(Doc.K, testjson::JVal::Object);
+  EXPECT_EQ(Doc["counters"]["ops \"quoted\""].Num, 12);
+  EXPECT_EQ(Doc["values"]["len"]["count"].Num, 1);
+  EXPECT_DOUBLE_EQ(Doc["values"]["len"]["mean"].Num, 3.5);
+  EXPECT_DOUBLE_EQ(Doc["timers_sec"]["phase"].Num, 0.125);
+}
+
+TEST(Telemetry, ScopedSessionInstallsAndNests) {
+  EXPECT_FALSE(enabled());
+  TelemetrySession Outer;
+  {
+    ScopedSession S1(Outer);
+    EXPECT_EQ(session(), &Outer);
+    counter("hits");
+    TelemetrySession Inner;
+    {
+      ScopedSession S2(Inner);
+      EXPECT_EQ(session(), &Inner);
+      counter("hits");
+    }
+    EXPECT_EQ(session(), &Outer);
+    counter("hits");
+  }
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(Outer.stats().getCounter("hits"), 2u);
+}
+
+TEST(Telemetry, ScopedTimerRecordsTraceAndTimer) {
+  TelemetrySession S;
+  {
+    ScopedSession Scope(S);
+    {
+      ScopedTimer T("unit.phase");
+    }
+    instant("unit.mark");
+    ScopedTimer Stopped("unit.early");
+    Stopped.stop();
+    Stopped.stop(); // idempotent
+  }
+  EXPECT_EQ(S.trace().numEvents(), 3u);
+  EXPECT_GE(S.stats().getTime("unit.phase"), 0.0);
+  auto Timers = S.stats().timerSnapshot();
+  EXPECT_TRUE(Timers.count("unit.early"));
+}
+
+TEST(Telemetry, TraceJsonIsWellFormedTraceEventFormat) {
+  TelemetrySession S;
+  {
+    ScopedSession Scope(S);
+    {
+      ScopedTimer T("phase \"one\"", "cat");
+    }
+    instant("marker");
+  }
+  testjson::JVal Doc;
+  std::string Err;
+  ASSERT_TRUE(testjson::parse(S.trace().toJson(), Doc, Err)) << Err;
+  ASSERT_EQ(Doc.K, testjson::JVal::Object);
+  ASSERT_TRUE(Doc.has("traceEvents"));
+  const testjson::JVal &Events = Doc["traceEvents"];
+  ASSERT_EQ(Events.K, testjson::JVal::Array);
+  ASSERT_EQ(Events.Arr.size(), 2u);
+  for (const testjson::JVal &E : Events.Arr) {
+    ASSERT_EQ(E.K, testjson::JVal::Object);
+    // The keys chrome://tracing / Perfetto require on every event.
+    for (const char *Key : {"name", "cat", "ph", "ts", "pid", "tid"})
+      EXPECT_TRUE(E.has(Key)) << "missing key " << Key;
+    std::string Ph = E["ph"].Str;
+    EXPECT_TRUE(Ph == "X" || Ph == "i") << "unexpected phase " << Ph;
+    if (Ph == "X") {
+      EXPECT_TRUE(E.has("dur"));
+    }
+  }
+  EXPECT_EQ(Events.Arr[0]["name"].Str, "phase \"one\"");
+}
+
+TEST(Telemetry, PipelinePhasesAppearInTraceAndStats) {
+  auto P = buildWorkload("fir");
+  ASSERT_TRUE(P);
+  TelemetrySession S;
+  {
+    ScopedSession Scope(S);
+    PreparedProgram PP = prepareProgram(*P);
+    ASSERT_TRUE(PP.Ok);
+    PipelineOptions Opt;
+    Opt.Strategy = StrategyKind::GDP;
+    PipelineResult R = runStrategy(PP, Opt);
+    EXPECT_GT(R.Cycles, 0u);
+    // The per-phase breakdown must account for the legacy total.
+    EXPECT_DOUBLE_EQ(R.PartitionSeconds, R.Phases.partitionSeconds());
+    EXPECT_GT(R.Phases.RhopSeconds, 0.0);
+    EXPECT_GT(R.Phases.ScheduleSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(R.Phases.PrepareSeconds, PP.PrepareSeconds);
+  }
+  // Every pipeline phase shows up as a complete trace event.
+  bool SawPrepare = false, SawDataPart = false, SawRhop = false,
+       SawSchedule = false;
+  for (const TraceEvent &E : S.trace().events()) {
+    if (E.Phase != 'X')
+      continue;
+    SawPrepare |= E.Name == "pipeline.prepare";
+    SawDataPart |= E.Name == "pipeline.data_partition";
+    SawRhop |= E.Name == "pipeline.rhop";
+    SawSchedule |= E.Name == "pipeline.schedule";
+  }
+  EXPECT_TRUE(SawPrepare);
+  EXPECT_TRUE(SawDataPart);
+  EXPECT_TRUE(SawRhop);
+  EXPECT_TRUE(SawSchedule);
+  // The instrumented passes contribute a rich counter set (the acceptance
+  // bar is >= 10 distinct counters for one gdp-strategy run).
+  EXPECT_GE(S.stats().numCounters(), 10u);
+  EXPECT_EQ(S.stats().getCounter("gdp.runs"), 1u);
+  EXPECT_GE(S.stats().getCounter("rhop.regions"), 1u);
+  EXPECT_GE(S.stats().getCounter("sched.blocks_scheduled"), 1u);
+  EXPECT_GE(S.stats().getCounter("interp.steps"), 1u);
+}
+
+TEST(Telemetry, StatsDeterministicAcrossIdenticalRuns) {
+  // The deterministic sections (counters and value histograms) of two
+  // identical pipeline runs must match exactly; only timers may differ.
+  auto RunOnce = [](TelemetrySession &S) {
+    auto P = buildWorkload("viterbi");
+    ASSERT_TRUE(P);
+    ScopedSession Scope(S);
+    PreparedProgram PP = prepareProgram(*P);
+    ASSERT_TRUE(PP.Ok);
+    for (StrategyKind K : {StrategyKind::GDP, StrategyKind::ProfileMax,
+                           StrategyKind::Naive}) {
+      PipelineOptions Opt;
+      Opt.Strategy = K;
+      runStrategy(PP, Opt);
+    }
+  };
+  TelemetrySession A, B;
+  RunOnce(A);
+  RunOnce(B);
+  EXPECT_EQ(A.stats().counterSnapshot(), B.stats().counterSnapshot());
+  ASSERT_GE(A.stats().numCounters(), 10u);
+  for (const char *Name :
+       {"partitioner.final_cut", "gdp.cut_weight", "sched.block_length"}) {
+    ValueStats VA = A.stats().getValue(Name);
+    ValueStats VB = B.stats().getValue(Name);
+    EXPECT_EQ(VA.Count, VB.Count) << Name;
+    EXPECT_DOUBLE_EQ(VA.Sum, VB.Sum) << Name;
+    EXPECT_DOUBLE_EQ(VA.Min, VB.Min) << Name;
+    EXPECT_DOUBLE_EQ(VA.Max, VB.Max) << Name;
+  }
+}
+
+TEST(Telemetry, DisabledFastPathAllocatesNothing) {
+  ASSERT_FALSE(enabled());
+  uint64_t Before = GAllocCount.load();
+  for (int I = 0; I != 1000; ++I) {
+    counter("hot.counter", 3);
+    value("hot.value", 1.5);
+    instant("hot.marker");
+    ScopedTimer T("hot.phase");
+  }
+  EXPECT_EQ(GAllocCount.load(), Before)
+      << "disabled telemetry touched the allocator";
+}
+
+// --- Validation of the bench harness's --json output. The ctest fixture
+// bench_json_emit produces the file and exports GDP_BENCH_JSON; when the
+// suite runs standalone the test skips.
+TEST(BenchJsonFile, RecordsAreWellFormed) {
+  const char *Path = std::getenv("GDP_BENCH_JSON");
+  if (!Path || !*Path)
+    GTEST_SKIP() << "GDP_BENCH_JSON not set (run via the ctest fixture)";
+  std::ifstream In(Path);
+  if (!In)
+    GTEST_SKIP() << "bench JSON file not present: " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  testjson::JVal Doc;
+  std::string Err;
+  ASSERT_TRUE(testjson::parse(Buf.str(), Doc, Err)) << Err;
+  EXPECT_EQ(Doc["schema"].Str, "gdp-bench-v1");
+  const testjson::JVal &Records = Doc["records"];
+  ASSERT_EQ(Records.K, testjson::JVal::Array);
+  ASSERT_FALSE(Records.Arr.empty());
+  std::set<std::pair<std::string, std::string>> Seen;
+  for (const testjson::JVal &R : Records.Arr) {
+    for (const char *Key :
+         {"benchmark", "strategy", "move_latency", "cycles", "dynamic_moves",
+          "static_moves", "rhop_runs", "prepare_sec", "data_partition_sec",
+          "rhop_sec", "schedule_sec", "counters"})
+      EXPECT_TRUE(R.has(Key)) << "record missing " << Key;
+    EXPECT_GT(R["cycles"].Num, 0) << R["benchmark"].Str;
+    EXPECT_EQ(R["counters"].K, testjson::JVal::Object);
+    EXPECT_GE(R["counters"].Obj.size(), 5u);
+    Seen.insert({R["benchmark"].Str, R["strategy"].Str});
+  }
+  // One record per (benchmark, strategy): no duplicates collapsed away.
+  EXPECT_EQ(Seen.size(), Records.Arr.size());
+}
+
+} // namespace

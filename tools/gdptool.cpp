@@ -32,12 +32,14 @@
 #include "sched/ListScheduler.h"
 #include "sched/SchedulePrinter.h"
 #include "support/StrUtil.h"
+#include "support/Telemetry.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace gdp;
@@ -59,10 +61,60 @@ void usage() {
       "      --clusters=N             cluster count (default 2)\n"
       "      --placement              also print the object placement\n"
       "      --optimize               run fold/copy-prop/DCE first\n"
+      "      --stats=FILE.json        dump telemetry counters/timers (also\n"
+      "                               accepted by 'profile')\n"
+      "      --trace=FILE.json        dump a Chrome trace_event log for\n"
+      "                               chrome://tracing or Perfetto\n"
       "<prog> is a bundled workload name or a path to a textual IR file.\n");
 }
 
 bool OptimizeFlag = false;
+std::string StatsPath;
+std::string TracePath;
+
+/// Writes \p Contents to \p Path; reports and returns false on failure.
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Contents;
+  return true;
+}
+
+/// Installs a telemetry session when --stats/--trace was given (or when
+/// \p Always — the run command summarizes timings from it either way) and
+/// dumps the requested files on destruction.
+class TelemetryExport {
+public:
+  explicit TelemetryExport(bool Always = false) {
+    if (Always || !StatsPath.empty() || !TracePath.empty()) {
+      Session = std::make_unique<telemetry::TelemetrySession>();
+      Scope =
+          std::make_unique<telemetry::ScopedSession>(*Session);
+    }
+  }
+
+  ~TelemetryExport() {
+    Scope.reset(); // Uninstall before exporting.
+    if (!Session)
+      return;
+    bool WroteOk = true;
+    if (!StatsPath.empty())
+      WroteOk &= writeFile(StatsPath, Session->stats().toJson());
+    if (!TracePath.empty())
+      WroteOk &= writeFile(TracePath, Session->trace().toJson());
+    if (!WroteOk)
+      std::exit(1);
+  }
+
+  telemetry::TelemetrySession *session() { return Session.get(); }
+
+private:
+  std::unique_ptr<telemetry::TelemetrySession> Session;
+  std::unique_ptr<telemetry::ScopedSession> Scope;
+};
 
 std::unique_ptr<Program> loadProgram(const std::string &Spec) {
   if (auto P = buildWorkload(Spec))
@@ -114,6 +166,7 @@ int cmdProfile(const std::string &Spec) {
   auto P = loadProgram(Spec);
   if (!P)
     return 1;
+  TelemetryExport Telemetry;
   maybeOptimize(*P);
   PreparedProgram PP = prepareProgram(*P);
   if (!PP.Ok) {
@@ -140,6 +193,9 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
   auto P = loadProgram(Spec);
   if (!P)
     return 1;
+  // Always attach a session: the per-strategy timing summary below reads
+  // phase timers from the registry even when no JSON export was requested.
+  TelemetryExport Telemetry(/*Always=*/true);
   maybeOptimize(*P);
   PreparedProgram PP = prepareProgram(*P);
   if (!PP.Ok) {
@@ -169,12 +225,27 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
               P->getName().c_str(), Clusters, Latency);
   TextTable Table({"strategy", "cycles", "dyn moves", "partition ms"});
   uint64_t UnifiedCycles = 0;
+  std::vector<std::string> TimingLines;
   for (StrategyKind K : Kinds) {
     PipelineOptions Opt;
     Opt.Strategy = K;
     Opt.MoveLatency = Latency;
     Opt.NumClusters = Clusters;
+    auto TimersBefore = Telemetry.session()->stats().timerSnapshot();
     PipelineResult R = runStrategy(PP, Opt);
+    // Per-strategy phase seconds: the registry delta across this run.
+    auto TimersAfter = Telemetry.session()->stats().timerSnapshot();
+    auto Delta = [&](const char *Name) {
+      auto It = TimersBefore.find(Name);
+      double Before = It == TimersBefore.end() ? 0 : It->second;
+      auto It2 = TimersAfter.find(Name);
+      double After = It2 == TimersAfter.end() ? 0 : It2->second;
+      return (After - Before) * 1e3;
+    };
+    TimingLines.push_back(formatStr(
+        "%-10s data-partition %8.2f ms | rhop %8.2f ms | schedule %8.2f ms",
+        strategyName(K), Delta("pipeline.data_partition"),
+        Delta("pipeline.rhop"), Delta("pipeline.schedule")));
     if (K == StrategyKind::Unified)
       UnifiedCycles = R.Cycles;
     Table.addRow(
@@ -191,6 +262,9 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
     }
   }
   std::printf("%s", Table.render().c_str());
+  std::printf("\ntiming (prepare %.2f ms):\n", PP.PrepareSeconds * 1e3);
+  for (const std::string &Line : TimingLines)
+    std::printf("  %s\n", Line.c_str());
   if (UnifiedCycles)
     std::printf("\n(unified memory is the upper-bound reference)\n");
   return 0;
@@ -301,6 +375,10 @@ int main(int argc, char **argv) {
       Latency = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     else if (Arg.rfind("--clusters=", 0) == 0)
       Clusters = static_cast<unsigned>(std::atoi(Arg.c_str() + 11));
+    else if (Arg.rfind("--stats=", 0) == 0)
+      StatsPath = Arg.substr(8);
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TracePath = Arg.substr(8);
     else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return 1;
