@@ -2,10 +2,13 @@
 
 #include "bench/BenchCommon.h"
 
+#include "support/ThreadPool.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,8 @@ std::vector<std::string> JsonRecords;
 // loops re-evaluate the same configuration thousands of times, and each
 // re-evaluation replaces its record instead of appending.
 std::map<std::string, size_t> JsonRecordIndex;
+unsigned NumThreads = 0; // 0 = not yet resolved (env default).
+bool DeterministicFlag = false;
 
 /// Writes the accumulated records as {"schema":...,"records":[...]}.
 /// Atomic (temp file + rename) so a concurrent reader never sees a
@@ -57,6 +62,36 @@ std::string escape(const std::string &S) {
   return Out;
 }
 
+/// Appends (or replaces) one finished record under its dedup key.
+void appendRecord(const std::string &Key, std::string Rec) {
+  auto [It, Inserted] = JsonRecordIndex.emplace(Key, JsonRecords.size());
+  if (Inserted)
+    JsonRecords.push_back(std::move(Rec));
+  else
+    JsonRecords[It->second] = std::move(Rec);
+}
+
+/// One evaluation with a private telemetry session when records are being
+/// collected, so each record reflects exactly one run's counters. Safe on
+/// any thread (sessions are thread-local).
+PipelineResult evalOne(const EvalTask &T,
+                       std::unique_ptr<telemetry::TelemetrySession> *Out) {
+  PipelineOptions Opt;
+  Opt.Strategy = T.Strategy;
+  Opt.MoveLatency = T.MoveLatency;
+  if (!jsonEnabled())
+    return runStrategy(T.Entry->PP, Opt);
+  auto S = std::make_unique<telemetry::TelemetrySession>();
+  PipelineResult R;
+  {
+    telemetry::ScopedSession Scope(*S);
+    R = runStrategy(T.Entry->PP, Opt);
+  }
+  if (Out)
+    *Out = std::move(S);
+  return R;
+}
+
 } // namespace
 
 void gdp::bench::initBench(int &argc, char **argv) {
@@ -65,6 +100,11 @@ void gdp::bench::initBench(int &argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg.rfind("--json=", 0) == 0) {
       JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + 10);
+      setThreads(N > 0 ? static_cast<unsigned>(N) : 1);
+    } else if (Arg == "--deterministic") {
+      DeterministicFlag = true;
     } else {
       argv[Out++] = argv[I];
     }
@@ -77,12 +117,25 @@ void gdp::bench::initBench(int &argc, char **argv) {
 
 bool gdp::bench::jsonEnabled() { return !JsonPath.empty(); }
 
-void gdp::bench::recordResult(const std::string &Benchmark,
-                              const std::string &Strategy,
-                              unsigned MoveLatency, const PipelineResult &R,
-                              const telemetry::TelemetrySession *Session) {
-  if (!jsonEnabled())
-    return;
+unsigned gdp::bench::threads() {
+  if (NumThreads == 0)
+    NumThreads = support::threadCountFromEnv();
+  return NumThreads;
+}
+
+void gdp::bench::setThreads(unsigned N) { NumThreads = N ? N : 1; }
+
+bool gdp::bench::deterministicRecords() {
+  if (DeterministicFlag)
+    return true;
+  const char *Env = std::getenv("GDP_BENCH_DETERMINISTIC");
+  return Env && *Env && std::string(Env) != "0";
+}
+
+std::string gdp::bench::formatRecord(
+    const std::string &Benchmark, const std::string &Strategy,
+    unsigned MoveLatency, const PipelineResult &R,
+    const telemetry::TelemetrySession *Session, bool Deterministic) {
   std::string Rec = formatStr(
       "{\"benchmark\": \"%s\", \"strategy\": \"%s\", "
       "\"move_latency\": %u, \"cycles\": %llu, \"dynamic_moves\": %llu, "
@@ -93,8 +146,10 @@ void gdp::bench::recordResult(const std::string &Benchmark,
       static_cast<unsigned long long>(R.Cycles),
       static_cast<unsigned long long>(R.DynamicMoves),
       static_cast<unsigned long long>(R.StaticMoves), R.RHOPRuns,
-      R.Phases.PrepareSeconds, R.Phases.DataPartitionSeconds,
-      R.Phases.RhopSeconds, R.Phases.ScheduleSeconds);
+      Deterministic ? 0.0 : R.Phases.PrepareSeconds,
+      Deterministic ? 0.0 : R.Phases.DataPartitionSeconds,
+      Deterministic ? 0.0 : R.Phases.RhopSeconds,
+      Deterministic ? 0.0 : R.Phases.ScheduleSeconds);
   if (Session) {
     Rec += ", \"counters\": {";
     bool First = true;
@@ -107,52 +162,145 @@ void gdp::bench::recordResult(const std::string &Benchmark,
     Rec += "}";
   }
   Rec += "}";
-  std::string Key =
-      Benchmark + "|" + Strategy + "|" + std::to_string(MoveLatency);
-  auto [It, Inserted] = JsonRecordIndex.emplace(Key, JsonRecords.size());
-  if (Inserted)
-    JsonRecords.push_back(std::move(Rec));
-  else
-    JsonRecords[It->second] = std::move(Rec);
+  return Rec;
+}
+
+std::string gdp::bench::formatExhaustiveRecord(const std::string &Benchmark,
+                                               unsigned MoveLatency,
+                                               const ExhaustiveResult &R) {
+  return formatStr(
+      "{\"benchmark\": \"%s\", \"strategy\": \"Exhaustive\", "
+      "\"move_latency\": %u, \"cycles\": %llu, \"exhaustive\": "
+      "{\"num_points\": %zu, \"best_cycles\": %llu, \"worst_cycles\": %llu, "
+      "\"best_mask\": %llu, \"worst_mask\": %llu, \"gdp_mask\": %llu, "
+      "\"profilemax_mask\": %llu}}",
+      escape(Benchmark).c_str(), MoveLatency,
+      static_cast<unsigned long long>(R.BestCycles), R.Points.size(),
+      static_cast<unsigned long long>(R.BestCycles),
+      static_cast<unsigned long long>(R.WorstCycles),
+      static_cast<unsigned long long>(R.BestMask),
+      static_cast<unsigned long long>(R.WorstMask),
+      static_cast<unsigned long long>(R.GDPMask),
+      static_cast<unsigned long long>(R.ProfileMaxMask));
+}
+
+void gdp::bench::recordResult(const std::string &Benchmark,
+                              const std::string &Strategy,
+                              unsigned MoveLatency, const PipelineResult &R,
+                              const telemetry::TelemetrySession *Session) {
+  if (!jsonEnabled())
+    return;
+  appendRecord(Benchmark + "|" + Strategy + "|" + std::to_string(MoveLatency),
+               formatRecord(Benchmark, Strategy, MoveLatency, R, Session,
+                            deterministicRecords()));
+}
+
+void gdp::bench::recordExhaustive(const std::string &Benchmark,
+                                  unsigned MoveLatency,
+                                  const ExhaustiveResult &R) {
+  if (!jsonEnabled())
+    return;
+  appendRecord(Benchmark + "|Exhaustive|" + std::to_string(MoveLatency),
+               formatExhaustiveRecord(Benchmark, MoveLatency, R));
 }
 
 std::vector<SuiteEntry> gdp::bench::loadSuite() {
-  std::vector<SuiteEntry> Suite;
+  std::vector<const WorkloadInfo *> Infos;
   for (const WorkloadInfo &W : allWorkloads()) {
     if (W.Suite == "extra")
       continue; // The benches reproduce the paper's 16-benchmark suite.
-    SuiteEntry E;
-    E.Name = W.Name;
-    E.P = W.Build();
-    E.PP = prepareProgram(*E.P);
+    Infos.push_back(&W);
+  }
+  support::ThreadPool Pool(threads() - 1);
+  std::vector<SuiteEntry> Suite =
+      Pool.parallelMap(Infos, [](const WorkloadInfo *W) {
+        SuiteEntry E;
+        E.Name = W->Name;
+        E.P = W->Build();
+        E.PP = prepareProgram(*E.P);
+        return E;
+      });
+  for (const SuiteEntry &E : Suite)
     if (!E.PP.Ok) {
-      std::fprintf(stderr, "failed to prepare %s: %s\n", W.Name.c_str(),
+      std::fprintf(stderr, "failed to prepare %s: %s\n", E.Name.c_str(),
                    E.PP.Error.c_str());
       std::exit(1);
     }
-    Suite.push_back(std::move(E));
-  }
   return Suite;
 }
 
 PipelineResult gdp::bench::run(const SuiteEntry &Entry,
                                StrategyKind Strategy,
                                unsigned MoveLatency) {
-  PipelineOptions Opt;
-  Opt.Strategy = Strategy;
-  Opt.MoveLatency = MoveLatency;
-  if (!jsonEnabled())
-    return runStrategy(Entry.PP, Opt);
-  // Capture this evaluation's counters in a private session so the record
-  // reflects exactly one (benchmark, strategy) run.
-  telemetry::TelemetrySession S;
-  PipelineResult R;
-  {
-    telemetry::ScopedSession Scope(S);
-    R = runStrategy(Entry.PP, Opt);
-  }
-  recordResult(Entry.Name, strategyName(Strategy), MoveLatency, R, &S);
+  EvalTask T{&Entry, Strategy, MoveLatency};
+  std::unique_ptr<telemetry::TelemetrySession> S;
+  PipelineResult R = evalOne(T, &S);
+  recordResult(Entry.Name, strategyName(Strategy), MoveLatency, R, S.get());
   return R;
+}
+
+std::vector<PipelineResult>
+gdp::bench::runMatrix(const std::vector<EvalTask> &Tasks) {
+  if (threads() <= 1) {
+    // Serial path: identical to the historical per-call behaviour.
+    std::vector<PipelineResult> Results;
+    Results.reserve(Tasks.size());
+    for (const EvalTask &T : Tasks)
+      Results.push_back(run(*T.Entry, T.Strategy, T.MoveLatency));
+    return Results;
+  }
+  struct Evaluated {
+    PipelineResult R;
+    std::unique_ptr<telemetry::TelemetrySession> Session;
+  };
+  support::ThreadPool Pool(threads() - 1);
+  std::vector<size_t> Indices(Tasks.size());
+  std::iota(Indices.begin(), Indices.end(), 0);
+  std::vector<Evaluated> Evals = Pool.parallelMap(Indices, [&](size_t I) {
+    Evaluated E;
+    E.R = evalOne(Tasks[I], &E.Session);
+    return E;
+  });
+  // Records append on this thread, in input order: the file is identical
+  // to a serial run's.
+  std::vector<PipelineResult> Results;
+  Results.reserve(Tasks.size());
+  for (size_t I = 0; I != Tasks.size(); ++I) {
+    recordResult(Tasks[I].Entry->Name, strategyName(Tasks[I].Strategy),
+                 Tasks[I].MoveLatency, Evals[I].R, Evals[I].Session.get());
+    Results.push_back(std::move(Evals[I].R));
+  }
+  return Results;
+}
+
+std::vector<std::string>
+gdp::bench::runMatrixRecords(const std::vector<EvalTask> &Tasks) {
+  struct Evaluated {
+    PipelineResult R;
+    std::unique_ptr<telemetry::TelemetrySession> Session;
+  };
+  support::ThreadPool Pool(threads() - 1);
+  std::vector<size_t> Indices(Tasks.size());
+  std::iota(Indices.begin(), Indices.end(), 0);
+  std::vector<Evaluated> Evals = Pool.parallelMap(Indices, [&](size_t I) {
+    Evaluated E;
+    const EvalTask &T = Tasks[I];
+    PipelineOptions Opt;
+    Opt.Strategy = T.Strategy;
+    Opt.MoveLatency = T.MoveLatency;
+    E.Session = std::make_unique<telemetry::TelemetrySession>();
+    telemetry::ScopedSession Scope(*E.Session);
+    E.R = runStrategy(T.Entry->PP, Opt);
+    return E;
+  });
+  std::vector<std::string> Records;
+  Records.reserve(Tasks.size());
+  for (size_t I = 0; I != Tasks.size(); ++I)
+    Records.push_back(formatRecord(
+        Tasks[I].Entry->Name, strategyName(Tasks[I].Strategy),
+        Tasks[I].MoveLatency, Evals[I].R, Evals[I].Session.get(),
+        /*Deterministic=*/true));
+  return Records;
 }
 
 double gdp::bench::relativePerf(uint64_t BaselineCycles, uint64_t Cycles) {

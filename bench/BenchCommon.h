@@ -10,11 +10,21 @@
 /// paper-style tables. Every binary in bench/ regenerates one table or
 /// figure of the paper's evaluation (see DESIGN.md's experiment index).
 ///
+/// Evaluations go through `runMatrix()`, which executes independent
+/// (benchmark, strategy, latency) pipeline runs concurrently on a
+/// `support::ThreadPool` when more than one thread is configured
+/// (`GDP_THREADS` env or `--threads=N`). Results come back in input order
+/// and `--json` records are appended in input order, so every figure and
+/// record file is byte-identical at any thread count (the determinism
+/// contract in docs/PARALLELISM.md); only wall-clock fields vary, and
+/// `--deterministic` zeroes those too.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDP_BENCH_BENCHCOMMON_H
 #define GDP_BENCH_BENCHCOMMON_H
 
+#include "partition/Exhaustive.h"
 #include "partition/Pipeline.h"
 #include "support/Histogram.h"
 #include "support/StrUtil.h"
@@ -35,16 +45,54 @@ struct SuiteEntry {
   PreparedProgram PP;
 };
 
+/// One evaluation of the matrix: a strategy on a prepared benchmark at a
+/// move latency.
+struct EvalTask {
+  const SuiteEntry *Entry = nullptr;
+  StrategyKind Strategy = StrategyKind::GDP;
+  unsigned MoveLatency = 5;
+};
+
 /// Parses and strips the harness-level flags out of argv so the remaining
 /// arguments can go to the binary's own parser (e.g. google-benchmark).
 /// Call it first thing in main(). Recognizes:
-///   --json=FILE   append one machine-readable record per (benchmark,
-///                 strategy) evaluation done through run(); the file is
-///                 written atomically when the process exits.
+///   --json=FILE      append one machine-readable record per (benchmark,
+///                    strategy) evaluation done through run()/runMatrix();
+///                    the file is written atomically when the process exits.
+///   --threads=N      evaluate the matrix on N threads (default: the
+///                    GDP_THREADS environment variable, else 1 = serial).
+///   --deterministic  zero the wall-clock fields of --json records so two
+///                    runs compare byte-identical (also via the
+///                    GDP_BENCH_DETERMINISTIC=1 environment variable).
 void initBench(int &argc, char **argv);
 
 /// True when --json=FILE was given to initBench().
 bool jsonEnabled();
+
+/// The configured total thread count (>= 1).
+unsigned threads();
+
+/// Overrides the thread count (tests; initBench also sets this).
+void setThreads(unsigned N);
+
+/// True when --json records should zero their wall-clock fields.
+bool deterministicRecords();
+
+/// Formats one --json record. \p Session, when given, contributes its
+/// counters. When \p Deterministic, the *_sec wall-clock fields are
+/// written as 0 so records compare byte-identical across runs and thread
+/// counts (every other field is deterministic already).
+std::string formatRecord(const std::string &Benchmark,
+                         const std::string &Strategy, unsigned MoveLatency,
+                         const PipelineResult &R,
+                         const telemetry::TelemetrySession *Session,
+                         bool Deterministic);
+
+/// Formats the --json record of one exhaustive search (fig9): best/worst
+/// cycles and masks plus the partitioners' picks. Fully deterministic.
+std::string formatExhaustiveRecord(const std::string &Benchmark,
+                                   unsigned MoveLatency,
+                                   const ExhaustiveResult &R);
 
 /// Appends one JSON record for an evaluation done outside run() (custom
 /// options, ablations). \p Session, when given, contributes its counters.
@@ -52,14 +100,32 @@ void recordResult(const std::string &Benchmark, const std::string &Strategy,
                   unsigned MoveLatency, const PipelineResult &R,
                   const telemetry::TelemetrySession *Session = nullptr);
 
-/// Builds, verifies, annotates and profiles every workload. Exits with a
-/// diagnostic if any preparation fails (the test suite guards this).
+/// Appends the JSON record of one exhaustive search.
+void recordExhaustive(const std::string &Benchmark, unsigned MoveLatency,
+                      const ExhaustiveResult &R);
+
+/// Builds, verifies, annotates and profiles every workload (concurrently
+/// when threads() > 1; the returned order is always the registry order).
+/// Exits with a diagnostic if any preparation fails (the test suite guards
+/// this).
 std::vector<SuiteEntry> loadSuite();
 
 /// Convenience: runs \p Strategy on \p Entry at \p MoveLatency with
-/// default options.
+/// default options, serially on the calling thread.
 PipelineResult run(const SuiteEntry &Entry, StrategyKind Strategy,
                    unsigned MoveLatency);
+
+/// Evaluates every task, concurrently when threads() > 1, and returns the
+/// results in input order. --json records are also appended in input
+/// order, so the record file is identical at any thread count.
+std::vector<PipelineResult> runMatrix(const std::vector<EvalTask> &Tasks);
+
+/// Like runMatrix(), but returns the deterministic-mode JSON record bytes
+/// of every task (exactly what --json --deterministic writes), whether or
+/// not --json is active. DeterminismTests compares these byte-for-byte
+/// across thread counts and repeated runs.
+std::vector<std::string>
+runMatrixRecords(const std::vector<EvalTask> &Tasks);
 
 /// Relative performance of \p Cycles versus \p BaselineCycles, as the
 /// paper plots it (baseline / measured; 1.0 = parity, higher = faster than

@@ -33,6 +33,10 @@ int main(int argc, char **argv) {
       Opt.Strategy = StrategyKind::GDP;
       Opt.MoveLatency = 5;
       Opt.DataOpt.MemBalanceTolerance = Tol;
+      // Model scarce local memories (capacity ≪ footprint) so the swept
+      // tolerance stays the binding constraint; with the default machine
+      // capacity the suite's small footprints relax it away entirely.
+      Opt.DataOpt.MemCapacityBytes = 1;
       PipelineResult R = runStrategy(E.PP, Opt);
       Table.addRow({formatDouble(Tol, 3),
                     formatPercent(relativePerf(Unified, R.Cycles)),

@@ -28,11 +28,20 @@ int main(int argc, char **argv) {
       {"benchmark", "unified moves", "GDP", "ProfileMax", "Naive"});
   uint64_t TotalUnified = 0, TotalGDP = 0, TotalPM = 0, TotalNaive = 0;
 
+  // One concurrent matrix (see BenchCommon.h); results are input-ordered.
+  std::vector<EvalTask> Tasks;
+  for (const SuiteEntry &E : Suite)
+    for (StrategyKind K : {StrategyKind::Unified, StrategyKind::GDP,
+                           StrategyKind::ProfileMax, StrategyKind::Naive})
+      Tasks.push_back({&E, K, 5});
+  std::vector<PipelineResult> Results = runMatrix(Tasks);
+
+  size_t Next = 0;
   for (const SuiteEntry &E : Suite) {
-    uint64_t Unified = run(E, StrategyKind::Unified, 5).DynamicMoves;
-    uint64_t GDPMoves = run(E, StrategyKind::GDP, 5).DynamicMoves;
-    uint64_t PMMoves = run(E, StrategyKind::ProfileMax, 5).DynamicMoves;
-    uint64_t NaiveMoves = run(E, StrategyKind::Naive, 5).DynamicMoves;
+    uint64_t Unified = Results[Next++].DynamicMoves;
+    uint64_t GDPMoves = Results[Next++].DynamicMoves;
+    uint64_t PMMoves = Results[Next++].DynamicMoves;
+    uint64_t NaiveMoves = Results[Next++].DynamicMoves;
     TotalUnified += Unified;
     TotalGDP += GDPMoves;
     TotalPM += PMMoves;

@@ -25,11 +25,23 @@ int main(int argc, char **argv) {
   TextTable Table({"benchmark", "+1cyc", "+5cyc", "+10cyc"});
   Stats Avg1, Avg5, Avg10;
 
+  // The whole (benchmark × latency × strategy) matrix in one go: the
+  // harness evaluates it concurrently under --threads/GDP_THREADS and
+  // hands the results back in input order.
+  std::vector<EvalTask> Tasks;
+  for (const SuiteEntry &E : Suite)
+    for (unsigned Lat : {1u, 5u, 10u}) {
+      Tasks.push_back({&E, StrategyKind::Unified, Lat});
+      Tasks.push_back({&E, StrategyKind::Naive, Lat});
+    }
+  std::vector<PipelineResult> Results = runMatrix(Tasks);
+
+  size_t Next = 0;
   for (const SuiteEntry &E : Suite) {
     std::vector<std::string> Row{E.Name};
     for (unsigned Lat : {1u, 5u, 10u}) {
-      uint64_t Unified = run(E, StrategyKind::Unified, Lat).Cycles;
-      uint64_t Naive = run(E, StrategyKind::Naive, Lat).Cycles;
+      uint64_t Unified = Results[Next++].Cycles;
+      uint64_t Naive = Results[Next++].Cycles;
       double Overhead =
           static_cast<double>(Naive) / static_cast<double>(Unified) - 1.0;
       Row.push_back(formatPercent(Overhead));

@@ -95,6 +95,15 @@ public:
     return Memory == MemoryModelKind::Partitioned;
   }
 
+  /// Bytes of data memory per cluster. The byte-balance constraint of the
+  /// global data partitioner exists to make the data fit each cluster's
+  /// local memory (paper §3.2); when the program's footprint is far below
+  /// this capacity the constraint is relaxed accordingly instead of
+  /// forcing a balanced split that costs cycles for nothing. 0 = capacity
+  /// not modeled (the partitioner falls back to pure relative balance).
+  uint64_t getClusterMemoryBytes() const { return ClusterMemoryBytes; }
+  void setClusterMemoryBytes(uint64_t Bytes) { ClusterMemoryBytes = Bytes; }
+
   /// Latency in cycles of \p Op on this machine.
   unsigned getLatency(Opcode Op) const;
   /// Overrides the latency of \p Op.
@@ -104,6 +113,7 @@ private:
   std::vector<ClusterConfig> Clusters;
   unsigned MoveLatency = 5;
   unsigned MoveBandwidth = 1;
+  uint64_t ClusterMemoryBytes = 64 * 1024; ///< Typical clustered-VLIW SRAM.
   MemoryModelKind Memory = MemoryModelKind::Partitioned;
   std::vector<int> LatencyOverride; // indexed by opcode; -1 = default
 };

@@ -3,18 +3,40 @@
 #include "partition/Exhaustive.h"
 
 #include "sched/ListScheduler.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
+#include <optional>
 
 using namespace gdp;
 
+namespace {
+
+/// Partial optimum of one contiguous mask chunk: lowest cycles first, then
+/// lowest mask — exactly what the serial loop's "first strict improvement
+/// wins" scan produces within the chunk.
+struct ChunkOptimum {
+  uint64_t BestCycles = 0;
+  uint64_t BestMask = 0;
+  uint64_t WorstCycles = 0;
+  uint64_t WorstMask = 0;
+};
+
+} // namespace
+
 ExhaustiveResult gdp::exhaustiveSearch(const PreparedProgram &PP,
-                                       const PipelineOptions &Opt) {
+                                       const PipelineOptions &Opt,
+                                       unsigned Threads) {
   assert(PP.Ok && "prepareProgram() must succeed first");
   const Program &P = *PP.P;
   unsigned N = P.getNumObjects();
   assert(N <= MaxExhaustiveObjects &&
          "exhaustive search is only feasible for small object counts");
+  if (Threads == 0)
+    Threads = support::threadCountFromEnv();
 
   PipelineOptions Local = Opt;
   Local.Strategy = StrategyKind::GDP; // Partitioned-memory machine.
@@ -24,9 +46,11 @@ ExhaustiveResult gdp::exhaustiveSearch(const PreparedProgram &PP,
 
   ExhaustiveResult Result;
   uint64_t NumMasks = 1ULL << N;
-  Result.Points.reserve(NumMasks);
+  Result.Points.resize(NumMasks);
 
-  for (uint64_t Mask = 0; Mask != NumMasks; ++Mask) {
+  // Evaluates one placement into its preassigned slot (disjoint writes, so
+  // the parallel chunks need no synchronization on Points).
+  auto EvalMask = [&](uint64_t Mask) {
     DataPlacement Placement(N);
     for (unsigned Obj = 0; Obj != N; ++Obj)
       Placement.setHome(Obj, static_cast<int>((Mask >> Obj) & 1));
@@ -34,16 +58,81 @@ ExhaustiveResult gdp::exhaustiveSearch(const PreparedProgram &PP,
     ClusterAssignment CA = runRHOP(P, PP.Prof, MM, &Locks, Local.RhopOpt);
     ProgramSchedule PS = scheduleProgram(P, PP.Prof, MM, CA);
 
-    ExhaustivePoint Pt;
+    ExhaustivePoint &Pt = Result.Points[Mask];
     Pt.Mask = Mask;
     Pt.Cycles = PS.TotalCycles;
     Pt.Imbalance = Placement.sizeImbalance(P, 2);
-    if (Mask == 0 || Pt.Cycles < Result.BestCycles)
-      Result.BestCycles = Pt.Cycles;
-    if (Mask == 0 || Pt.Cycles > Result.WorstCycles)
-      Result.WorstCycles = Pt.Cycles;
-    Result.Points.push_back(Pt);
+  };
+
+  if (Threads <= 1) {
+    // Serial scan, first strict improvement wins (= lowest mask on ties).
+    for (uint64_t Mask = 0; Mask != NumMasks; ++Mask) {
+      EvalMask(Mask);
+      const ExhaustivePoint &Pt = Result.Points[Mask];
+      if (Mask == 0 || Pt.Cycles < Result.BestCycles) {
+        Result.BestCycles = Pt.Cycles;
+        Result.BestMask = Mask;
+      }
+      if (Mask == 0 || Pt.Cycles > Result.WorstCycles) {
+        Result.WorstCycles = Pt.Cycles;
+        Result.WorstMask = Mask;
+      }
+    }
+  } else {
+    // Contiguous chunks over the mask space; enough chunks per thread to
+    // even out the load (placements differ wildly in RHOP cost).
+    uint64_t NumChunks = std::min<uint64_t>(NumMasks, Threads * 8ull);
+    uint64_t ChunkSize = (NumMasks + NumChunks - 1) / NumChunks;
+    NumChunks = (NumMasks + ChunkSize - 1) / ChunkSize;
+
+    telemetry::TelemetrySession *Parent = telemetry::session();
+    std::vector<std::unique_ptr<telemetry::TelemetrySession>> Shards(
+        NumChunks);
+    std::vector<ChunkOptimum> Optima(NumChunks);
+
+    support::ThreadPool Pool(Threads - 1);
+    Pool.parallelFor(0, NumChunks, [&](size_t Chunk) {
+      // Per-task telemetry shard: counters recorded here merge into the
+      // parent at join time, in chunk order, keeping totals exact.
+      std::optional<telemetry::ScopedSession> Scope;
+      if (Parent) {
+        Shards[Chunk] = std::make_unique<telemetry::TelemetrySession>();
+        Scope.emplace(*Shards[Chunk]);
+      }
+      uint64_t Begin = Chunk * ChunkSize;
+      uint64_t End = std::min(NumMasks, Begin + ChunkSize);
+      ChunkOptimum &O = Optima[Chunk];
+      for (uint64_t Mask = Begin; Mask != End; ++Mask) {
+        EvalMask(Mask);
+        const ExhaustivePoint &Pt = Result.Points[Mask];
+        if (Mask == Begin || Pt.Cycles < O.BestCycles) {
+          O.BestCycles = Pt.Cycles;
+          O.BestMask = Mask;
+        }
+        if (Mask == Begin || Pt.Cycles > O.WorstCycles) {
+          O.WorstCycles = Pt.Cycles;
+          O.WorstMask = Mask;
+        }
+      }
+    });
+
+    // Deterministic reduction in chunk order: strict improvement only, so
+    // the lowest mask wins ties exactly as in the serial scan.
+    for (uint64_t Chunk = 0; Chunk != NumChunks; ++Chunk) {
+      const ChunkOptimum &O = Optima[Chunk];
+      if (Chunk == 0 || O.BestCycles < Result.BestCycles) {
+        Result.BestCycles = O.BestCycles;
+        Result.BestMask = O.BestMask;
+      }
+      if (Chunk == 0 || O.WorstCycles > Result.WorstCycles) {
+        Result.WorstCycles = O.WorstCycles;
+        Result.WorstMask = O.WorstMask;
+      }
+      if (Parent && Shards[Chunk])
+        Parent->mergeFrom(*Shards[Chunk]);
+    }
   }
+  telemetry::counter("exhaustive.points", NumMasks);
 
   // Where the two partitioners land in this space.
   auto MaskOf = [&](const DataPlacement &Placement) {

@@ -11,6 +11,14 @@
 /// cycle count and data-size balance. Only feasible for benchmarks with a
 /// small number of objects, exactly as in the paper.
 ///
+/// The search runs on a `support::ThreadPool` when asked for more than one
+/// thread. Determinism contract (docs/PARALLELISM.md): the mask space is
+/// split into contiguous chunks whose partial optima are reduced *in chunk
+/// order* with the tie-break "lowest cycles, then lowest mask" (the lowest
+/// mask is the lexicographically smallest placement in enumeration order —
+/// the first one the serial loop would have seen), so the result is
+/// bit-identical at any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDP_PARTITION_EXHAUSTIVE_H
@@ -36,6 +44,8 @@ struct ExhaustiveResult {
   std::vector<ExhaustivePoint> Points; ///< In mask order, 2^N entries.
   uint64_t BestCycles = 0;
   uint64_t WorstCycles = 0;
+  uint64_t BestMask = 0;  ///< Lowest mask achieving BestCycles.
+  uint64_t WorstMask = 0; ///< Lowest mask achieving WorstCycles.
   uint64_t GDPMask = 0;        ///< Placement chosen by GDP.
   uint64_t ProfileMaxMask = 0; ///< Placement chosen by ProfileMax.
 };
@@ -45,8 +55,12 @@ inline constexpr unsigned MaxExhaustiveObjects = 18;
 
 /// Runs the search on a prepared program. \p Opt supplies the machine
 /// (must have 2 clusters) and RHOP options; Opt.Strategy is ignored.
+/// \p Threads is the total thread count: 1 = the serial loop, 0 = take
+/// `GDP_THREADS` from the environment. Results are identical for every
+/// value (see the determinism contract above).
 ExhaustiveResult exhaustiveSearch(const PreparedProgram &PP,
-                                  const PipelineOptions &Opt);
+                                  const PipelineOptions &Opt,
+                                  unsigned Threads = 1);
 
 } // namespace gdp
 

@@ -59,10 +59,33 @@ GDPResult gdp::runGlobalDataPartitioning(const Program &P,
     }
   }
 
+  // --- Capacity-aware byte balance: the constraint is there to make the
+  // data fit each cluster's local memory, so when a capacity is known the
+  // effective tolerance grows with the headroom (up to "one cluster could
+  // hold everything" — beyond that extra slack buys nothing). Without it,
+  // a program whose footprint is a fraction of the memory still gets
+  // force-split on bytes, severing high-affinity object/op groups for no
+  // benefit (crc32 and pegwit regress >1.3× against the exhaustive
+  // optimum exactly this way; see tests/DifferentialTests.cpp).
+  double MemTol = Opt.MemBalanceTolerance;
+  if (Opt.MemCapacityBytes) {
+    uint64_t TotalBytes = 0;
+    for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj)
+      TotalBytes += P.getObject(Obj).getSizeBytes();
+    if (TotalBytes) {
+      double MeanPerCluster =
+          static_cast<double>(TotalBytes) / NumClusters;
+      double ImpliedTol =
+          static_cast<double>(Opt.MemCapacityBytes) / MeanPerCluster - 1.0;
+      ImpliedTol = std::min(ImpliedTol, static_cast<double>(NumClusters - 1));
+      MemTol = std::max(MemTol, ImpliedTol);
+    }
+  }
+
   // --- Cut with the multilevel partitioner.
   GraphPartitionOptions GOpt;
   GOpt.NumParts = NumClusters;
-  GOpt.Tolerances = {Opt.MemBalanceTolerance, Opt.OpBalanceTolerance};
+  GOpt.Tolerances = {MemTol, Opt.OpBalanceTolerance};
   GOpt.Seed = Opt.Seed;
   GOpt.PartCapacityShares = Opt.ClusterCapacityShares;
   GraphPartition Part = partitionGraph(G, GOpt);

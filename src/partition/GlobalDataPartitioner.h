@@ -33,6 +33,14 @@ struct GDPOptions {
   /// Allowed imbalance of per-cluster data bytes (the paper's
   /// parameterized "memory size balance between clusters").
   double MemBalanceTolerance = 0.125;
+  /// Absolute data-memory capacity per cluster in bytes. The balance
+  /// constraint exists so the data fits each cluster's local memory; when
+  /// the program's total footprint is far below NumClusters × capacity
+  /// the effective tolerance is relaxed up to the point where a single
+  /// cluster could hold everything (capacity-aware balance). 0 = capacity
+  /// unknown: MemBalanceTolerance is applied as-is (pure relative
+  /// balance; the historic behaviour and what abl_balance sweeps).
+  uint64_t MemCapacityBytes = 0;
   /// Allowed imbalance of the secondary (operation count) constraint.
   /// The paper balances only data sizes in this pass (operations are
   /// re-placed by the second pass anyway), so this defaults to effectively

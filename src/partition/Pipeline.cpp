@@ -167,6 +167,8 @@ PipelineResult runGDPStrategy(const PreparedProgram &PP,
       if (!Uniform)
         DataOpt.ClusterCapacityShares = std::move(Shares);
     }
+    if (DataOpt.MemCapacityBytes == 0)
+      DataOpt.MemCapacityBytes = MM.getClusterMemoryBytes();
     GDPResult D = runGlobalDataPartitioning(*PP.P, PP.Prof,
                                             MM.getNumClusters(), DataOpt);
     R.Placement = D.Placement;

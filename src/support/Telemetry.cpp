@@ -5,8 +5,10 @@
 using namespace gdp;
 using namespace gdp::telemetry;
 
-std::atomic<TelemetrySession *> gdp::telemetry::detail::Current{nullptr};
+thread_local TelemetrySession *gdp::telemetry::detail::Current = nullptr;
 
 TelemetrySession *gdp::telemetry::install(TelemetrySession *S) {
-  return detail::Current.exchange(S, std::memory_order_acq_rel);
+  TelemetrySession *Prev = detail::Current;
+  detail::Current = S;
+  return Prev;
 }

@@ -33,7 +33,6 @@
 #include "support/StatsRegistry.h"
 #include "support/TraceEvent.h"
 
-#include <atomic>
 #include <cstdint>
 
 namespace gdp {
@@ -47,28 +46,39 @@ public:
   TraceRecorder &trace() { return Trace; }
   const TraceRecorder &trace() const { return Trace; }
 
+  /// Folds a per-task shard session into this one: counters, histograms
+  /// and timers add up exactly; trace events append with rebased
+  /// timestamps. Callers merge shards in input order so the result is
+  /// identical at any thread count.
+  void mergeFrom(const TelemetrySession &O) {
+    Stats.mergeFrom(O.stats());
+    Trace.mergeFrom(O.trace());
+  }
+
 private:
   StatsRegistry Stats;
   TraceRecorder Trace;
 };
 
 namespace detail {
-/// The installed session (null = telemetry disabled). Relaxed atomics:
-/// installation happens-before instrumented work in every existing caller
-/// (single-threaded install, then run).
-extern std::atomic<TelemetrySession *> Current;
+/// The installed session (null = telemetry disabled). Thread-local: each
+/// thread sees only the session it installed itself, so concurrent
+/// pipeline evaluations record into disjoint shard sessions with no
+/// locking or cross-thread visibility at all. The pool-based callers
+/// install one shard per task and merge them at join time, in input
+/// order, which keeps counters exact and deterministic (see
+/// docs/PARALLELISM.md).
+extern thread_local TelemetrySession *Current;
 } // namespace detail
 
-/// The installed session, or null when telemetry is off.
-inline TelemetrySession *session() {
-  return detail::Current.load(std::memory_order_acquire);
-}
+/// The session installed on this thread, or null when telemetry is off.
+inline TelemetrySession *session() { return detail::Current; }
 
-/// True when a session is attached.
+/// True when a session is attached on this thread.
 inline bool enabled() { return session() != nullptr; }
 
-/// Installs \p S globally (pass null to disable). Returns the previous
-/// session so scopes can nest.
+/// Installs \p S on the calling thread (pass null to disable). Returns the
+/// previous session so scopes can nest.
 TelemetrySession *install(TelemetrySession *S);
 
 /// RAII installation of a session for one region of code.

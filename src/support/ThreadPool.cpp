@@ -1,0 +1,81 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ----------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace gdp;
+using namespace gdp::support;
+
+unsigned gdp::support::threadCountFromEnv() {
+  const char *Env = std::getenv("GDP_THREADS");
+  if (!Env || !*Env)
+    return 1;
+  char *End = nullptr;
+  long N = std::strtol(Env, &End, 10);
+  if (End == Env || *End != '\0' || N < 1)
+    return 1;
+  return N > 256 ? 256u : static_cast<unsigned>(N);
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) : NumWorkers(NumThreads) {
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  // Inline pools (and a stopping pool with a nonempty queue) still owe the
+  // queued futures a result; run the leftovers here.
+  while (runOneTask())
+    ;
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  if (NumWorkers == 0) {
+    // Inline mode: execute immediately, in submission order, on this
+    // thread — the exact serial behaviour.
+    Task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  QueueCV.notify_one();
+}
+
+bool ThreadPool::runOneTask() {
+  std::function<void()> Task;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Queue.empty())
+      return false;
+    Task = std::move(Queue.front());
+    Queue.pop_front();
+  }
+  Task(); // packaged_task captures any exception in its future.
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      QueueCV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}

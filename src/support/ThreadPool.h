@@ -1,0 +1,170 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with futures-based task submission and the two
+/// bulk helpers the evaluation paths use: `parallelFor` over an index range
+/// and `parallelMap` over a vector. The design rules (docs/PARALLELISM.md):
+///
+///  * **Determinism is the caller's problem to keep and this class's
+///    problem not to break**: `parallelMap` returns results in input order
+///    and both helpers rethrow the exception of the *lowest-indexed*
+///    failing task, so observable behaviour never depends on which worker
+///    ran what, or when.
+///  * **Zero workers means inline**: `ThreadPool(0)` spawns no threads and
+///    runs every task on the calling thread at submission time, in
+///    submission order — exactly the serial behaviour. Callers map a user
+///    request of `--threads=N` to `ThreadPool(N - 1)` because the waiting
+///    thread participates in execution (below), so N is the true
+///    concurrency.
+///  * **No deadlock on nested submission**: a thread that blocks in
+///    `wait()`/`parallelFor`/`parallelMap` drains queued tasks itself
+///    while it waits ("work helping"). A task may therefore submit and
+///    wait on subtasks even when every worker is busy.
+///
+/// Thread count selection: `threadCountFromEnv()` reads `GDP_THREADS`
+/// (clamped to [1, 256]; unset/invalid = 1 = serial). The CLI and bench
+/// harness let `--threads=N` override it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_THREADPOOL_H
+#define GDP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gdp {
+namespace support {
+
+/// Total thread count requested through the environment: `GDP_THREADS`,
+/// clamped to [1, 256]; 1 (fully serial) when unset or unparsable.
+unsigned threadCountFromEnv();
+
+/// Fixed worker pool. See the file comment for the guarantees.
+class ThreadPool {
+public:
+  /// Spawns \p Workers background threads. 0 = inline execution.
+  explicit ThreadPool(unsigned Workers);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned getNumWorkers() const { return NumWorkers; }
+
+  /// Schedules \p Fn and returns the future of its result. With zero
+  /// workers the task runs here and now; the returned future is ready.
+  template <class Fn> auto submit(Fn &&F) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Fut = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Fut;
+  }
+
+  /// Runs Body(I) for every I in [Begin, End), concurrently, and blocks
+  /// until all complete. If tasks threw, rethrows the exception of the
+  /// lowest index after everything finished.
+  template <class Body>
+  void parallelFor(size_t Begin, size_t End, Body &&B) {
+    if (Begin >= End)
+      return;
+    size_t N = End - Begin;
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(N);
+    for (size_t I = Begin; I != End; ++I)
+      Futures.push_back(submit([&B, I] { B(I); }));
+    rethrowFirst(Futures);
+  }
+
+  /// Applies \p Fn to every element of \p Items concurrently; returns the
+  /// results in input order. Rethrows the lowest-indexed task's exception
+  /// after all tasks completed.
+  template <class T, class Fn>
+  auto parallelMap(const std::vector<T> &Items, Fn &&F)
+      -> std::vector<std::invoke_result_t<Fn, const T &>> {
+    using R = std::invoke_result_t<Fn, const T &>;
+    std::vector<std::future<R>> Futures;
+    Futures.reserve(Items.size());
+    for (const T &Item : Items)
+      Futures.push_back(submit([&F, &Item] { return F(Item); }));
+    std::vector<R> Out;
+    Out.reserve(Items.size());
+    std::exception_ptr First;
+    for (auto &Fut : Futures) {
+      waitHelping(Fut);
+      try {
+        Out.push_back(Fut.get());
+      } catch (...) {
+        if (!First)
+          First = std::current_exception();
+        Out.push_back(R{}); // Keep indices aligned for the survivors.
+      }
+    }
+    if (First)
+      std::rethrow_exception(First);
+    return Out;
+  }
+
+private:
+  void enqueue(std::function<void()> Task);
+
+  /// Pops and runs one queued task; false when the queue is empty.
+  bool runOneTask();
+
+  /// Blocks on \p Fut, executing queued tasks while it is not ready so a
+  /// task waiting on subtasks can never deadlock the pool.
+  template <class R> void waitHelping(std::future<R> &Fut) {
+    while (Fut.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!runOneTask())
+        Fut.wait_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Waits on every future; rethrows the first (lowest-index) exception.
+  void rethrowFirst(std::vector<std::future<void>> &Futures) {
+    std::exception_ptr First;
+    for (auto &Fut : Futures) {
+      waitHelping(Fut);
+      try {
+        Fut.get();
+      } catch (...) {
+        if (!First)
+          First = std::current_exception();
+      }
+    }
+    if (First)
+      std::rethrow_exception(First);
+  }
+
+  void workerLoop();
+
+  unsigned NumWorkers;
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable QueueCV;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+};
+
+} // namespace support
+} // namespace gdp
+
+#endif // GDP_SUPPORT_THREADPOOL_H

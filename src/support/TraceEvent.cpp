@@ -81,6 +81,22 @@ void TraceRecorder::addInstant(const std::string &Name,
   Events.push_back(std::move(E));
 }
 
+void TraceRecorder::mergeFrom(const TraceRecorder &O) {
+  std::vector<TraceEvent> Theirs = O.events();
+  // O's epoch is later than (or equal to) ours when O is a shard created
+  // mid-run; shift its timestamps into our timebase. A negative offset
+  // (O constructed first) clamps to 0 rather than underflowing.
+  int64_t OffsetUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                         O.Epoch - Epoch)
+                         .count();
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (TraceEvent &E : Theirs) {
+    int64_t Ts = static_cast<int64_t>(E.TimestampUs) + OffsetUs;
+    E.TimestampUs = Ts > 0 ? static_cast<uint64_t>(Ts) : 0;
+    Events.push_back(std::move(E));
+  }
+}
+
 size_t TraceRecorder::numEvents() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Events.size();

@@ -57,6 +57,11 @@ public:
   /// Copy of the event log (for tests).
   std::vector<TraceEvent> events() const;
 
+  /// Appends every event of \p O, rebasing its timestamps from O's epoch
+  /// onto this recorder's so a merged trace keeps one consistent timebase.
+  /// Used to fold per-thread shard recorders into the parent at join time.
+  void mergeFrom(const TraceRecorder &O);
+
   /// Renders `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
   std::string toJson() const;
 

@@ -1,0 +1,211 @@
+//===- tests/DeterminismTests.cpp - Parallel determinism guarantees ----------===//
+//
+// The determinism contract of docs/PARALLELISM.md, enforced end to end:
+// the full pipeline on three workloads × all four strategies produces
+// identical cycle counts, move counts, cut weights and data placements at
+// --threads=1, 2 and 8, and across repeated runs; the bench harness's
+// deterministic-mode JSON records are byte-identical at every thread
+// count; and the exhaustive search (fig9) returns bit-identical point
+// clouds and the same optimum masks regardless of how the mask space was
+// chunked over workers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "partition/Exhaustive.h"
+#include "partition/Pipeline.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace gdp;
+
+namespace {
+
+const unsigned ThreadCounts[] = {1, 2, 8};
+
+/// Three representative workloads (one Mediabench codec, two DSP kernels),
+/// prepared once for the whole suite.
+const std::vector<bench::SuiteEntry> &entries() {
+  static std::vector<bench::SuiteEntry> Entries = [] {
+    std::vector<bench::SuiteEntry> Out;
+    for (const char *Name : {"rawcaudio", "fir", "viterbi"}) {
+      bench::SuiteEntry E;
+      E.Name = Name;
+      E.P = buildWorkload(Name);
+      E.PP = prepareProgram(*E.P);
+      if (!E.PP.Ok)
+        ADD_FAILURE() << Name << ": " << E.PP.Error;
+      Out.push_back(std::move(E));
+    }
+    return Out;
+  }();
+  return Entries;
+}
+
+/// The 3 workloads × 4 strategies matrix at move latency 5.
+std::vector<bench::EvalTask> fullMatrix() {
+  std::vector<bench::EvalTask> Tasks;
+  for (const bench::SuiteEntry &E : entries())
+    for (StrategyKind K : {StrategyKind::GDP, StrategyKind::ProfileMax,
+                           StrategyKind::Naive, StrategyKind::Unified})
+      Tasks.push_back({&E, K, 5});
+  return Tasks;
+}
+
+/// Everything deterministic about one pipeline run.
+struct RunObservation {
+  uint64_t Cycles = 0;
+  uint64_t DynamicMoves = 0;
+  uint64_t StaticMoves = 0;
+  unsigned RHOPRuns = 0;
+  std::vector<int> Homes; ///< Placement, object id order.
+
+  bool operator==(const RunObservation &O) const = default;
+};
+
+std::vector<RunObservation> observeMatrix(unsigned Threads) {
+  bench::setThreads(Threads);
+  std::vector<PipelineResult> Results = bench::runMatrix(fullMatrix());
+  std::vector<RunObservation> Out;
+  for (const PipelineResult &R : Results) {
+    RunObservation Obs;
+    Obs.Cycles = R.Cycles;
+    Obs.DynamicMoves = R.DynamicMoves;
+    Obs.StaticMoves = R.StaticMoves;
+    Obs.RHOPRuns = R.RHOPRuns;
+    for (unsigned I = 0; I != R.Placement.getNumObjects(); ++I)
+      Obs.Homes.push_back(R.Placement.getHome(I));
+    Out.push_back(std::move(Obs));
+  }
+  return Out;
+}
+
+TEST(Determinism, PipelineMatrixIdenticalAtEveryThreadCount) {
+  std::vector<RunObservation> Baseline = observeMatrix(1);
+  ASSERT_EQ(Baseline.size(), 12u); // 3 workloads × 4 strategies.
+  for (unsigned Threads : ThreadCounts) {
+    std::vector<RunObservation> Got = observeMatrix(Threads);
+    ASSERT_EQ(Got.size(), Baseline.size());
+    for (size_t I = 0; I != Baseline.size(); ++I) {
+      EXPECT_EQ(Got[I].Cycles, Baseline[I].Cycles)
+          << "task " << I << " at " << Threads << " threads";
+      EXPECT_EQ(Got[I].DynamicMoves, Baseline[I].DynamicMoves)
+          << "task " << I << " at " << Threads << " threads";
+      EXPECT_EQ(Got[I].StaticMoves, Baseline[I].StaticMoves)
+          << "task " << I << " at " << Threads << " threads";
+      EXPECT_EQ(Got[I].Homes, Baseline[I].Homes)
+          << "placement of task " << I << " at " << Threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, PipelineMatrixIdenticalAcrossRepeatedRuns) {
+  std::vector<RunObservation> First = observeMatrix(8);
+  std::vector<RunObservation> Second = observeMatrix(8);
+  EXPECT_EQ(First, Second);
+}
+
+TEST(Determinism, JsonRecordsByteIdenticalAtEveryThreadCount) {
+  // The exact bytes --json --deterministic writes, per task.
+  bench::setThreads(1);
+  std::vector<std::string> Baseline = bench::runMatrixRecords(fullMatrix());
+  ASSERT_EQ(Baseline.size(), 12u);
+  for (unsigned Threads : ThreadCounts) {
+    bench::setThreads(Threads);
+    std::vector<std::string> Got = bench::runMatrixRecords(fullMatrix());
+    ASSERT_EQ(Got.size(), Baseline.size());
+    for (size_t I = 0; I != Baseline.size(); ++I)
+      EXPECT_EQ(Got[I], Baseline[I])
+          << "record " << I << " at " << Threads << " threads";
+  }
+}
+
+TEST(Determinism, JsonRecordsByteIdenticalAcrossRepeatedRuns) {
+  bench::setThreads(8);
+  EXPECT_EQ(bench::runMatrixRecords(fullMatrix()),
+            bench::runMatrixRecords(fullMatrix()));
+}
+
+TEST(Determinism, CutWeightIdenticalAtEveryThreadCount) {
+  // GDP's graph cut weight is a histogram value (not part of the record
+  // counters), observed through per-task shard sessions the way gdptool
+  // collects them.
+  auto CutWeights = [](unsigned Threads) {
+    support::ThreadPool Pool(Threads - 1);
+    std::vector<const bench::SuiteEntry *> Es;
+    for (const bench::SuiteEntry &E : entries())
+      Es.push_back(&E);
+    return Pool.parallelMap(Es, [](const bench::SuiteEntry *E) {
+      telemetry::TelemetrySession S;
+      telemetry::ScopedSession Scope(S);
+      PipelineOptions Opt;
+      Opt.Strategy = StrategyKind::GDP;
+      runStrategy(E->PP, Opt);
+      telemetry::ValueStats V = S.stats().getValue("gdp.cut_weight");
+      return std::pair<uint64_t, double>(V.Count, V.Sum);
+    });
+  };
+  auto Baseline = CutWeights(1);
+  ASSERT_EQ(Baseline.size(), 3u);
+  for (const auto &[Count, Sum] : Baseline)
+    EXPECT_GT(Count, 0u) << "GDP must record a cut weight";
+  for (unsigned Threads : ThreadCounts)
+    EXPECT_EQ(CutWeights(Threads), Baseline) << Threads << " threads";
+}
+
+TEST(Determinism, ExhaustiveSearchIdenticalAtEveryThreadCount) {
+  for (const bench::SuiteEntry &E : entries()) {
+    PipelineOptions Opt;
+    Opt.MoveLatency = 5;
+    ExhaustiveResult Baseline = exhaustiveSearch(E.PP, Opt, 1);
+    std::string BaselineRec =
+        bench::formatExhaustiveRecord(E.Name, 5, Baseline);
+    for (unsigned Threads : ThreadCounts) {
+      ExhaustiveResult R = exhaustiveSearch(E.PP, Opt, Threads);
+      ASSERT_EQ(R.Points.size(), Baseline.Points.size()) << E.Name;
+      for (size_t I = 0; I != R.Points.size(); ++I) {
+        EXPECT_EQ(R.Points[I].Mask, Baseline.Points[I].Mask);
+        EXPECT_EQ(R.Points[I].Cycles, Baseline.Points[I].Cycles)
+            << E.Name << " mask " << I << " at " << Threads << " threads";
+        EXPECT_EQ(R.Points[I].Imbalance, Baseline.Points[I].Imbalance);
+      }
+      EXPECT_EQ(R.BestCycles, Baseline.BestCycles) << E.Name;
+      EXPECT_EQ(R.WorstCycles, Baseline.WorstCycles) << E.Name;
+      EXPECT_EQ(R.BestMask, Baseline.BestMask)
+          << E.Name << ": the tie-break must pick the lowest mask at "
+          << Threads << " threads";
+      EXPECT_EQ(R.WorstMask, Baseline.WorstMask) << E.Name;
+      EXPECT_EQ(R.GDPMask, Baseline.GDPMask) << E.Name;
+      EXPECT_EQ(R.ProfileMaxMask, Baseline.ProfileMaxMask) << E.Name;
+      // fig9's --json record is byte-identical too.
+      EXPECT_EQ(bench::formatExhaustiveRecord(E.Name, 5, R), BaselineRec)
+          << E.Name << " at " << Threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, ExhaustiveShardedTelemetryMergesExactly) {
+  // Telemetry shards merged at join time must add up to exactly the
+  // serial counts: one "exhaustive.points" total and 2^N evaluations.
+  const bench::SuiteEntry &E = entries()[0]; // rawcaudio.
+  PipelineOptions Opt;
+  auto CountersAt = [&](unsigned Threads) {
+    telemetry::TelemetrySession S;
+    telemetry::ScopedSession Scope(S);
+    exhaustiveSearch(E.PP, Opt, Threads);
+    return S.stats().counterSnapshot();
+  };
+  auto Serial = CountersAt(1);
+  EXPECT_GT(Serial.at("exhaustive.points"), 0u);
+  for (unsigned Threads : ThreadCounts)
+    EXPECT_EQ(CountersAt(Threads), Serial) << Threads << " threads";
+}
+
+} // namespace

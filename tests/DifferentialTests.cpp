@@ -1,0 +1,88 @@
+//===- tests/DifferentialTests.cpp - GDP vs exhaustive optimum ---------------===//
+//
+// Differential check of the heuristic against ground truth (paper §4.3):
+// for every workload small enough to enumerate (≤ 12 data objects — the
+// whole registered suite qualifies), run the exhaustive placement search
+// and assert that
+//
+//   (a) GDP's chosen placement is never *better* than the enumerated
+//       optimum (it is one of the enumerated points, so beating the
+//       optimum would mean the search or the evaluation is broken),
+//   (b) evaluating GDP's mask through the exhaustive path reproduces the
+//       GDP pipeline's cycle count exactly (same lock-and-schedule path),
+//   (c) GDP stays within a sanity bound of the optimum — the paper's
+//       claim is that GDP tracks the best placement closely (Figure 9);
+//       a large gap on these workloads means a partitioner regression.
+//
+//===----------------------------------------------------------------------===//
+
+#include "partition/Exhaustive.h"
+#include "partition/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+using namespace gdp;
+
+namespace {
+
+/// Sanity bound on GDP vs the optimum. Everything here is deterministic,
+/// so this is a regression tripwire, not a noise margin: 12 of the 20
+/// workloads sit at ratio 1.000 and the measured worst is mpeg2dec at
+/// 1.33. (This test originally caught pegwit at 1.62× and crc32 at 1.38×
+/// — the byte-balance constraint force-splitting high-affinity objects
+/// whose footprint would trivially fit a cluster memory; fixed by the
+/// capacity-aware balance in GlobalDataPartitioner.cpp.)
+constexpr double SanityBound = 1.35;
+
+TEST(Differential, GDPNeverBeatsExhaustiveOptimum) {
+  unsigned Checked = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::unique_ptr<Program> P = W.Build();
+    if (P->getNumObjects() > 12)
+      continue; // 2^N blow-up; the registered suite stays under this.
+    PreparedProgram PP = prepareProgram(*P);
+    ASSERT_TRUE(PP.Ok) << W.Name << ": " << PP.Error;
+
+    PipelineOptions Opt;
+    Opt.MoveLatency = 5;
+    ExhaustiveResult R = exhaustiveSearch(PP, Opt, /*Threads=*/0);
+    ASSERT_FALSE(R.Points.empty()) << W.Name;
+
+    Opt.Strategy = StrategyKind::GDP;
+    PipelineResult G = runStrategy(PP, Opt);
+
+    // (a) GDP can never beat the enumerated optimum.
+    ASSERT_LT(R.GDPMask, R.Points.size()) << W.Name;
+    const ExhaustivePoint &GPoint = R.Points[R.GDPMask];
+    EXPECT_GE(GPoint.Cycles, R.BestCycles)
+        << W.Name << ": GDP 'beat' the exhaustive optimum — the search or "
+        << "the evaluation path is broken";
+    EXPECT_GE(G.Cycles, R.BestCycles) << W.Name;
+
+    // (b) The exhaustive evaluation of GDP's mask is the GDP pipeline.
+    EXPECT_EQ(G.Cycles, GPoint.Cycles)
+        << W.Name << ": evaluating GDP's placement through the exhaustive "
+        << "path must reproduce the GDP pipeline's schedule";
+
+    // (c) Sanity bound against the optimum.
+    double Ratio = static_cast<double>(GPoint.Cycles) /
+                   static_cast<double>(R.BestCycles);
+    EXPECT_LE(Ratio, SanityBound)
+        << W.Name << ": GDP is " << Ratio << "x the exhaustive optimum ("
+        << GPoint.Cycles << " vs " << R.BestCycles << " cycles)";
+    std::printf("  %-12s objects=%2u gdp=%8llu best=%8llu ratio=%.3f\n",
+                W.Name.c_str(), P->getNumObjects(),
+                static_cast<unsigned long long>(GPoint.Cycles),
+                static_cast<unsigned long long>(R.BestCycles), Ratio);
+    ++Checked;
+  }
+  // The whole registered suite is currently enumerable; at least the two
+  // ADPCM codecs and the DSP kernels must have been checked.
+  EXPECT_GE(Checked, 6u);
+}
+
+} // namespace

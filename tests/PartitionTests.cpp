@@ -609,9 +609,10 @@ TEST(QualityTest, GDPWithinEnvelopeOfExhaustiveOptimum) {
 
 TEST(QualityTest, GDPNeverLosesBadlyToNaiveOnSuite) {
   // Sanity floor for the headline result: on every paper-suite benchmark
-  // GDP stays within 70% of the Naive strategy (it usually wins; pegwit —
-  // one inseparable merged class — is the known worst case at ~1.6×). The
-  // floor catches placement regressions without over-fitting numbers.
+  // GDP stays within 70% of the Naive strategy (it usually wins; pegwit's
+  // inseparable merged class used to be the worst case at ~1.6× until the
+  // capacity-aware byte balance stopped force-splitting it). The floor
+  // catches placement regressions without over-fitting numbers.
   for (const WorkloadInfo &W : allWorkloads()) {
     if (W.Suite == "extra")
       continue;

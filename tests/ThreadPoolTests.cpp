@@ -1,0 +1,196 @@
+//===- tests/ThreadPoolTests.cpp - Worker pool unit tests --------------------===//
+//
+// Covers gdp::support::ThreadPool's contract (docs/PARALLELISM.md):
+// input-ordered results independent of execution order, exception
+// propagation out of the bulk helpers (lowest failing index wins),
+// zero-worker (inline) and one-worker edge cases, nested submission
+// without deadlock, and the GDP_THREADS parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+using namespace gdp::support;
+
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  ThreadPool Pool(2);
+  auto Fut = Pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(Fut.get(), 42);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCallingThread) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.getNumWorkers(), 0u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::thread::id TaskThread;
+  auto Fut = Pool.submit([&] { TaskThread = std::this_thread::get_id(); });
+  // Inline mode executes at submission, so the future is already ready.
+  EXPECT_EQ(Fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(TaskThread, Caller);
+}
+
+TEST(ThreadPool, ZeroWorkersPreservesSubmissionOrder) {
+  ThreadPool Pool(0);
+  std::vector<int> Order;
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Order, I] { Order.push_back(I); });
+  std::vector<int> Expect(8);
+  std::iota(Expect.begin(), Expect.end(), 0);
+  EXPECT_EQ(Order, Expect);
+}
+
+TEST(ThreadPool, ParallelMapResultsAreInputOrdered) {
+  // Earlier items sleep longer, so execution *completes* in roughly
+  // reverse order — the results must still come back in input order.
+  ThreadPool Pool(4);
+  std::vector<int> Items(16);
+  std::iota(Items.begin(), Items.end(), 0);
+  std::vector<int> Out = Pool.parallelMap(Items, [](const int &I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15 - I));
+    return I * 10;
+  });
+  ASSERT_EQ(Out.size(), Items.size());
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(Out[static_cast<size_t>(I)], I * 10);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned Workers : {0u, 1u, 3u}) {
+    ThreadPool Pool(Workers);
+    std::vector<std::atomic<int>> Hits(64);
+    Pool.parallelFor(0, Hits.size(),
+                     [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << ", " << Workers
+                                   << " workers";
+  }
+}
+
+TEST(ThreadPool, ParallelMapPropagatesException) {
+  ThreadPool Pool(2);
+  std::vector<int> Items{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(Pool.parallelMap(Items,
+                                [](const int &I) {
+                                  if (I == 3)
+                                    throw std::runtime_error("item 3");
+                                  return I;
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, LowestFailingIndexWins) {
+  // Several tasks throw; the surfaced exception must be the lowest
+  // index's regardless of completion order (the determinism contract).
+  for (unsigned Workers : {0u, 1u, 4u}) {
+    ThreadPool Pool(Workers);
+    std::vector<int> Items{0, 1, 2, 3, 4, 5, 6, 7};
+    try {
+      Pool.parallelMap(Items, [](const int &I) -> int {
+        if (I % 2 == 1) { // 1, 3, 5, 7 all throw.
+          std::this_thread::sleep_for(std::chrono::milliseconds(8 - I));
+          throw std::runtime_error("item " + std::to_string(I));
+        }
+        return I;
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "item 1") << Workers << " workers";
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbandonOtherTasks) {
+  // Every task must still run to completion even when one throws early.
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  std::vector<int> Items(12);
+  std::iota(Items.begin(), Items.end(), 0);
+  EXPECT_THROW(Pool.parallelMap(Items,
+                                [&](const int &I) {
+                                  Ran.fetch_add(1);
+                                  if (I == 0)
+                                    throw std::runtime_error("first");
+                                  return I;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(Ran.load(), 12);
+}
+
+TEST(ThreadPool, OneWorkerCompletesEverything) {
+  ThreadPool Pool(1);
+  std::atomic<int> Sum{0};
+  Pool.parallelFor(1, 101, [&](size_t I) {
+    Sum.fetch_add(static_cast<int>(I));
+  });
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  // A task that blocks on its own subtasks while every worker is busy:
+  // the waiting thread must help drain the queue. One worker makes the
+  // deadlock certain if helping were missing.
+  ThreadPool Pool(1);
+  std::vector<int> Outer{0, 1, 2, 3};
+  std::vector<int> Totals = Pool.parallelMap(Outer, [&](const int &O) {
+    std::vector<int> Inner{1, 2, 3};
+    std::vector<int> Sub = Pool.parallelMap(
+        Inner, [O](const int &I) { return O * 100 + I; });
+    return Sub[0] + Sub[1] + Sub[2];
+  });
+  ASSERT_EQ(Totals.size(), 4u);
+  for (int O = 0; O != 4; ++O)
+    EXPECT_EQ(Totals[static_cast<size_t>(O)], O * 300 + 6);
+}
+
+TEST(ThreadPool, ManyTasksOnFewWorkers) {
+  ThreadPool Pool(3);
+  std::vector<int> Items(500);
+  std::iota(Items.begin(), Items.end(), 0);
+  std::vector<int> Out =
+      Pool.parallelMap(Items, [](const int &I) { return I + 1; });
+  for (int I = 0; I != 500; ++I)
+    ASSERT_EQ(Out[static_cast<size_t>(I)], I + 1);
+}
+
+TEST(ThreadPool, EmptyRangeAndEmptyMapAreNoOps) {
+  ThreadPool Pool(2);
+  Pool.parallelFor(5, 5, [](size_t) { FAIL() << "must not run"; });
+  std::vector<int> None;
+  EXPECT_TRUE(Pool.parallelMap(None, [](const int &I) { return I; }).empty());
+}
+
+TEST(ThreadCountFromEnv, ParsesAndClamps) {
+  const char *Old = std::getenv("GDP_THREADS");
+  std::string Saved = Old ? Old : "";
+  auto Restore = [&] {
+    if (Old)
+      setenv("GDP_THREADS", Saved.c_str(), 1);
+    else
+      unsetenv("GDP_THREADS");
+  };
+  unsetenv("GDP_THREADS");
+  EXPECT_EQ(threadCountFromEnv(), 1u);
+  setenv("GDP_THREADS", "8", 1);
+  EXPECT_EQ(threadCountFromEnv(), 8u);
+  setenv("GDP_THREADS", "0", 1);
+  EXPECT_EQ(threadCountFromEnv(), 1u);
+  setenv("GDP_THREADS", "banana", 1);
+  EXPECT_EQ(threadCountFromEnv(), 1u);
+  setenv("GDP_THREADS", "100000", 1);
+  EXPECT_EQ(threadCountFromEnv(), 256u);
+  Restore();
+}
+
+} // namespace

@@ -33,6 +33,7 @@
 #include "sched/SchedulePrinter.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -41,6 +42,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 using namespace gdp;
 
@@ -61,6 +63,9 @@ void usage() {
       "      --clusters=N             cluster count (default 2)\n"
       "      --placement              also print the object placement\n"
       "      --optimize               run fold/copy-prop/DCE first\n"
+      "      --threads=N              evaluate strategies on N threads\n"
+      "                               (default: $GDP_THREADS, else 1; the\n"
+      "                               report is identical at any value)\n"
       "      --stats=FILE.json        dump telemetry counters/timers (also\n"
       "                               accepted by 'profile')\n"
       "      --trace=FILE.json        dump a Chrome trace_event log for\n"
@@ -71,6 +76,11 @@ void usage() {
 bool OptimizeFlag = false;
 std::string StatsPath;
 std::string TracePath;
+unsigned ThreadsFlag = 0; // 0 = resolve from GDP_THREADS (else serial).
+
+unsigned toolThreads() {
+  return ThreadsFlag ? ThreadsFlag : support::threadCountFromEnv();
+}
 
 /// Writes \p Contents to \p Path; reports and returns false on failure.
 bool writeFile(const std::string &Path, const std::string &Contents) {
@@ -223,29 +233,48 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
 
   std::printf("program %s on %u clusters, %u-cycle moves\n\n",
               P->getName().c_str(), Clusters, Latency);
+
+  // Every strategy is an independent evaluation over shared read-only
+  // state, so they run concurrently under --threads. Each evaluation
+  // records into a private telemetry shard on its own thread; the shards
+  // merge into the main session in strategy order at join time, so the
+  // table, the timing summary and any --stats/--trace export are
+  // identical at every thread count.
+  struct StrategyEval {
+    PipelineResult R;
+    std::unique_ptr<telemetry::TelemetrySession> Shard;
+  };
+  support::ThreadPool Pool(toolThreads() - 1);
+  std::vector<StrategyEval> Evals =
+      Pool.parallelMap(Kinds, [&](StrategyKind K) {
+        StrategyEval E;
+        E.Shard = std::make_unique<telemetry::TelemetrySession>();
+        telemetry::ScopedSession Scope(*E.Shard);
+        PipelineOptions Opt;
+        Opt.Strategy = K;
+        Opt.MoveLatency = Latency;
+        Opt.NumClusters = Clusters;
+        E.R = runStrategy(PP, Opt);
+        return E;
+      });
+
   TextTable Table({"strategy", "cycles", "dyn moves", "partition ms"});
   uint64_t UnifiedCycles = 0;
   std::vector<std::string> TimingLines;
-  for (StrategyKind K : Kinds) {
-    PipelineOptions Opt;
-    Opt.Strategy = K;
-    Opt.MoveLatency = Latency;
-    Opt.NumClusters = Clusters;
-    auto TimersBefore = Telemetry.session()->stats().timerSnapshot();
-    PipelineResult R = runStrategy(PP, Opt);
-    // Per-strategy phase seconds: the registry delta across this run.
-    auto TimersAfter = Telemetry.session()->stats().timerSnapshot();
-    auto Delta = [&](const char *Name) {
-      auto It = TimersBefore.find(Name);
-      double Before = It == TimersBefore.end() ? 0 : It->second;
-      auto It2 = TimersAfter.find(Name);
-      double After = It2 == TimersAfter.end() ? 0 : It2->second;
-      return (After - Before) * 1e3;
+  for (size_t I = 0; I != Kinds.size(); ++I) {
+    StrategyKind K = Kinds[I];
+    const PipelineResult &R = Evals[I].R;
+    Telemetry.session()->mergeFrom(*Evals[I].Shard);
+    // Per-strategy phase seconds come straight from the shard's timers.
+    auto Timers = Evals[I].Shard->stats().timerSnapshot();
+    auto Ms = [&](const char *Name) {
+      auto It = Timers.find(Name);
+      return (It == Timers.end() ? 0 : It->second) * 1e3;
     };
     TimingLines.push_back(formatStr(
         "%-10s data-partition %8.2f ms | rhop %8.2f ms | schedule %8.2f ms",
-        strategyName(K), Delta("pipeline.data_partition"),
-        Delta("pipeline.rhop"), Delta("pipeline.schedule")));
+        strategyName(K), Ms("pipeline.data_partition"), Ms("pipeline.rhop"),
+        Ms("pipeline.schedule")));
     if (K == StrategyKind::Unified)
       UnifiedCycles = R.Cycles;
     Table.addRow(
@@ -375,6 +404,10 @@ int main(int argc, char **argv) {
       Latency = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     else if (Arg.rfind("--clusters=", 0) == 0)
       Clusters = static_cast<unsigned>(std::atoi(Arg.c_str() + 11));
+    else if (Arg.rfind("--threads=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + 10);
+      ThreadsFlag = N > 0 ? static_cast<unsigned>(N) : 1;
+    }
     else if (Arg.rfind("--stats=", 0) == 0)
       StatsPath = Arg.substr(8);
     else if (Arg.rfind("--trace=", 0) == 0)
