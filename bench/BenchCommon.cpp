@@ -71,6 +71,27 @@ void appendRecord(const std::string &Key, std::string Rec) {
     JsonRecords[It->second] = std::move(Rec);
 }
 
+/// The machine-configuration sub-object of a --json record, so sim-vs-
+/// static comparisons are self-describing. Reconstructed from the same
+/// defaults the evaluation used (machineFor(): the paper's 2-cluster
+/// machine; Unified runs on the unified-memory variant).
+std::string machineJson(const std::string &Strategy, unsigned MoveLatency) {
+  MachineModel MM = MachineModel::makeDefault(
+      2, MoveLatency,
+      Strategy == "Unified" ? MemoryModelKind::Unified
+                            : MemoryModelKind::Partitioned);
+  const ClusterConfig &C = MM.getCluster(0);
+  return formatStr(
+      "\"machine\": {\"clusters\": %u, \"fu_per_cluster\": {\"int\": %u, "
+      "\"float\": %u, \"mem\": %u, \"branch\": %u}, \"move_latency\": %u, "
+      "\"move_bandwidth\": %u, \"memory\": \"%s\", "
+      "\"cluster_memory_bytes\": %llu}",
+      MM.getNumClusters(), C.NumInteger, C.NumFloat, C.NumMemory,
+      C.NumBranch, MM.getMoveLatency(), MM.getMoveBandwidth(),
+      MM.hasPartitionedMemory() ? "partitioned" : "unified",
+      static_cast<unsigned long long>(MM.getClusterMemoryBytes()));
+}
+
 /// One evaluation with a private telemetry session when records are being
 /// collected, so each record reflects exactly one run's counters. Safe on
 /// any thread (sessions are thread-local).
@@ -138,11 +159,12 @@ std::string gdp::bench::formatRecord(
     const telemetry::TelemetrySession *Session, bool Deterministic) {
   std::string Rec = formatStr(
       "{\"benchmark\": \"%s\", \"strategy\": \"%s\", "
-      "\"move_latency\": %u, \"cycles\": %llu, \"dynamic_moves\": %llu, "
+      "\"move_latency\": %u, %s, \"cycles\": %llu, \"dynamic_moves\": %llu, "
       "\"static_moves\": %llu, \"rhop_runs\": %u, "
       "\"prepare_sec\": %.9g, \"data_partition_sec\": %.9g, "
       "\"rhop_sec\": %.9g, \"schedule_sec\": %.9g",
       escape(Benchmark).c_str(), escape(Strategy).c_str(), MoveLatency,
+      machineJson(Strategy, MoveLatency).c_str(),
       static_cast<unsigned long long>(R.Cycles),
       static_cast<unsigned long long>(R.DynamicMoves),
       static_cast<unsigned long long>(R.StaticMoves), R.RHOPRuns,
@@ -204,7 +226,7 @@ void gdp::bench::recordExhaustive(const std::string &Benchmark,
                formatExhaustiveRecord(Benchmark, MoveLatency, R));
 }
 
-std::vector<SuiteEntry> gdp::bench::loadSuite() {
+std::vector<SuiteEntry> gdp::bench::loadSuite(bool CaptureTraces) {
   std::vector<const WorkloadInfo *> Infos;
   for (const WorkloadInfo &W : allWorkloads()) {
     if (W.Suite == "extra")
@@ -213,11 +235,12 @@ std::vector<SuiteEntry> gdp::bench::loadSuite() {
   }
   support::ThreadPool Pool(threads() - 1);
   std::vector<SuiteEntry> Suite =
-      Pool.parallelMap(Infos, [](const WorkloadInfo *W) {
+      Pool.parallelMap(Infos, [CaptureTraces](const WorkloadInfo *W) {
         SuiteEntry E;
         E.Name = W->Name;
         E.P = W->Build();
-        E.PP = prepareProgram(*E.P);
+        E.PP = prepareProgram(*E.P, /*MaxSteps=*/200000000ULL,
+                              CaptureTraces);
         return E;
       });
   for (const SuiteEntry &E : Suite)
@@ -300,6 +323,82 @@ gdp::bench::runMatrixRecords(const std::vector<EvalTask> &Tasks) {
         Tasks[I].Entry->Name, strategyName(Tasks[I].Strategy),
         Tasks[I].MoveLatency, Evals[I].R, Evals[I].Session.get(),
         /*Deterministic=*/true));
+  return Records;
+}
+
+std::string gdp::bench::formatSimRecord(const std::string &Benchmark,
+                                        const std::string &Strategy,
+                                        unsigned MoveLatency,
+                                        const PipelineResult &R,
+                                        const SimResult &S) {
+  std::string Rec = formatStr(
+      "{\"benchmark\": \"%s\", \"strategy\": \"%s\", "
+      "\"move_latency\": %u, %s, \"cycles\": %llu, \"sim_cycles\": %llu, "
+      "\"sim_block_execs\": %llu, \"sim_bus_transfers\": %llu, "
+      "\"sim_hoisted_transfers\": %llu, \"sim_remote_accesses\": %llu, "
+      "\"sim_local_accesses\": %llu, "
+      "\"sim_stall_bus_contention\": %llu, "
+      "\"sim_stall_move_latency\": %llu, \"sim_stall_mem_port\": %llu, "
+      "\"sim_cluster_utilization\": [",
+      escape(Benchmark).c_str(), escape(Strategy).c_str(), MoveLatency,
+      machineJson(Strategy, MoveLatency).c_str(),
+      static_cast<unsigned long long>(R.Cycles),
+      static_cast<unsigned long long>(S.Cycles),
+      static_cast<unsigned long long>(S.BlockExecs),
+      static_cast<unsigned long long>(S.BusTransfers),
+      static_cast<unsigned long long>(S.HoistedTransfers),
+      static_cast<unsigned long long>(S.RemoteAccesses),
+      static_cast<unsigned long long>(S.LocalAccesses),
+      static_cast<unsigned long long>(S.BusContentionStallCycles),
+      static_cast<unsigned long long>(S.MoveLatencyStallCycles),
+      static_cast<unsigned long long>(S.MemPortStallCycles));
+  for (size_t C = 0; C != S.ClusterUtilization.size(); ++C)
+    Rec += formatStr("%s%.6f", C ? ", " : "", S.ClusterUtilization[C]);
+  Rec += "]}";
+  return Rec;
+}
+
+std::vector<SimEval>
+gdp::bench::runSimMatrix(const std::vector<EvalTask> &Tasks) {
+  support::ThreadPool Pool(threads() - 1);
+  std::vector<size_t> Indices(Tasks.size());
+  std::iota(Indices.begin(), Indices.end(), 0);
+  std::vector<SimEval> Evals = Pool.parallelMap(Indices, [&](size_t I) {
+    const EvalTask &T = Tasks[I];
+    PipelineOptions Opt;
+    Opt.Strategy = T.Strategy;
+    Opt.MoveLatency = T.MoveLatency;
+    SimEval E;
+    E.R = runStrategy(T.Entry->PP, Opt);
+    E.S = simulateStrategy(T.Entry->PP, E.R, Opt);
+    return E;
+  });
+  for (size_t I = 0; I != Tasks.size(); ++I) {
+    const EvalTask &T = Tasks[I];
+    if (!Evals[I].S.Ok) {
+      std::fprintf(stderr, "simulation of %s/%s failed: %s\n",
+                   T.Entry->Name.c_str(), strategyName(T.Strategy),
+                   Evals[I].S.Error.c_str());
+      std::exit(1);
+    }
+    if (jsonEnabled())
+      appendRecord(T.Entry->Name + "|" + strategyName(T.Strategy) + "|" +
+                       std::to_string(T.MoveLatency) + "|sim",
+                   formatSimRecord(T.Entry->Name, strategyName(T.Strategy),
+                                   T.MoveLatency, Evals[I].R, Evals[I].S));
+  }
+  return Evals;
+}
+
+std::vector<std::string>
+gdp::bench::runSimMatrixRecords(const std::vector<EvalTask> &Tasks) {
+  std::vector<SimEval> Evals = runSimMatrix(Tasks);
+  std::vector<std::string> Records;
+  Records.reserve(Tasks.size());
+  for (size_t I = 0; I != Tasks.size(); ++I)
+    Records.push_back(formatSimRecord(
+        Tasks[I].Entry->Name, strategyName(Tasks[I].Strategy),
+        Tasks[I].MoveLatency, Evals[I].R, Evals[I].S));
   return Records;
 }
 

@@ -26,6 +26,7 @@
 
 #include "partition/Exhaustive.h"
 #include "partition/Pipeline.h"
+#include "sim/Simulator.h"
 #include "support/Histogram.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
@@ -107,8 +108,9 @@ void recordExhaustive(const std::string &Benchmark, unsigned MoveLatency,
 /// Builds, verifies, annotates and profiles every workload (concurrently
 /// when threads() > 1; the returned order is always the registry order).
 /// Exits with a diagnostic if any preparation fails (the test suite guards
-/// this).
-std::vector<SuiteEntry> loadSuite();
+/// this). With \p CaptureTraces every entry also records its profiling
+/// run's dynamic trace, as the cycle simulator needs (sim/Simulator.h).
+std::vector<SuiteEntry> loadSuite(bool CaptureTraces = false);
 
 /// Convenience: runs \p Strategy on \p Entry at \p MoveLatency with
 /// default options, serially on the calling thread.
@@ -126,6 +128,31 @@ std::vector<PipelineResult> runMatrix(const std::vector<EvalTask> &Tasks);
 /// across thread counts and repeated runs.
 std::vector<std::string>
 runMatrixRecords(const std::vector<EvalTask> &Tasks);
+
+/// One task's static evaluation next to its trace-driven simulation.
+struct SimEval {
+  PipelineResult R;
+  SimResult S;
+};
+
+/// Formats the --json record of one simulated evaluation: the static
+/// fields plus sim_* dynamic cycles, stall breakdown, event counts and
+/// per-cluster utilization. Fully deterministic (no wall-clock fields).
+std::string formatSimRecord(const std::string &Benchmark,
+                            const std::string &Strategy,
+                            unsigned MoveLatency, const PipelineResult &R,
+                            const SimResult &S);
+
+/// Evaluates and simulates every task (concurrently when threads() > 1),
+/// returning results in input order; --json sim records append in input
+/// order. Suite entries must come from loadSuite(/*CaptureTraces=*/true).
+/// Exits with a diagnostic if any simulation fails.
+std::vector<SimEval> runSimMatrix(const std::vector<EvalTask> &Tasks);
+
+/// Like runSimMatrix(), but returns every task's deterministic JSON record
+/// bytes. DeterminismTests compares these across thread counts and runs.
+std::vector<std::string>
+runSimMatrixRecords(const std::vector<EvalTask> &Tasks);
 
 /// Relative performance of \p Cycles versus \p BaselineCycles, as the
 /// paper plots it (baseline / measured; 1.0 = parity, higher = faster than

@@ -4,6 +4,7 @@
 
 #include "analysis/PointsTo.h"
 #include "ir/Verifier.h"
+#include "profile/ExecTrace.h"
 #include "profile/Interpreter.h"
 #include "sched/ListScheduler.h"
 #include "support/StrUtil.h"
@@ -29,7 +30,8 @@ const char *gdp::strategyName(StrategyKind K) {
   return "<bad>";
 }
 
-PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps) {
+PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps,
+                                    bool CaptureTrace) {
   telemetry::ScopedTimer Phase("pipeline.prepare");
   auto Start = std::chrono::steady_clock::now();
   PreparedProgram PP;
@@ -67,6 +69,10 @@ PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps) {
   {
     telemetry::ScopedTimer T("pipeline.prepare.profile");
     Interpreter Interp(P);
+    if (CaptureTrace) {
+      PP.Trace = std::make_shared<ExecTrace>();
+      Interp.setTrace(PP.Trace.get());
+    }
     InterpResult IR = Interp.run(MaxSteps);
     if (!IR.Ok) {
       PP.Error = "profiling run failed: " + IR.Error;

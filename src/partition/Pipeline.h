@@ -31,9 +31,12 @@
 #include "profile/ProfileData.h"
 #include "sched/ClusterAssignment.h"
 
+#include <memory>
 #include <string>
 
 namespace gdp {
+
+struct ExecTrace;
 
 /// The four evaluated strategies (paper Table 1).
 enum class StrategyKind {
@@ -69,11 +72,18 @@ struct PreparedProgram {
   bool Ok = false;
   std::string Error; ///< Verifier/points-to/interpreter failure, if any.
   double PrepareSeconds = 0; ///< Verify + points-to + profiling wall clock.
+  /// Dynamic trace of the profiling run, present only when the program was
+  /// prepared with CaptureTrace (the cycle simulator's input). Shared so a
+  /// PreparedProgram stays cheap to copy.
+  std::shared_ptr<ExecTrace> Trace;
 };
 
 /// Verifies \p P, annotates memory access sets (points-to), interprets the
 /// program to collect the profile, and applies the profiled heap sizes.
-PreparedProgram prepareProgram(Program &P, uint64_t MaxSteps = 200000000ULL);
+/// With \p CaptureTrace the profiling run also records the dynamic
+/// block/access trace (profile/ExecTrace.h) for sim/Simulator.
+PreparedProgram prepareProgram(Program &P, uint64_t MaxSteps = 200000000ULL,
+                               bool CaptureTrace = false);
 
 /// Wall-clock breakdown of one strategy evaluation (the §4.5 compile-time
 /// comparison, now per phase instead of one opaque duration).

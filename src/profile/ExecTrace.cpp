@@ -1,0 +1,22 @@
+//===- profile/ExecTrace.cpp - Dynamic execution trace ----------------------===//
+
+#include "profile/ExecTrace.h"
+
+#include "ir/Program.h"
+
+using namespace gdp;
+
+void ExecTrace::reset(const Program &P) {
+  Blocks.clear();
+  AccessObj.assign(P.getNumFunctions(), {});
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F)
+    AccessObj[F].resize(P.getFunction(F).getNumOpIds());
+}
+
+uint64_t ExecTrace::numAccessEvents() const {
+  uint64_t N = 0;
+  for (const auto &Fn : AccessObj)
+    for (const auto &Stream : Fn)
+      N += Stream.size();
+  return N;
+}

@@ -1,0 +1,67 @@
+//===- profile/ExecTrace.h - Dynamic execution trace ------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic trace an interpreter run can optionally record for the
+/// cycle-level simulator (src/sim): the sequence of basic-block executions,
+/// plus — for every memory operation — the stream of data-object ids it
+/// touched, in execution order.
+///
+/// The two parts line up by construction: a memory operation executes
+/// exactly once per execution of its block (blocks are straight-line), and
+/// block executions of one block occur in trace order, so the k-th entry of
+/// an operation's access stream belongs to the k-th trace event of its
+/// block. This factored encoding stays compact (one 32-bit object id per
+/// dynamic access, no per-access position) and survives call interleaving:
+/// a Call suspends the caller's block mid-flight, but the caller's later
+/// accesses still append to *its* operations' streams in the right order.
+///
+/// Recording is opt-in (Interpreter::setTrace). A null trace pointer is the
+/// contract for "disabled": the interpreter then performs no trace work and
+/// no allocations (tested in SimTests.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PROFILE_EXECTRACE_H
+#define GDP_PROFILE_EXECTRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+class Program;
+
+/// One interpreter run's dynamic trace (see file comment for the format).
+struct ExecTrace {
+  /// One basic-block execution.
+  struct BlockEvent {
+    uint32_t Func;
+    uint32_t Block;
+  };
+
+  /// Every block execution, in dynamic order. Mirrors exactly the
+  /// profile's block-frequency increments: count(F, B) here equals
+  /// ProfileData::getBlockFreq(F, B) of the same run.
+  std::vector<BlockEvent> Blocks;
+
+  /// AccessObj[F][OpId] — the data-object ids operation (F, OpId) accessed,
+  /// one per execution, in execution order. Heap accesses record the
+  /// malloc *site's* object id (the id data placement assigns homes to).
+  /// Empty for non-memory operations.
+  std::vector<std::vector<std::vector<int32_t>>> AccessObj;
+
+  /// Clears the trace and sizes AccessObj for \p P. The interpreter calls
+  /// this at the start of a traced run.
+  void reset(const Program &P);
+
+  uint64_t numBlockEvents() const { return Blocks.size(); }
+  uint64_t numAccessEvents() const;
+};
+
+} // namespace gdp
+
+#endif // GDP_PROFILE_EXECTRACE_H

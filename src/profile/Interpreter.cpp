@@ -3,6 +3,7 @@
 #include "profile/Interpreter.h"
 
 #include "ir/IRPrinter.h"
+#include "profile/ExecTrace.h"
 #include "ir/Program.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
@@ -34,6 +35,8 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
   InterpResult R;
   Profile = ProfileData(Prog);
   Regions.clear();
+  if (Trace)
+    Trace->reset(Prog);
 
   // Materialize global storage; region index == object id for globals.
   for (unsigned O = 0; O != Prog.getNumObjects(); ++O) {
@@ -60,6 +63,8 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
     Fr.CallerDest = CallerDest;
     Stack.push_back(std::move(Fr));
     Profile.addBlockFreq(static_cast<unsigned>(F.getId()), 0);
+    if (Trace)
+      Trace->Blocks.push_back({static_cast<uint32_t>(F.getId()), 0});
   };
 
   if (Prog.getEntryId() < 0) {
@@ -134,6 +139,8 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
       Stack[FrameIdx].BlockId = Target;
       Stack[FrameIdx].OpIdx = 0;
       Profile.addBlockFreq(FId, static_cast<unsigned>(Target));
+      if (Trace)
+        Trace->Blocks.push_back({FId, static_cast<uint32_t>(Target)});
     };
 
     bool Advance = true;
@@ -271,6 +278,9 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
         break;
       Regs[Op.getDest()] = Rg->Cells[Off];
       Profile.addAccess(FId, static_cast<unsigned>(Op.getId()), Rg->ObjectId);
+      if (Trace)
+        Trace->AccessObj[FId][static_cast<unsigned>(Op.getId())].push_back(
+            static_cast<int32_t>(Rg->ObjectId));
       ++MemOps;
       break;
     }
@@ -281,6 +291,9 @@ InterpResult Interpreter::run(uint64_t MaxSteps) {
         break;
       Rg->Cells[Off] = Regs[Op.getSrc(0)];
       Profile.addAccess(FId, static_cast<unsigned>(Op.getId()), Rg->ObjectId);
+      if (Trace)
+        Trace->AccessObj[FId][static_cast<unsigned>(Op.getId())].push_back(
+            static_cast<int32_t>(Rg->ObjectId));
       ++MemOps;
       break;
     }

@@ -34,6 +34,7 @@
 namespace gdp {
 
 class Program;
+struct ExecTrace;
 
 /// One runtime value: an integer lane and a float lane.
 struct RtValue {
@@ -61,6 +62,12 @@ public:
 
   const ProfileData &getProfile() const { return Profile; }
 
+  /// Records the dynamic block/access trace of the next run() into \p T
+  /// (see profile/ExecTrace.h). Pass nullptr (the default state) to
+  /// disable tracing; the disabled path does no trace work and no
+  /// allocations. The trace is reset at the start of each traced run.
+  void setTrace(ExecTrace *T) { Trace = T; }
+
   /// Reads element \p Index of global object \p ObjectId (integer lane).
   int64_t readGlobalInt(unsigned ObjectId, uint64_t Index) const;
   /// Reads element \p Index of global object \p ObjectId (float lane).
@@ -86,6 +93,7 @@ private:
   const Program &Prog;
   std::vector<Region> Regions; ///< [0, numObjects) are the globals.
   ProfileData Profile;
+  ExecTrace *Trace = nullptr; ///< Optional dynamic trace sink; null = off.
 
   // Address encoding: high 32 bits region index, low 32 bits element offset.
   static int64_t makeAddr(uint64_t Reg, uint64_t Off) {

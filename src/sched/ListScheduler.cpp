@@ -136,6 +136,7 @@ BlockSchedule gdp::scheduleBlock(const BlockDFG &DFG, const MachineModel &MM,
     if (It == LiveInMoveReady.end()) {
       unsigned Issue = Resources.reserveBus(0);
       ++Result.NumMoves;
+      Result.MoveIssue.push_back(Issue);
       It = LiveInMoveReady.emplace(Key, Issue + MM.getMoveLatency()).first;
     }
     ReadyTime[LI.LocalUser] =
@@ -185,6 +186,7 @@ BlockSchedule gdp::scheduleBlock(const BlockDFG &DFG, const MachineModel &MM,
           if (It == CrossMoveReady.end()) {
             unsigned MoveIssue = Resources.reserveBus(Avail);
             ++Result.NumMoves;
+            Result.MoveIssue.push_back(MoveIssue);
             It = CrossMoveReady
                      .emplace(Key, MoveIssue + MM.getMoveLatency())
                      .first;

@@ -45,6 +45,11 @@ struct BlockSchedule {
                              ///< the block (paid per loop entry).
   unsigned ReadyPeak = 0; ///< Largest ready-list population seen.
   std::vector<unsigned> IssueCycle; ///< Per local operation index.
+  /// Bus issue cycle of every in-block intercluster move (live-in refills
+  /// and cross-cluster data edges; hoisted transfers excluded). One entry
+  /// per NumMoves, in reservation order. The trace-driven simulator
+  /// replays these slots against the dynamic bus state.
+  std::vector<unsigned> MoveIssue;
 };
 
 /// Schedules one block. \p ClusterOfOp is indexed by *operation id* (the

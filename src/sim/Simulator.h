@@ -1,0 +1,100 @@
+//===- sim/Simulator.h - Trace-driven cycle simulator -----------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic trace-driven cycle simulator for the clustered VLIW —
+/// the dynamic counterpart of the static accounting in
+/// sched/ListScheduler. It replays an interpreter run's block trace
+/// (profile/ExecTrace) through the per-region schedules, carrying machine
+/// state *across* block boundaries that the static model resets per block:
+///
+///  * the intercluster bus as a bandwidth-limited queue (getMoveBandwidth()
+///    issue slots per cycle at getMoveLatency() transit) — in-block moves
+///    replay at their statically scheduled slots against the live queue,
+///    and queuing delay is a **bus-contention stall**;
+///  * loop-invariant (hoisted) transfers injected at each dynamic loop
+///    entry — the static model assumes they are free bus traffic in the
+///    preheader; here they occupy real slots and any arrival past the
+///    header block's end is a **move-latency stall**;
+///  * home-cluster memory rules from partition/DataPlacement — a memory
+///    operation whose dynamically accessed object is homed on another
+///    cluster (a minority object of its access set) pays a request
+///    transfer, a reservation of the home cluster's memory port (queuing
+///    there is a **memory-port stall**), and for loads a reply transfer;
+///    the added transit is a move-latency stall.
+///
+/// Blocks execute back to back, each spanning at least its static schedule
+/// length, so simulated cycles are ≥ the profile-weighted static estimate
+/// by construction. The simulation is sequential and pure (no global
+/// state); callers parallelize across workloads/strategies and get
+/// bit-identical results at any thread count. See docs/SIMULATOR.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SIM_SIMULATOR_H
+#define GDP_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdp {
+
+class ClusterAssignment;
+class DataPlacement;
+struct ExecTrace;
+class MachineModel;
+class Program;
+struct PipelineOptions;
+struct PipelineResult;
+struct PreparedProgram;
+
+/// Outcome of one trace simulation.
+struct SimResult {
+  bool Ok = false;
+  std::string Error; ///< Empty on success.
+
+  uint64_t Cycles = 0;     ///< Total dynamic cycles.
+  uint64_t BlockExecs = 0; ///< Trace events replayed.
+
+  // Dynamic event counts.
+  uint64_t BusTransfers = 0;     ///< All bus slot reservations.
+  uint64_t HoistedTransfers = 0; ///< Loop-entry (preheader) transfers.
+  uint64_t LocalAccesses = 0;    ///< Memory accesses served by the home
+                                 ///< cluster of the executing operation.
+  uint64_t RemoteAccesses = 0;   ///< Accesses to an object homed elsewhere.
+
+  // Stall taxonomy (attributed at cause; see docs/SIMULATOR.md — the
+  // categories may overlap in time, so they need not sum exactly to
+  // Cycles minus the static estimate).
+  uint64_t BusContentionStallCycles = 0; ///< Bus queuing delay.
+  uint64_t MoveLatencyStallCycles = 0;   ///< Transit cycles the static
+                                         ///< model did not account.
+  uint64_t MemPortStallCycles = 0;       ///< Home-port queuing delay.
+
+  /// Issue-slot utilization per cluster: operations issued there divided
+  /// by Cycles × issue slots. Indexed by cluster id.
+  std::vector<double> ClusterUtilization;
+};
+
+/// Replays \p Trace (recorded by Interpreter::setTrace during profiling of
+/// \p P) against the schedules that \p CA and \p MM induce, with data
+/// homes from \p Placement. Emits sim.* telemetry when a session is
+/// installed. Deterministic: equal inputs give bit-identical results.
+SimResult simulateTrace(const Program &P, const ExecTrace &Trace,
+                        const MachineModel &MM, const ClusterAssignment &CA,
+                        const DataPlacement &Placement);
+
+/// Convenience wrapper: simulates an evaluated strategy \p R on a program
+/// prepared with trace capture (prepareProgram(..., /*CaptureTrace=*/true)).
+/// Fails with an explanatory error if \p PP holds no trace.
+SimResult simulateStrategy(const PreparedProgram &PP,
+                           const PipelineResult &R,
+                           const PipelineOptions &Opt);
+
+} // namespace gdp
+
+#endif // GDP_SIM_SIMULATOR_H

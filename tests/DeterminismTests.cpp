@@ -4,8 +4,8 @@
 // the full pipeline on three workloads × all four strategies produces
 // identical cycle counts, move counts, cut weights and data placements at
 // --threads=1, 2 and 8, and across repeated runs; the bench harness's
-// deterministic-mode JSON records are byte-identical at every thread
-// count; and the exhaustive search (fig9) returns bit-identical point
+// deterministic-mode JSON records — static and trace-simulated — are
+// byte-identical at every thread count; and the exhaustive search (fig9) returns bit-identical point
 // clouds and the same optimum masks regardless of how the mask space was
 // chunked over workers.
 //
@@ -39,7 +39,10 @@ const std::vector<bench::SuiteEntry> &entries() {
       bench::SuiteEntry E;
       E.Name = Name;
       E.P = buildWorkload(Name);
-      E.PP = prepareProgram(*E.P);
+      // Trace capture rides along so the simulator determinism tests can
+      // share the same entries (it changes nothing observable; see
+      // SimTests.TraceHookChangesNothingObservable).
+      E.PP = prepareProgram(*E.P, 200000000ULL, /*CaptureTrace=*/true);
       if (!E.PP.Ok)
         ADD_FAILURE() << Name << ": " << E.PP.Error;
       Out.push_back(std::move(E));
@@ -131,6 +134,31 @@ TEST(Determinism, JsonRecordsByteIdenticalAcrossRepeatedRuns) {
   bench::setThreads(8);
   EXPECT_EQ(bench::runMatrixRecords(fullMatrix()),
             bench::runMatrixRecords(fullMatrix()));
+}
+
+TEST(Determinism, SimRecordsByteIdenticalAtEveryThreadCount) {
+  // The trace-driven simulator is sequential per task and tasks only fan
+  // out across the pool, so its JSON records — cycles, stall breakdown,
+  // utilization — are byte-identical at any thread count.
+  bench::setThreads(1);
+  std::vector<std::string> Baseline = bench::runSimMatrixRecords(fullMatrix());
+  ASSERT_EQ(Baseline.size(), 12u);
+  for (const std::string &Rec : Baseline)
+    EXPECT_NE(Rec.find("\"sim_cycles\""), std::string::npos);
+  for (unsigned Threads : ThreadCounts) {
+    bench::setThreads(Threads);
+    std::vector<std::string> Got = bench::runSimMatrixRecords(fullMatrix());
+    ASSERT_EQ(Got.size(), Baseline.size());
+    for (size_t I = 0; I != Baseline.size(); ++I)
+      EXPECT_EQ(Got[I], Baseline[I])
+          << "sim record " << I << " at " << Threads << " threads";
+  }
+}
+
+TEST(Determinism, SimRecordsByteIdenticalAcrossRepeatedRuns) {
+  bench::setThreads(8);
+  EXPECT_EQ(bench::runSimMatrixRecords(fullMatrix()),
+            bench::runSimMatrixRecords(fullMatrix()));
 }
 
 TEST(Determinism, CutWeightIdenticalAtEveryThreadCount) {

@@ -407,31 +407,37 @@ TEST(SchedulePrinterTest, RendersEveryIssuedOperation) {
 TEST(EstimatorTest, LowerBoundsRealScheduleAcrossSuite) {
   // Systematic property: on every block of every paper-suite workload,
   // under the GDP assignment, the estimate never exceeds the scheduled
-  // length (it is a max of lower bounds; see Estimator.h).
+  // length (it is a max of lower bounds; see Estimator.h) — at each of
+  // the paper's three intercluster move latencies, whose cross-cluster
+  // edge penalties the estimate and the scheduler must agree on.
   for (const WorkloadInfo &W : allWorkloads()) {
     if (W.Suite == "extra")
       continue;
     auto P = W.Build();
     PreparedProgram PP = prepareProgram(*P);
     ASSERT_TRUE(PP.Ok) << W.Name;
-    PipelineOptions Opt;
-    Opt.Strategy = StrategyKind::GDP;
-    PipelineResult Res = runStrategy(PP, Opt);
-    MachineModel MM = machineFor(Opt);
-    for (const auto &F : P->functions()) {
-      OpIndex OI(*F);
-      DefUse DU(*F);
-      CFG Cfg(*F);
-      LoopInfo LI(*F, Cfg);
-      for (unsigned Bk = 0; Bk != F->getNumBlocks(); ++Bk) {
-        BlockDFG DFG(*F, F->getBlock(Bk), DU, OI, &LI);
-        BlockSchedule BS = scheduleBlock(
-            DFG, MM, Res.Assignment.func(static_cast<unsigned>(F->getId())));
-        ScheduleEstimator Est(DFG, MM);
-        EXPECT_LE(Est.estimate(Res.Assignment.func(
-                      static_cast<unsigned>(F->getId()))),
-                  BS.Length)
-            << W.Name << " " << F->getName() << " bb" << Bk;
+    for (unsigned Lat : {1u, 5u, 10u}) {
+      PipelineOptions Opt;
+      Opt.Strategy = StrategyKind::GDP;
+      Opt.MoveLatency = Lat;
+      PipelineResult Res = runStrategy(PP, Opt);
+      MachineModel MM = machineFor(Opt);
+      for (const auto &F : P->functions()) {
+        OpIndex OI(*F);
+        DefUse DU(*F);
+        CFG Cfg(*F);
+        LoopInfo LI(*F, Cfg);
+        for (unsigned Bk = 0; Bk != F->getNumBlocks(); ++Bk) {
+          BlockDFG DFG(*F, F->getBlock(Bk), DU, OI, &LI);
+          BlockSchedule BS = scheduleBlock(
+              DFG, MM, Res.Assignment.func(static_cast<unsigned>(F->getId())));
+          ScheduleEstimator Est(DFG, MM);
+          EXPECT_LE(Est.estimate(Res.Assignment.func(
+                        static_cast<unsigned>(F->getId()))),
+                    BS.Length)
+              << W.Name << " " << F->getName() << " bb" << Bk << " lat"
+              << Lat;
+        }
       }
     }
   }

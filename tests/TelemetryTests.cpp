@@ -10,6 +10,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "partition/Pipeline.h"
+#include "profile/ExecTrace.h"
+#include "profile/Interpreter.h"
 #include "support/Telemetry.h"
 #include "workloads/Workloads.h"
 
@@ -306,6 +308,33 @@ TEST(Telemetry, DisabledFastPathAllocatesNothing) {
       << "disabled telemetry touched the allocator";
 }
 
+TEST(Telemetry, DisabledTraceHookAllocatesNothing) {
+  // The interpreter's optional trace sink (profile/ExecTrace.h) must cost
+  // nothing when left unset. The baseline (no sink) is exactly the
+  // disabled path, so its allocation count must be identical across
+  // repeated runs — any hidden trace bookkeeping would show up here — and
+  // strictly below a traced run, which really records events.
+  auto CountRun = [](ExecTrace *Trace) {
+    auto P = buildWorkload("fir");
+    EXPECT_TRUE(P);
+    Interpreter I(*P);
+    I.setTrace(Trace);
+    uint64_t Before = GAllocCount.load();
+    InterpResult R = I.run();
+    uint64_t After = GAllocCount.load();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return After - Before;
+  };
+  uint64_t First = CountRun(nullptr);
+  uint64_t Second = CountRun(nullptr);
+  EXPECT_EQ(First, Second)
+      << "the untraced interpreter must allocate deterministically";
+  ExecTrace Trace;
+  uint64_t Traced = CountRun(&Trace);
+  EXPECT_GT(Trace.numBlockEvents(), 0u);
+  EXPECT_GT(Traced, First) << "tracing must be the only path that records";
+}
+
 // --- Validation of the bench harness's --json output. The ctest fixture
 // bench_json_emit produces the file and exports GDP_BENCH_JSON; when the
 // suite runs standalone the test skips.
@@ -328,11 +357,25 @@ TEST(BenchJsonFile, RecordsAreWellFormed) {
   std::set<std::pair<std::string, std::string>> Seen;
   for (const testjson::JVal &R : Records.Arr) {
     for (const char *Key :
-         {"benchmark", "strategy", "move_latency", "cycles", "dynamic_moves",
-          "static_moves", "rhop_runs", "prepare_sec", "data_partition_sec",
-          "rhop_sec", "schedule_sec", "counters"})
+         {"benchmark", "strategy", "move_latency", "machine", "cycles",
+          "dynamic_moves", "static_moves", "rhop_runs", "prepare_sec",
+          "data_partition_sec", "rhop_sec", "schedule_sec", "counters"})
       EXPECT_TRUE(R.has(Key)) << "record missing " << Key;
     EXPECT_GT(R["cycles"].Num, 0) << R["benchmark"].Str;
+    // The machine-configuration metadata of the evaluated record.
+    const testjson::JVal &M = R["machine"];
+    ASSERT_EQ(M.K, testjson::JVal::Object) << R["benchmark"].Str;
+    for (const char *Key : {"clusters", "fu_per_cluster", "move_latency",
+                            "move_bandwidth", "memory", "cluster_memory_bytes"})
+      EXPECT_TRUE(M.has(Key)) << "machine metadata missing " << Key;
+    EXPECT_GT(M["clusters"].Num, 0);
+    EXPECT_EQ(M["move_latency"].Num, R["move_latency"].Num);
+    EXPECT_TRUE(M["memory"].Str == "partitioned" || M["memory"].Str == "unified")
+        << M["memory"].Str;
+    const testjson::JVal &FU = M["fu_per_cluster"];
+    ASSERT_EQ(FU.K, testjson::JVal::Object);
+    for (const char *Kind : {"int", "float", "mem", "branch"})
+      EXPECT_TRUE(FU.has(Kind)) << "fu_per_cluster missing " << Kind;
     EXPECT_EQ(R["counters"].K, testjson::JVal::Object);
     EXPECT_GE(R["counters"].Obj.size(), 5u);
     Seen.insert({R["benchmark"].Str, R["strategy"].Str});

@@ -11,6 +11,8 @@
 //   gdptool profile <workload|file.gdp>
 //   gdptool run     <workload|file.gdp> [--strategy=gdp|profilemax|naive|
 //                   unified|all] [--latency=N] [--clusters=N] [--placement]
+//   gdptool sim     <workload|file.gdp> [--strategy=...] [--lat=N]
+//                   (trace-driven cycle simulation vs. the static estimate)
 //   gdptool schedule <workload|file.gdp> [--strategy=...] [--latency=N]
 //                   (dumps the hottest region's cycle-by-cycle schedule)
 //
@@ -28,14 +30,17 @@
 #include "partition/GlobalDataPartitioner.h"
 #include "partition/Pipeline.h"
 #include "partition/ProgramGraph.h"
+#include "profile/ExecTrace.h"
 #include "sched/BlockDFG.h"
 #include "sched/ListScheduler.h"
 #include "sched/SchedulePrinter.h"
+#include "sim/Simulator.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,9 +53,9 @@ using namespace gdp;
 
 namespace {
 
-void usage() {
+void usage(std::FILE *Out = stderr) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: gdptool <command> [args]\n"
       "  list                         list bundled workloads\n"
       "  schedule <prog> [options]    dump the hottest region's schedule\n"
@@ -58,8 +63,11 @@ void usage() {
       "  print <prog> [--init]        dump the program's IR\n"
       "  profile <prog>               run the profiler and dump statistics\n"
       "  run <prog> [options]         partition and report\n"
+      "  sim <prog> [options]         trace-driven cycle simulation of the\n"
+      "                               partitioned program vs. the static\n"
+      "                               schedule estimate\n"
       "      --strategy=gdp|profilemax|naive|unified|all   (default: all)\n"
-      "      --latency=N              intercluster move latency (default 5)\n"
+      "      --latency=N (or --lat=N) intercluster move latency (default 5)\n"
       "      --clusters=N             cluster count (default 2)\n"
       "      --placement              also print the object placement\n"
       "      --optimize               run fold/copy-prop/DCE first\n"
@@ -70,6 +78,7 @@ void usage() {
       "                               accepted by 'profile')\n"
       "      --trace=FILE.json        dump a Chrome trace_event log for\n"
       "                               chrome://tracing or Perfetto\n"
+      "  --help                       print this message\n"
       "<prog> is a bundled workload name or a path to a textual IR file.\n");
 }
 
@@ -198,6 +207,23 @@ int cmdProfile(const std::string &Spec) {
   return 0;
 }
 
+/// Parses a --strategy= value into the evaluation list (Unified first, as
+/// the baseline). Empty means the value was not recognized.
+std::vector<StrategyKind> parseStrategies(const std::string &StrategyArg) {
+  if (StrategyArg == "all" || StrategyArg.empty())
+    return {StrategyKind::Unified, StrategyKind::GDP,
+            StrategyKind::ProfileMax, StrategyKind::Naive};
+  if (StrategyArg == "gdp")
+    return {StrategyKind::GDP};
+  if (StrategyArg == "profilemax")
+    return {StrategyKind::ProfileMax};
+  if (StrategyArg == "naive")
+    return {StrategyKind::Naive};
+  if (StrategyArg == "unified")
+    return {StrategyKind::Unified};
+  return {};
+}
+
 int cmdRun(const std::string &Spec, const std::string &StrategyArg,
            unsigned Latency, unsigned Clusters, bool ShowPlacement) {
   auto P = loadProgram(Spec);
@@ -213,19 +239,8 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
     return 1;
   }
 
-  std::vector<StrategyKind> Kinds;
-  if (StrategyArg == "all" || StrategyArg.empty())
-    Kinds = {StrategyKind::Unified, StrategyKind::GDP,
-             StrategyKind::ProfileMax, StrategyKind::Naive};
-  else if (StrategyArg == "gdp")
-    Kinds = {StrategyKind::GDP};
-  else if (StrategyArg == "profilemax")
-    Kinds = {StrategyKind::ProfileMax};
-  else if (StrategyArg == "naive")
-    Kinds = {StrategyKind::Naive};
-  else if (StrategyArg == "unified")
-    Kinds = {StrategyKind::Unified};
-  else {
+  std::vector<StrategyKind> Kinds = parseStrategies(StrategyArg);
+  if (Kinds.empty()) {
     std::fprintf(stderr, "error: unknown strategy '%s'\n",
                  StrategyArg.c_str());
     return 1;
@@ -296,6 +311,90 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
     std::printf("  %s\n", Line.c_str());
   if (UnifiedCycles)
     std::printf("\n(unified memory is the upper-bound reference)\n");
+  return 0;
+}
+
+int cmdSim(const std::string &Spec, const std::string &StrategyArg,
+           unsigned Latency, unsigned Clusters) {
+  auto P = loadProgram(Spec);
+  if (!P)
+    return 1;
+  TelemetryExport Telemetry(/*Always=*/true);
+  maybeOptimize(*P);
+  PreparedProgram PP =
+      prepareProgram(*P, /*MaxSteps=*/200000000ULL, /*CaptureTrace=*/true);
+  if (!PP.Ok) {
+    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
+    return 1;
+  }
+
+  std::vector<StrategyKind> Kinds = parseStrategies(StrategyArg);
+  if (Kinds.empty()) {
+    std::fprintf(stderr, "error: unknown strategy '%s'\n",
+                 StrategyArg.c_str());
+    return 1;
+  }
+
+  std::printf("program %s on %u clusters, %u-cycle moves — trace of %llu "
+              "block executions\n\n",
+              P->getName().c_str(), Clusters, Latency,
+              static_cast<unsigned long long>(PP.Trace->numBlockEvents()));
+
+  struct SimEval {
+    PipelineResult R;
+    SimResult S;
+    std::unique_ptr<telemetry::TelemetrySession> Shard;
+  };
+  support::ThreadPool Pool(toolThreads() - 1);
+  std::vector<SimEval> Evals = Pool.parallelMap(Kinds, [&](StrategyKind K) {
+    SimEval E;
+    E.Shard = std::make_unique<telemetry::TelemetrySession>();
+    telemetry::ScopedSession Scope(*E.Shard);
+    PipelineOptions Opt;
+    Opt.Strategy = K;
+    Opt.MoveLatency = Latency;
+    Opt.NumClusters = Clusters;
+    E.R = runStrategy(PP, Opt);
+    E.S = simulateStrategy(PP, E.R, Opt);
+    return E;
+  });
+
+  TextTable Table({"strategy", "static cycles", "sim cycles", "sim/static",
+                   "bus stall", "move stall", "port stall", "remote"});
+  for (size_t I = 0; I != Kinds.size(); ++I) {
+    const SimEval &E = Evals[I];
+    Telemetry.session()->mergeFrom(*E.Shard);
+    if (!E.S.Ok) {
+      std::fprintf(stderr, "error: %s: %s\n", strategyName(Kinds[I]),
+                   E.S.Error.c_str());
+      return 1;
+    }
+    Table.addRow(
+        {strategyName(Kinds[I]),
+         formatStr("%llu", static_cast<unsigned long long>(E.R.Cycles)),
+         formatStr("%llu", static_cast<unsigned long long>(E.S.Cycles)),
+         formatDouble(static_cast<double>(E.S.Cycles) /
+                          static_cast<double>(E.R.Cycles ? E.R.Cycles : 1),
+                      3),
+         formatStr("%llu", static_cast<unsigned long long>(
+                               E.S.BusContentionStallCycles)),
+         formatStr("%llu", static_cast<unsigned long long>(
+                               E.S.MoveLatencyStallCycles)),
+         formatStr("%llu",
+                   static_cast<unsigned long long>(E.S.MemPortStallCycles)),
+         formatStr("%llu",
+                   static_cast<unsigned long long>(E.S.RemoteAccesses))});
+  }
+  std::printf("%s", Table.render().c_str());
+
+  std::printf("\nper-cluster issue-slot utilization:\n");
+  for (size_t I = 0; I != Kinds.size(); ++I) {
+    std::printf("  %-10s", strategyName(Kinds[I]));
+    for (size_t C = 0; C != Evals[I].S.ClusterUtilization.size(); ++C)
+      std::printf(" c%zu=%s", C,
+                  formatDouble(Evals[I].S.ClusterUtilization[C], 3).c_str());
+    std::printf("\n");
+  }
   return 0;
 }
 
@@ -379,10 +478,23 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::string Cmd = argv[1];
+  if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
+    usage(stdout);
+    return 0;
+  }
   if (Cmd == "list")
     return cmdList();
 
+  bool Known = Cmd == "print" || Cmd == "profile" || Cmd == "run" ||
+               Cmd == "sim" || Cmd == "schedule" || Cmd == "dot";
+  if (!Known) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", Cmd.c_str());
+    usage();
+    return 1;
+  }
   if (argc < 3) {
+    std::fprintf(stderr, "error: command '%s' needs a <prog> argument\n",
+                 Cmd.c_str());
     usage();
     return 1;
   }
@@ -402,6 +514,8 @@ int main(int argc, char **argv) {
       Strategy = Arg.substr(11);
     else if (Arg.rfind("--latency=", 0) == 0)
       Latency = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    else if (Arg.rfind("--lat=", 0) == 0)
+      Latency = static_cast<unsigned>(std::atoi(Arg.c_str() + 6));
     else if (Arg.rfind("--clusters=", 0) == 0)
       Clusters = static_cast<unsigned>(std::atoi(Arg.c_str() + 11));
     else if (Arg.rfind("--threads=", 0) == 0) {
@@ -414,8 +528,15 @@ int main(int argc, char **argv) {
       TracePath = Arg.substr(8);
     else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
       return 1;
     }
+  }
+  if (Latency == 0 || Clusters == 0) {
+    std::fprintf(stderr,
+                 "error: --lat and --clusters need positive integers\n");
+    usage();
+    return 1;
   }
 
   OptimizeFlag = Optimize;
@@ -425,10 +546,12 @@ int main(int argc, char **argv) {
     return cmdProfile(Spec);
   if (Cmd == "run")
     return cmdRun(Spec, Strategy, Latency, Clusters, ShowPlacement);
+  if (Cmd == "sim")
+    return cmdSim(Spec, Strategy, Latency, Clusters);
   if (Cmd == "schedule")
     return cmdSchedule(Spec, Strategy, Latency, Clusters);
   if (Cmd == "dot")
     return cmdDot(Spec);
-  usage();
+  assert(false && "command validated above");
   return 1;
 }
