@@ -2,6 +2,7 @@
 
 #include "bench/BenchCommon.h"
 
+#include "partition/PreparedCache.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -238,9 +239,12 @@ std::vector<SuiteEntry> gdp::bench::loadSuite(bool CaptureTraces) {
       Pool.parallelMap(Infos, [CaptureTraces](const WorkloadInfo *W) {
         SuiteEntry E;
         E.Name = W->Name;
-        E.P = W->Build();
-        E.PP = prepareProgram(*E.P, /*MaxSteps=*/200000000ULL,
-                              CaptureTraces);
+        std::shared_ptr<const CachedPreparation> C =
+            PreparedProgramCache::global().get(
+                W->Name, /*MaxSteps=*/200000000ULL, CaptureTraces,
+                [W] { return W->Build(); });
+        E.P = C->Prog;
+        E.PP = C->PP;
         return E;
       });
   for (const SuiteEntry &E : Suite)

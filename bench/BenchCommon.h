@@ -39,10 +39,13 @@
 namespace gdp {
 namespace bench {
 
-/// One prepared benchmark.
+/// One prepared benchmark. The program and its preparation usually come
+/// from the process-wide PreparedProgramCache, so `P` is shared ownership:
+/// other suites (or gdptool commands in the same process) may alias it.
+/// Treat both as immutable after loadSuite().
 struct SuiteEntry {
   std::string Name;
-  std::unique_ptr<Program> P;
+  std::shared_ptr<Program> P;
   PreparedProgram PP;
 };
 

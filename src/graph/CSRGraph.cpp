@@ -1,0 +1,62 @@
+//===- graph/CSRGraph.cpp - Compressed adjacency for partitioning -----------===//
+
+#include "graph/CSRGraph.h"
+
+#include "graph/PartitionGraph.h"
+
+#include <algorithm>
+
+using namespace gdp;
+
+CSRGraph::CSRGraph(const PartitionGraph &G) {
+  NumNodes = G.getNumNodes();
+  NumC = G.getNumConstraints();
+
+  NodeW.resize(static_cast<size_t>(NumNodes) * NumC);
+  Totals.assign(NumC, 0);
+  for (unsigned N = 0; N != NumNodes; ++N) {
+    const auto &W = G.getNodeWeights(N);
+    for (unsigned C = 0; C != NumC; ++C) {
+      NodeW[static_cast<size_t>(N) * NumC + C] = W[C];
+      Totals[C] += W[C];
+    }
+  }
+
+  Off.resize(NumNodes + 1);
+  size_t NumSlots = 0;
+  for (unsigned N = 0; N != NumNodes; ++N) {
+    Off[N] = static_cast<uint32_t>(NumSlots);
+    NumSlots += G.neighbors(N).size();
+  }
+  Off[NumNodes] = static_cast<uint32_t>(NumSlots);
+
+  Nbr.resize(NumSlots);
+  EdgeW.resize(NumSlots);
+  size_t Slot = 0;
+  for (unsigned N = 0; N != NumNodes; ++N)
+    for (const auto &[M, W] : G.neighbors(N)) { // ascending neighbor ids
+      Nbr[Slot] = M;
+      EdgeW[Slot] = W;
+      if (M > N)
+        TotalEdgeW += W;
+      ++Slot;
+    }
+}
+
+uint64_t CSRGraph::edgeWeightBetween(unsigned A, unsigned B) const {
+  const uint32_t *Lo = Nbr.data() + Off[A];
+  const uint32_t *Hi = Nbr.data() + Off[A + 1];
+  const uint32_t *It = std::lower_bound(Lo, Hi, B);
+  if (It == Hi || *It != B)
+    return 0;
+  return EdgeW[static_cast<size_t>(It - Nbr.data())];
+}
+
+uint64_t CSRGraph::cutWeight(const std::vector<unsigned> &Assignment) const {
+  uint64_t Cut = 0;
+  for (unsigned N = 0; N != NumNodes; ++N)
+    for (uint32_t E = Off[N], End = Off[N + 1]; E != End; ++E)
+      if (Nbr[E] > N && Assignment[N] != Assignment[Nbr[E]])
+        Cut += EdgeW[E];
+  return Cut;
+}

@@ -1,0 +1,80 @@
+//===- graph/CSRGraph.h - Compressed adjacency for partitioning -*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compressed-sparse-row (CSR) view of a PartitionGraph, built once per
+/// coarsening level. PartitionGraph accumulates edges in per-node maps —
+/// convenient while the graph is being constructed, but pointer-chasing
+/// poison for the refinement loops that sweep every adjacency list many
+/// times per level. The CSR form packs neighbor ids and edge weights into
+/// flat arrays (neighbor ids ascending within each row, matching the
+/// map's iteration order) and node weights into one row-major block, so
+/// gain recomputation walks contiguous memory. Totals and the aggregate
+/// edge weight are cached at build time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_GRAPH_CSRGRAPH_H
+#define GDP_GRAPH_CSRGRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gdp {
+
+class PartitionGraph;
+
+/// Immutable cache-linear snapshot of a PartitionGraph.
+class CSRGraph {
+public:
+  explicit CSRGraph(const PartitionGraph &G);
+
+  unsigned getNumNodes() const { return NumNodes; }
+  unsigned getNumConstraints() const { return NumC; }
+
+  /// Pointer to the \p getNumConstraints() weights of \p Node.
+  const uint64_t *nodeWeights(unsigned Node) const {
+    return &NodeW[static_cast<size_t>(Node) * NumC];
+  }
+  uint64_t nodeWeight(unsigned Node, unsigned C) const {
+    return NodeW[static_cast<size_t>(Node) * NumC + C];
+  }
+
+  /// Half-open range [edgeBegin(N), edgeEnd(N)) of edge slots for node N.
+  uint32_t edgeBegin(unsigned Node) const { return Off[Node]; }
+  uint32_t edgeEnd(unsigned Node) const { return Off[Node + 1]; }
+  unsigned edgeTarget(uint32_t Slot) const { return Nbr[Slot]; }
+  uint64_t edgeWeight(uint32_t Slot) const { return EdgeW[Slot]; }
+  unsigned degree(unsigned Node) const { return Off[Node + 1] - Off[Node]; }
+
+  /// Accumulated weight of edge {A, B}, or 0 when absent (binary search —
+  /// neighbor ids are sorted within each row).
+  uint64_t edgeWeightBetween(unsigned A, unsigned B) const;
+
+  /// Sum of node weights per constraint (cached).
+  const std::vector<uint64_t> &totalWeights() const { return Totals; }
+
+  /// Sum of all edge weights, each undirected edge counted once (cached).
+  uint64_t totalEdgeWeight() const { return TotalEdgeW; }
+
+  /// Total edge weight crossing parts under \p Assignment.
+  uint64_t cutWeight(const std::vector<unsigned> &Assignment) const;
+
+private:
+  unsigned NumNodes = 0;
+  unsigned NumC = 1;
+  std::vector<uint32_t> Off;  ///< NumNodes + 1 row offsets.
+  std::vector<uint32_t> Nbr;  ///< Neighbor ids, ascending per row.
+  std::vector<uint64_t> EdgeW;
+  std::vector<uint64_t> NodeW; ///< Row-major [node][constraint].
+  std::vector<uint64_t> Totals;
+  uint64_t TotalEdgeW = 0;
+};
+
+} // namespace gdp
+
+#endif // GDP_GRAPH_CSRGRAPH_H

@@ -1,0 +1,35 @@
+//===- graph/GainBucket.cpp - Addressable max-gain move queue ---------------===//
+
+#include "graph/GainBucket.h"
+
+#include <cassert>
+
+using namespace gdp;
+
+void GainBucket::reset(unsigned NumNodes) {
+  Set.clear();
+  Handle.resize(NumNodes);
+  Present.assign(NumNodes, 0);
+}
+
+void GainBucket::insertOrUpdate(unsigned Node, unsigned Part, int64_t Gain) {
+  assert(Node < Present.size() && "node beyond reset() size");
+  if (Present[Node]) {
+    const Entry &Old = Handle[Node];
+    if (Old.Gain == Gain && Old.Part == Part)
+      return;
+    Set.erase(Old);
+  }
+  Entry E{Gain, Part, Node};
+  Handle[Node] = E;
+  Present[Node] = 1;
+  Set.insert(E);
+}
+
+void GainBucket::erase(unsigned Node) {
+  assert(Node < Present.size() && "node beyond reset() size");
+  if (!Present[Node])
+    return;
+  Set.erase(Handle[Node]);
+  Present[Node] = 0;
+}

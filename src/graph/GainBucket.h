@@ -1,0 +1,77 @@
+//===- graph/GainBucket.h - Addressable max-gain move queue -----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The priority structure behind bucket-based FM refinement: each free
+/// node holds at most one candidate move (its best destination part and
+/// the cut gain of going there), and the refiner repeatedly extracts the
+/// most attractive candidate, applies it, and updates the neighbors'
+/// entries in place. Edge weights here are arbitrary 64-bit values, so a
+/// classical array-of-buckets indexed by gain is impossible; an ordered
+/// set with a per-node handle gives the same O(log n) insert / update /
+/// extract with strict deterministic ordering: higher gain first, then
+/// smaller destination part, then smaller node id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_GRAPH_GAINBUCKET_H
+#define GDP_GRAPH_GAINBUCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace gdp {
+
+/// Addressable priority queue of candidate moves, one per node.
+class GainBucket {
+public:
+  struct Entry {
+    int64_t Gain;
+    unsigned Part; ///< Destination part of the candidate move.
+    unsigned Node;
+  };
+
+  /// Empties the queue and sizes the handle table for \p NumNodes nodes.
+  void reset(unsigned NumNodes);
+
+  /// Inserts the candidate move of \p Node, or replaces its current one.
+  void insertOrUpdate(unsigned Node, unsigned Part, int64_t Gain);
+
+  /// Removes \p Node's candidate if present.
+  void erase(unsigned Node);
+
+  bool contains(unsigned Node) const {
+    return Node < Present.size() && Present[Node];
+  }
+
+  bool empty() const { return Set.empty(); }
+  size_t size() const { return Set.size(); }
+
+  /// Best candidate: highest gain, ties to smaller part id, then smaller
+  /// node id. Precondition: !empty().
+  const Entry &top() const { return *Set.begin(); }
+
+private:
+  struct Compare {
+    bool operator()(const Entry &A, const Entry &B) const {
+      if (A.Gain != B.Gain)
+        return A.Gain > B.Gain;
+      if (A.Part != B.Part)
+        return A.Part < B.Part;
+      return A.Node < B.Node;
+    }
+  };
+
+  std::set<Entry, Compare> Set;
+  std::vector<Entry> Handle;    ///< Per-node key currently in Set.
+  std::vector<uint8_t> Present; ///< Whether Handle[n] is live.
+};
+
+} // namespace gdp
+
+#endif // GDP_GRAPH_GAINBUCKET_H

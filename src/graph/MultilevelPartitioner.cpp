@@ -2,6 +2,8 @@
 
 #include "graph/MultilevelPartitioner.h"
 
+#include "graph/CSRGraph.h"
+#include "graph/GainBucket.h"
 #include "support/Random.h"
 #include "support/Telemetry.h"
 
@@ -39,6 +41,21 @@ struct RunStats {
   uint64_t BalanceMoves = 0;
 };
 
+/// Scratch buffers shared by every pass and level of one partitionGraph()
+/// call: the permutation buffer is re-shuffled in place, connectivity and
+/// part-weight tables are resized once per level, and the gain bucket
+/// reuses its handle table. Nothing here is allocated per pass.
+struct RefineContext {
+  std::vector<unsigned> Order;            ///< Shuffled visit order.
+  std::vector<int64_t> Conn;              ///< Per-part connectivity.
+  std::vector<std::vector<uint64_t>> PW;  ///< Per-part constraint weights.
+  std::vector<double> Ideal;              ///< Per-constraint ideal load.
+  std::vector<double> NormP;              ///< Per-part normalized load.
+  GainBucket Bucket;
+  std::vector<uint8_t> Locked;            ///< Moved-this-pass node marks.
+  std::vector<unsigned> Boundary;         ///< swapPass candidate list.
+};
+
 /// Shared helpers for one partitioning run.
 struct Context {
   const GraphPartitionOptions &Opt;
@@ -65,14 +82,14 @@ struct Context {
 
   /// Per-part, per-constraint capacities, never below the heaviest single
   /// node so that a feasible assignment always exists.
-  CapacityTable maxAllowed(const PartitionGraph &G) const {
-    std::vector<uint64_t> Totals = G.totalWeights();
+  CapacityTable maxAllowed(const CSRGraph &G) const {
+    const std::vector<uint64_t> &Totals = G.totalWeights();
     CapacityTable Result(Opt.NumParts,
                          std::vector<uint64_t>(Totals.size()));
     for (unsigned C = 0; C != Totals.size(); ++C) {
       uint64_t Heaviest = 0;
       for (unsigned N = 0; N != G.getNumNodes(); ++N)
-        Heaviest = std::max(Heaviest, G.getNodeWeights(N)[C]);
+        Heaviest = std::max(Heaviest, G.nodeWeight(N, C));
       for (unsigned P = 0; P != Opt.NumParts; ++P) {
         if (Totals[C] == 0) {
           Result[P][C] = std::numeric_limits<uint64_t>::max();
@@ -95,14 +112,26 @@ struct Context {
   }
 };
 
+void computePartWeightsInto(const CSRGraph &G,
+                            const std::vector<unsigned> &Assign,
+                            unsigned NumParts,
+                            std::vector<std::vector<uint64_t>> &PW) {
+  unsigned NumC = G.getNumConstraints();
+  PW.resize(NumParts);
+  for (auto &Part : PW)
+    Part.assign(NumC, 0);
+  for (unsigned N = 0; N != G.getNumNodes(); ++N) {
+    const uint64_t *NW = G.nodeWeights(N);
+    for (unsigned C = 0; C != NumC; ++C)
+      PW[Assign[N]][C] += NW[C];
+  }
+}
+
 std::vector<std::vector<uint64_t>>
-computePartWeights(const PartitionGraph &G,
-                   const std::vector<unsigned> &Assign, unsigned NumParts) {
-  std::vector<std::vector<uint64_t>> PW(
-      NumParts, std::vector<uint64_t>(G.getNumConstraints(), 0));
-  for (unsigned N = 0; N != G.getNumNodes(); ++N)
-    for (unsigned C = 0; C != G.getNumConstraints(); ++C)
-      PW[Assign[N]][C] += G.getNodeWeights(N)[C];
+computePartWeights(const CSRGraph &G, const std::vector<unsigned> &Assign,
+                   unsigned NumParts) {
+  std::vector<std::vector<uint64_t>> PW;
+  computePartWeightsInto(G, Assign, NumParts, PW);
   return PW;
 }
 
@@ -120,29 +149,46 @@ double normalizedLoad(const std::vector<std::vector<uint64_t>> &PW,
   return Worst;
 }
 
-std::vector<unsigned> shuffledNodes(unsigned N, Random &RNG) {
-  std::vector<unsigned> Order(N);
+/// Normalized load of one part's weight vector against the ideal loads.
+double normOfPart(const std::vector<uint64_t> &Part,
+                  const std::vector<double> &Ideal) {
+  double Worst = 0;
+  for (unsigned C = 0; C != Ideal.size(); ++C)
+    if (Ideal[C] > 0)
+      Worst = std::max(Worst, static_cast<double>(Part[C]) / Ideal[C]);
+  return Worst;
+}
+
+/// Re-shuffles the persistent permutation buffer in place (Fisher-Yates,
+/// same draw sequence as a freshly built vector).
+void shuffleNodesInto(std::vector<unsigned> &Order, unsigned N, Random &RNG) {
+  Order.resize(N);
   for (unsigned I = 0; I != N; ++I)
     Order[I] = I;
   for (unsigned I = N; I > 1; --I)
     std::swap(Order[I - 1], Order[RNG.nextBelow(I)]);
-  return Order;
 }
 
 /// One heavy-edge-matching coarsening step. Writes the fine→coarse mapping
-/// and returns the coarse graph.
-PartitionGraph coarsenOnce(const PartitionGraph &G, Random &RNG,
-                           std::vector<unsigned> &FineToCoarse) {
+/// and returns the coarse graph (map-based — it is the accumulator; the
+/// caller converts it to CSR once it is final).
+PartitionGraph coarsenOnce(const CSRGraph &G, Random &RNG,
+                           std::vector<unsigned> &FineToCoarse,
+                           RefineContext &RC) {
   unsigned N = G.getNumNodes();
   std::vector<int> Match(N, -1);
-  for (unsigned Node : shuffledNodes(N, RNG)) {
+  shuffleNodesInto(RC.Order, N, RNG);
+  for (unsigned Node : RC.Order) {
     if (Match[Node] >= 0)
       continue;
     // Heaviest-edge unmatched neighbor; ties broken by smaller id for
     // determinism.
     int Best = -1;
     uint64_t BestW = 0;
-    for (const auto &[Nbr, W] : G.neighbors(Node)) {
+    for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End;
+         ++E) {
+      unsigned Nbr = G.edgeTarget(E);
+      uint64_t W = G.edgeWeight(E);
       if (Match[Nbr] >= 0 || Nbr == Node)
         continue;
       if (Best < 0 || W > BestW ||
@@ -159,17 +205,18 @@ PartitionGraph coarsenOnce(const PartitionGraph &G, Random &RNG,
     }
   }
 
+  unsigned NumC = G.getNumConstraints();
   FineToCoarse.assign(N, ~0u);
-  PartitionGraph Coarse(G.getNumConstraints());
+  PartitionGraph Coarse(NumC);
   for (unsigned Node = 0; Node != N; ++Node) {
     if (FineToCoarse[Node] != ~0u)
       continue;
     unsigned Partner = static_cast<unsigned>(Match[Node]);
-    std::vector<uint64_t> W = G.getNodeWeights(Node);
+    std::vector<uint64_t> W(G.nodeWeights(Node), G.nodeWeights(Node) + NumC);
     if (Partner != Node) {
-      const auto &PW = G.getNodeWeights(Partner);
-      for (unsigned C = 0; C != W.size(); ++C)
-        W[C] += PW[C];
+      const uint64_t *PWts = G.nodeWeights(Partner);
+      for (unsigned C = 0; C != NumC; ++C)
+        W[C] += PWts[C];
     }
     unsigned Coarsened = Coarse.addNode(std::move(W));
     FineToCoarse[Node] = Coarsened;
@@ -177,20 +224,21 @@ PartitionGraph coarsenOnce(const PartitionGraph &G, Random &RNG,
       FineToCoarse[Partner] = Coarsened;
   }
   for (unsigned Node = 0; Node != N; ++Node)
-    for (const auto &[Nbr, W] : G.neighbors(Node))
-      if (Nbr > Node)
-        Coarse.addEdge(FineToCoarse[Node], FineToCoarse[Nbr], W);
+    for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End; ++E)
+      if (G.edgeTarget(E) > Node)
+        Coarse.addEdge(FineToCoarse[Node], FineToCoarse[G.edgeTarget(E)],
+                       G.edgeWeight(E));
   return Coarse;
 }
 
 /// Moves nodes out of overloaded parts until every part fits its capacity
 /// (bounded effort).
-void repairBalance(const PartitionGraph &G, std::vector<unsigned> &Assign,
-                   std::vector<std::vector<uint64_t>> &PW,
-                   const CapacityTable &MaxAllowed,
+void repairBalance(const CSRGraph &G, std::vector<unsigned> &Assign,
+                   RefineContext &RC, const CapacityTable &MaxAllowed,
                    const GraphPartitionOptions &Opt, Random &RNG,
                    RunStats &RS) {
   unsigned NumParts = Opt.NumParts;
+  auto &PW = RC.PW;
   for (unsigned Round = 0; Round != 4 * G.getNumNodes() + 16; ++Round) {
     // Find the most overloaded (part, constraint).
     int WorstPart = -1;
@@ -224,16 +272,19 @@ void repairBalance(const PartitionGraph &G, std::vector<unsigned> &Assign,
 
     int BestNode = -1;
     int64_t BestGain = std::numeric_limits<int64_t>::min();
-    for (unsigned Node : shuffledNodes(G.getNumNodes(), RNG)) {
+    shuffleNodesInto(RC.Order, G.getNumNodes(), RNG);
+    for (unsigned Node : RC.Order) {
       if (Assign[Node] != static_cast<unsigned>(WorstPart) ||
-          G.getNodeWeights(Node)[WorstC] == 0)
+          G.nodeWeight(Node, WorstC) == 0)
         continue;
       int64_t Gain = 0;
-      for (const auto &[Nbr, W] : G.neighbors(Node)) {
+      for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End;
+           ++E) {
+        unsigned Nbr = G.edgeTarget(E);
         if (Assign[Nbr] == Target)
-          Gain += static_cast<int64_t>(W);
+          Gain += static_cast<int64_t>(G.edgeWeight(E));
         else if (Assign[Nbr] == static_cast<unsigned>(WorstPart))
-          Gain -= static_cast<int64_t>(W);
+          Gain -= static_cast<int64_t>(G.edgeWeight(E));
       }
       if (Gain > BestGain) {
         BestGain = Gain;
@@ -242,41 +293,57 @@ void repairBalance(const PartitionGraph &G, std::vector<unsigned> &Assign,
     }
     if (BestNode < 0)
       return;
+    const uint64_t *NW = G.nodeWeights(static_cast<unsigned>(BestNode));
     for (unsigned C = 0; C != MaxAllowed[0].size(); ++C) {
-      uint64_t W = G.getNodeWeights(static_cast<unsigned>(BestNode))[C];
-      PW[static_cast<unsigned>(WorstPart)][C] -= W;
-      PW[Target][C] += W;
+      PW[static_cast<unsigned>(WorstPart)][C] -= NW[C];
+      PW[Target][C] += NW[C];
     }
     Assign[static_cast<unsigned>(BestNode)] = Target;
     ++RS.BalanceMoves;
   }
 }
 
-/// One FM-style refinement pass; returns the number of applied moves.
-unsigned refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
-                    std::vector<std::vector<uint64_t>> &PW,
-                    const CapacityTable &MaxAllowed,
-                    const std::vector<uint64_t> &Totals,
-                    const GraphPartitionOptions &Opt, Random &RNG) {
-  unsigned Moved = 0;
+/// One bucket-based FM refinement pass; returns the number of applied
+/// moves. Each free node carries its best candidate move in an
+/// addressable priority structure ordered (gain desc, part asc, node
+/// asc); applying a move updates only the moved node's neighborhood
+/// instead of recomputing every node's gain vector. Feasibility (part
+/// capacities) can go stale for non-neighbors as weights shift, so
+/// entries are revalidated lazily at extraction: a popped entry whose
+/// recomputed candidate differs is re-queued with the true key. Moved
+/// nodes are locked for the remainder of the pass (classic FM), which
+/// bounds the pass at one move per node.
+unsigned refinePass(const CSRGraph &G, std::vector<unsigned> &Assign,
+                    RefineContext &RC, const CapacityTable &MaxAllowed,
+                    const GraphPartitionOptions &Opt) {
   unsigned NumParts = Opt.NumParts;
-  std::vector<int64_t> Conn(NumParts);
+  unsigned N = G.getNumNodes();
+  unsigned NumC = G.getNumConstraints();
+  auto &PW = RC.PW;
+  auto &Conn = RC.Conn;
+  Conn.assign(NumParts, 0);
 
-  for (unsigned Node : shuffledNodes(G.getNumNodes(), RNG)) {
+  // Refresh the per-part normalized loads (swap passes shift weights
+  // without maintaining them).
+  RC.NormP.resize(NumParts);
+  for (unsigned P = 0; P != NumParts; ++P)
+    RC.NormP[P] = normOfPart(PW[P], RC.Ideal);
+
+  // Best feasible destination by gain, ties to smaller part id.
+  auto bestOf = [&](unsigned Node, int64_t &GainOut,
+                    unsigned &PartOut) -> bool {
     unsigned From = Assign[Node];
-    std::fill(Conn.begin(), Conn.end(), 0);
-    for (const auto &[Nbr, W] : G.neighbors(Node))
-      Conn[Assign[Nbr]] += static_cast<int64_t>(W);
-
-    // Best feasible destination by gain, ties to smaller part id.
-    int BestPart = -1;
+    std::fill(Conn.begin(), Conn.end(), int64_t{0});
+    for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End; ++E)
+      Conn[Assign[G.edgeTarget(E)]] += static_cast<int64_t>(G.edgeWeight(E));
+    const uint64_t *NW = G.nodeWeights(Node);
+    int Best = -1;
     int64_t BestGain = std::numeric_limits<int64_t>::min();
-    const auto &NW = G.getNodeWeights(Node);
     for (unsigned P = 0; P != NumParts; ++P) {
       if (P == From)
         continue;
       bool Fits = true;
-      for (unsigned C = 0; C != NW.size(); ++C)
+      for (unsigned C = 0; C != NumC; ++C)
         if (MaxAllowed[P][C] != std::numeric_limits<uint64_t>::max() &&
             PW[P][C] + NW[C] > MaxAllowed[P][C]) {
           Fits = false;
@@ -287,41 +354,94 @@ unsigned refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
       int64_t Gain = Conn[P] - Conn[From];
       if (Gain > BestGain) {
         BestGain = Gain;
-        BestPart = static_cast<int>(P);
+        Best = static_cast<int>(P);
       }
     }
-    if (BestPart < 0)
-      continue;
+    if (Best < 0)
+      return false;
+    GainOut = BestGain;
+    PartOut = static_cast<unsigned>(Best);
+    return true;
+  };
 
-    bool Accept = BestGain > 0;
-    if (!Accept && BestGain == 0) {
+  auto &Bucket = RC.Bucket;
+  Bucket.reset(N);
+  RC.Locked.assign(N, 0);
+  for (unsigned Node = 0; Node != N; ++Node) {
+    int64_t Gain;
+    unsigned Part;
+    if (bestOf(Node, Gain, Part))
+      Bucket.insertOrUpdate(Node, Part, Gain);
+  }
+
+  unsigned Moved = 0;
+  while (!Bucket.empty()) {
+    GainBucket::Entry E = Bucket.top();
+    int64_t Gain;
+    unsigned Part;
+    if (!bestOf(E.Node, Gain, Part)) {
+      Bucket.erase(E.Node); // No feasible destination anymore.
+      continue;
+    }
+    if (Gain != E.Gain || Part != E.Part) {
+      Bucket.insertOrUpdate(E.Node, Part, Gain); // Stale; re-queue.
+      continue;
+    }
+    unsigned From = Assign[E.Node];
+    bool Accept = Gain > 0;
+    if (!Accept && Gain == 0) {
       // Zero-gain moves accepted only if they strictly improve balance.
-      double Before = normalizedLoad(PW, Totals);
-      for (unsigned C = 0; C != NW.size(); ++C) {
-        PW[From][C] -= NW[C];
-        PW[static_cast<unsigned>(BestPart)][C] += NW[C];
+      // Only From and Part change, so the delta needs the two new part
+      // loads plus the standing maximum of the others — no full rescan.
+      const uint64_t *NW = G.nodeWeights(E.Node);
+      double Before = 0, Others = 0;
+      for (unsigned P = 0; P != NumParts; ++P) {
+        Before = std::max(Before, RC.NormP[P]);
+        if (P != From && P != Part)
+          Others = std::max(Others, RC.NormP[P]);
       }
-      double After = normalizedLoad(PW, Totals);
-      if (After + 1e-12 < Before) {
-        Assign[Node] = static_cast<unsigned>(BestPart);
-        ++Moved;
-        continue;
+      double NewFrom = 0, NewTo = 0;
+      for (unsigned C = 0; C != NumC; ++C) {
+        if (RC.Ideal[C] <= 0)
+          continue;
+        NewFrom = std::max(
+            NewFrom, static_cast<double>(PW[From][C] - NW[C]) / RC.Ideal[C]);
+        NewTo = std::max(
+            NewTo, static_cast<double>(PW[Part][C] + NW[C]) / RC.Ideal[C]);
       }
-      // Revert.
-      for (unsigned C = 0; C != NW.size(); ++C) {
-        PW[From][C] += NW[C];
-        PW[static_cast<unsigned>(BestPart)][C] -= NW[C];
-      }
+      double After = std::max({Others, NewFrom, NewTo});
+      Accept = After + 1e-12 < Before;
+    }
+    if (!Accept) {
+      Bucket.erase(E.Node); // Re-queued if a neighbor's move revives it.
       continue;
     }
-    if (!Accept)
-      continue;
-    for (unsigned C = 0; C != NW.size(); ++C) {
+
+    const uint64_t *NW = G.nodeWeights(E.Node);
+    for (unsigned C = 0; C != NumC; ++C) {
       PW[From][C] -= NW[C];
-      PW[static_cast<unsigned>(BestPart)][C] += NW[C];
+      PW[Part][C] += NW[C];
     }
-    Assign[Node] = static_cast<unsigned>(BestPart);
+    RC.NormP[From] = normOfPart(PW[From], RC.Ideal);
+    RC.NormP[Part] = normOfPart(PW[Part], RC.Ideal);
+    Assign[E.Node] = Part;
     ++Moved;
+    Bucket.erase(E.Node);
+    RC.Locked[E.Node] = 1;
+
+    // Incremental update: only the moved node's neighborhood changed.
+    for (uint32_t S = G.edgeBegin(E.Node), End = G.edgeEnd(E.Node); S != End;
+         ++S) {
+      unsigned M = G.edgeTarget(S);
+      if (RC.Locked[M])
+        continue;
+      int64_t MG;
+      unsigned MP;
+      if (bestOf(M, MG, MP))
+        Bucket.insertOrUpdate(M, MP, MG);
+      else
+        Bucket.erase(M);
+    }
   }
   return Moved;
 }
@@ -330,34 +450,32 @@ unsigned refinePass(const PartitionGraph &G, std::vector<unsigned> &Assign,
 /// every single move is blocked by a balance constraint but exchanging two
 /// nodes across the cut is both feasible and profitable. Returns the
 /// number of applied swaps.
-unsigned swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
-                  std::vector<std::vector<uint64_t>> &PW,
-                  const CapacityTable &MaxAllowed) {
+unsigned swapPass(const CSRGraph &G, std::vector<unsigned> &Assign,
+                  RefineContext &RC, const CapacityTable &MaxAllowed) {
+  auto &PW = RC.PW;
   // Boundary nodes only (nodes with a cut edge), capped for cost.
   constexpr unsigned MaxBoundary = 256;
-  std::vector<unsigned> Boundary;
+  auto &Boundary = RC.Boundary;
+  Boundary.clear();
   for (unsigned N = 0; N != G.getNumNodes() && Boundary.size() < MaxBoundary;
        ++N)
-    for (const auto &[Nbr, W] : G.neighbors(N))
-      if (Assign[Nbr] != Assign[N]) {
+    for (uint32_t E = G.edgeBegin(N), End = G.edgeEnd(N); E != End; ++E)
+      if (Assign[G.edgeTarget(E)] != Assign[N]) {
         Boundary.push_back(N);
         break;
       }
 
   auto GainOf = [&](unsigned Node, unsigned To) {
     int64_t Gain = 0;
-    for (const auto &[Nbr, W] : G.neighbors(Node)) {
+    for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End;
+         ++E) {
+      unsigned Nbr = G.edgeTarget(E);
       if (Assign[Nbr] == To)
-        Gain += static_cast<int64_t>(W);
+        Gain += static_cast<int64_t>(G.edgeWeight(E));
       else if (Assign[Nbr] == Assign[Node])
-        Gain -= static_cast<int64_t>(W);
+        Gain -= static_cast<int64_t>(G.edgeWeight(E));
     }
     return Gain;
-  };
-  auto EdgeW = [&](unsigned A, unsigned B) -> uint64_t {
-    const auto &Adj = G.neighbors(A);
-    auto It = Adj.find(B);
-    return It == Adj.end() ? 0 : It->second;
   };
 
   unsigned Swapped = 0;
@@ -369,14 +487,14 @@ unsigned swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
       if (PA == PB)
         continue;
       int64_t Gain = GainOf(A, PB) + GainOf(B, PA) -
-                     2 * static_cast<int64_t>(EdgeW(A, B));
+                     2 * static_cast<int64_t>(G.edgeWeightBetween(A, B));
       if (Gain <= 0)
         continue;
       // Feasibility of the exchange under every constraint.
-      const auto &WA = G.getNodeWeights(A);
-      const auto &WB = G.getNodeWeights(B);
+      const uint64_t *WA = G.nodeWeights(A);
+      const uint64_t *WB = G.nodeWeights(B);
       bool Fits = true;
-      for (unsigned C = 0; C != WA.size() && Fits; ++C) {
+      for (unsigned C = 0; C != G.getNumConstraints() && Fits; ++C) {
         // Members' weights never exceed their part's weight, so these
         // subtractions cannot underflow.
         uint64_t NewPB = PW[PB][C] - WB[C] + WA[C];
@@ -388,7 +506,7 @@ unsigned swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
       }
       if (!Fits)
         continue;
-      for (unsigned C = 0; C != WA.size(); ++C) {
+      for (unsigned C = 0; C != G.getNumConstraints(); ++C) {
         PW[PA][C] = PW[PA][C] - WA[C] + WB[C];
         PW[PB][C] = PW[PB][C] - WB[C] + WA[C];
       }
@@ -401,16 +519,21 @@ unsigned swapPass(const PartitionGraph &G, std::vector<unsigned> &Assign,
   return Swapped;
 }
 
-void refine(const PartitionGraph &G, std::vector<unsigned> &Assign,
+void refine(const CSRGraph &G, std::vector<unsigned> &Assign,
             const GraphPartitionOptions &Opt, const Context &Ctx,
-            Random &RNG, RunStats &RS) {
-  auto PW = computePartWeights(G, Assign, Opt.NumParts);
+            RefineContext &RC, Random &RNG, RunStats &RS) {
+  computePartWeightsInto(G, Assign, Opt.NumParts, RC.PW);
   auto MaxAllowed = Ctx.maxAllowed(G);
-  auto Totals = G.totalWeights();
-  repairBalance(G, Assign, PW, MaxAllowed, Opt, RNG, RS);
+  const auto &Totals = G.totalWeights();
+  RC.Ideal.assign(Totals.size(), 0.0);
+  for (unsigned C = 0; C != Totals.size(); ++C)
+    if (Totals[C] != 0)
+      RC.Ideal[C] =
+          static_cast<double>(Totals[C]) / static_cast<double>(Opt.NumParts);
+  repairBalance(G, Assign, RC, MaxAllowed, Opt, RNG, RS);
   for (unsigned Pass = 0; Pass != Opt.MaxRefinePasses; ++Pass) {
-    unsigned Moved = refinePass(G, Assign, PW, MaxAllowed, Totals, Opt, RNG);
-    unsigned Swapped = swapPass(G, Assign, PW, MaxAllowed);
+    unsigned Moved = refinePass(G, Assign, RC, MaxAllowed, Opt);
+    unsigned Swapped = swapPass(G, Assign, RC, MaxAllowed);
     ++RS.RefinePasses;
     RS.RefineMoves += Moved;
     RS.SwapMoves += Swapped;
@@ -420,30 +543,37 @@ void refine(const PartitionGraph &G, std::vector<unsigned> &Assign,
 }
 
 /// Greedy initial assignment at the coarsest level.
-std::vector<unsigned> initialAssign(const PartitionGraph &G,
+std::vector<unsigned> initialAssign(const CSRGraph &G,
                                     const GraphPartitionOptions &Opt,
-                                    const Context &Ctx, Random &RNG) {
+                                    const Context &Ctx, RefineContext &RC,
+                                    Random &RNG) {
   unsigned NumParts = Opt.NumParts;
+  unsigned NumC = G.getNumConstraints();
   std::vector<unsigned> Assign(G.getNumNodes(), 0);
-  std::vector<std::vector<uint64_t>> PW(
-      NumParts, std::vector<uint64_t>(G.getNumConstraints(), 0));
+  std::vector<std::vector<uint64_t>> PW(NumParts,
+                                        std::vector<uint64_t>(NumC, 0));
   auto MaxAllowed = Ctx.maxAllowed(G);
-  auto Totals = G.totalWeights();
+  const auto &Totals = G.totalWeights();
   std::vector<bool> Placed(G.getNumNodes(), false);
 
-  for (unsigned Node : shuffledNodes(G.getNumNodes(), RNG)) {
-    const auto &NW = G.getNodeWeights(Node);
+  auto &Conn = RC.Conn;
+  shuffleNodesInto(RC.Order, G.getNumNodes(), RNG);
+  for (unsigned Node : RC.Order) {
+    const uint64_t *NW = G.nodeWeights(Node);
     // Connectivity to already-placed neighbors per part.
-    std::vector<int64_t> Conn(NumParts, 0);
-    for (const auto &[Nbr, W] : G.neighbors(Node))
+    Conn.assign(NumParts, 0);
+    for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End;
+         ++E) {
+      unsigned Nbr = G.edgeTarget(E);
       if (Placed[Nbr])
-        Conn[Assign[Nbr]] += static_cast<int64_t>(W);
+        Conn[Assign[Nbr]] += static_cast<int64_t>(G.edgeWeight(E));
+    }
 
     int Best = -1;
     double BestScore = -1e300;
     for (unsigned P = 0; P != NumParts; ++P) {
       bool Fits = true;
-      for (unsigned C = 0; C != NW.size(); ++C)
+      for (unsigned C = 0; C != NumC; ++C)
         if (MaxAllowed[P][C] != std::numeric_limits<uint64_t>::max() &&
             PW[P][C] + NW[C] > MaxAllowed[P][C]) {
           Fits = false;
@@ -453,7 +583,7 @@ std::vector<unsigned> initialAssign(const PartitionGraph &G,
       // parts are heavily penalized but not excluded (a fallback must
       // always exist).
       double Load = 0;
-      for (unsigned C = 0; C != NW.size(); ++C) {
+      for (unsigned C = 0; C != NumC; ++C) {
         if (Totals[C] == 0)
           continue;
         double Ideal = static_cast<double>(Totals[C]) / NumParts;
@@ -472,7 +602,7 @@ std::vector<unsigned> initialAssign(const PartitionGraph &G,
     }
     Assign[Node] = static_cast<unsigned>(Best);
     Placed[Node] = true;
-    for (unsigned C = 0; C != NW.size(); ++C)
+    for (unsigned C = 0; C != NumC; ++C)
       PW[static_cast<unsigned>(Best)][C] += NW[C];
   }
   return Assign;
@@ -481,15 +611,16 @@ std::vector<unsigned> initialAssign(const PartitionGraph &G,
 /// Greedy graph growing (GGGP, the METIS initial-partition family for
 /// k = 2): start with everything in part 0, then grow part 1 from a seed
 /// node by repeatedly pulling over the highest-gain node until part 0 fits
-/// its capacities. Produces the "natural" cuts that random greedy
+/// its capacity. Produces the "natural" cuts that random greedy
 /// assignment misses. Only used for bisection.
-std::vector<unsigned> gggpAssign(const PartitionGraph &G,
+std::vector<unsigned> gggpAssign(const CSRGraph &G,
                                  const CapacityTable &MaxAllowed,
                                  unsigned SeedNode) {
   unsigned N = G.getNumNodes();
+  unsigned NumC = G.getNumConstraints();
   std::vector<unsigned> Assign(N, 0);
-  std::vector<std::vector<uint64_t>> PW =
-      computePartWeights(G, Assign, 2);
+  std::vector<std::vector<uint64_t>> PW(2, std::vector<uint64_t>(NumC, 0));
+  PW[0] = G.totalWeights();
 
   auto Part0Fits = [&]() {
     for (unsigned C = 0; C != MaxAllowed[0].size(); ++C)
@@ -500,10 +631,10 @@ std::vector<unsigned> gggpAssign(const PartitionGraph &G,
   };
   auto MoveTo1 = [&](unsigned Node) {
     Assign[Node] = 1;
+    const uint64_t *NW = G.nodeWeights(Node);
     for (unsigned C = 0; C != MaxAllowed[0].size(); ++C) {
-      uint64_t W = G.getNodeWeights(Node)[C];
-      PW[0][C] -= W;
-      PW[1][C] += W;
+      PW[0][C] -= NW[C];
+      PW[1][C] += NW[C];
     }
   };
 
@@ -518,16 +649,18 @@ std::vector<unsigned> gggpAssign(const PartitionGraph &G,
       bool Fits = true;
       for (unsigned C = 0; C != MaxAllowed[1].size(); ++C)
         if (MaxAllowed[1][C] != std::numeric_limits<uint64_t>::max() &&
-            PW[1][C] + G.getNodeWeights(Node)[C] > MaxAllowed[1][C]) {
+            PW[1][C] + G.nodeWeight(Node, C) > MaxAllowed[1][C]) {
           Fits = false;
           break;
         }
       if (!Fits)
         continue;
       int64_t Gain = 0;
-      for (const auto &[Nbr, W] : G.neighbors(Node))
-        Gain += Assign[Nbr] == 1 ? static_cast<int64_t>(W)
-                                 : -static_cast<int64_t>(W);
+      for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End;
+           ++E)
+        Gain += Assign[G.edgeTarget(E)] == 1
+                    ? static_cast<int64_t>(G.edgeWeight(E))
+                    : -static_cast<int64_t>(G.edgeWeight(E));
       // Prefer to move weight-bearing nodes when growth is mandatory.
       if (Gain > BestGain) {
         BestGain = Gain;
@@ -549,6 +682,7 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
   Context Ctx{Opt};
   Random RNG(Opt.Seed);
   RunStats RS;
+  RefineContext RC;
 
   GraphPartition Result;
   if (G.getNumNodes() == 0) {
@@ -556,39 +690,43 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
         Opt.NumParts, std::vector<uint64_t>(G.getNumConstraints(), 0));
     return Result;
   }
+
+  // --- Graph layer: one cache-linear CSR snapshot per level; the map-
+  // based PartitionGraph is only the construction-time accumulator.
+  std::vector<CSRGraph> Levels;
+  Levels.emplace_back(G);
+
   if (Opt.NumParts == 1) {
     Result.Assignment.assign(G.getNumNodes(), 0);
-    Result.PartWeights = computePartWeights(G, Result.Assignment, 1);
+    Result.PartWeights = computePartWeights(Levels[0], Result.Assignment, 1);
     return Result;
   }
 
   // --- Coarsening phase.
-  std::vector<PartitionGraph> Graphs;
   std::vector<std::vector<unsigned>> Mappings; // Mappings[i]: level i -> i+1
-  Graphs.push_back(G);
-  while (Graphs.back().getNumNodes() > Opt.CoarsenTargetNodes) {
+  while (Levels.back().getNumNodes() > Opt.CoarsenTargetNodes) {
     std::vector<unsigned> FineToCoarse;
-    PartitionGraph Coarse = coarsenOnce(Graphs.back(), RNG, FineToCoarse);
+    PartitionGraph Coarse = coarsenOnce(Levels.back(), RNG, FineToCoarse, RC);
     // Stop if matching stalls (under 5% reduction).
-    if (Coarse.getNumNodes() * 20 > Graphs.back().getNumNodes() * 19)
+    if (Coarse.getNumNodes() * 20 > Levels.back().getNumNodes() * 19)
       break;
     Mappings.push_back(std::move(FineToCoarse));
-    Graphs.push_back(std::move(Coarse));
+    Levels.emplace_back(Coarse);
   }
 
   // --- Initial partition at the coarsest level: best of several random
   // greedy tries plus (for bisection) greedy graph growing from the
   // heaviest seeds.
-  const PartitionGraph &Coarsest = Graphs.back();
+  const CSRGraph &Coarsest = Levels.back();
   std::vector<unsigned> Best;
   uint64_t BestCut = 0;
   double BestLoad = 0;
   auto Consider = [&](std::vector<unsigned> Assign) {
-    refine(Coarsest, Assign, Opt, Ctx, RNG, RS);
+    refine(Coarsest, Assign, Opt, Ctx, RC, RNG, RS);
     uint64_t Cut = Coarsest.cutWeight(Assign);
-    GraphPartition Tmp;
-    Tmp.PartWeights = computePartWeights(Coarsest, Assign, Opt.NumParts);
-    double Load = Tmp.maxNormalizedLoad(Coarsest.totalWeights());
+    double Load = normalizedLoad(
+        computePartWeights(Coarsest, Assign, Opt.NumParts),
+        Coarsest.totalWeights());
     if (Best.empty() || Cut < BestCut ||
         (Cut == BestCut && Load < BestLoad)) {
       Best = std::move(Assign);
@@ -597,7 +735,7 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
     }
   };
   for (unsigned Try = 0; Try != std::max(1u, Opt.NumInitialTries); ++Try)
-    Consider(initialAssign(Coarsest, Opt, Ctx, RNG));
+    Consider(initialAssign(Coarsest, Opt, Ctx, RC, RNG));
   if (Opt.NumParts == 2 && Coarsest.getNumNodes() > 1) {
     auto MaxAllowed = Ctx.maxAllowed(Coarsest);
     // Seeds: the nodes heaviest in each constraint, plus a random one.
@@ -605,8 +743,7 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
     for (unsigned C = 0; C != Coarsest.getNumConstraints(); ++C) {
       unsigned Heaviest = 0;
       for (unsigned Node = 1; Node != Coarsest.getNumNodes(); ++Node)
-        if (Coarsest.getNodeWeights(Node)[C] >
-            Coarsest.getNodeWeights(Heaviest)[C])
+        if (Coarsest.nodeWeight(Node, C) > Coarsest.nodeWeight(Heaviest, C))
           Heaviest = Node;
       Seeds.push_back(Heaviest);
     }
@@ -628,21 +765,22 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
     for (unsigned N = 0; N != FineToCoarse.size(); ++N)
       FineAssign[N] = Assign[FineToCoarse[N]];
     Assign = std::move(FineAssign);
-    refine(Graphs[Level], Assign, Opt, Ctx, RNG, RS);
+    refine(Levels[Level], Assign, Opt, Ctx, RC, RNG, RS);
     // Cut-weight trajectory across uncoarsening (costs a graph sweep, so
     // only computed when someone is watching).
     if (Observed)
       telemetry::value("partitioner.cut_trajectory",
-                       static_cast<double>(Graphs[Level].cutWeight(Assign)));
+                       static_cast<double>(Levels[Level].cutWeight(Assign)));
   }
 
   Result.Assignment = std::move(Assign);
-  Result.CutWeight = G.cutWeight(Result.Assignment);
-  Result.PartWeights = computePartWeights(G, Result.Assignment, Opt.NumParts);
+  Result.CutWeight = Levels[0].cutWeight(Result.Assignment);
+  Result.PartWeights =
+      computePartWeights(Levels[0], Result.Assignment, Opt.NumParts);
 
   if (Observed) {
     telemetry::counter("partitioner.runs");
-    telemetry::counter("partitioner.coarsen_levels", Graphs.size() - 1);
+    telemetry::counter("partitioner.coarsen_levels", Levels.size() - 1);
     telemetry::counter("partitioner.refine_passes", RS.RefinePasses);
     telemetry::counter("partitioner.refine_moves", RS.RefineMoves);
     telemetry::counter("partitioner.swap_moves", RS.SwapMoves);

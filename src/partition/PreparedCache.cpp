@@ -1,0 +1,58 @@
+//===- partition/PreparedCache.cpp - Shared prepared-program cache ----------===//
+
+#include "partition/PreparedCache.h"
+
+#include "support/Telemetry.h"
+
+using namespace gdp;
+
+PreparedProgramCache &PreparedProgramCache::global() {
+  static PreparedProgramCache Cache;
+  return Cache;
+}
+
+std::shared_ptr<const CachedPreparation> PreparedProgramCache::get(
+    const std::string &Name, uint64_t MaxSteps, bool CaptureTrace,
+    const std::function<std::unique_ptr<Program>()> &Build) {
+  std::string Key = Name + "|" + std::to_string(MaxSteps) +
+                    (CaptureTrace ? "|trace" : "|notrace");
+
+  std::promise<std::shared_ptr<const CachedPreparation>> Promise;
+  Future Mine;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(Key);
+    if (It != Entries.end()) {
+      if (telemetry::enabled())
+        telemetry::counter("prepared_cache.hits");
+      Future Shared = It->second;
+      // Wait outside the lock: another thread may still be preparing.
+      return Shared.get();
+    }
+    Mine = Promise.get_future().share();
+    Entries.emplace(Key, Mine);
+  }
+  if (telemetry::enabled())
+    telemetry::counter("prepared_cache.misses");
+
+  auto Entry = std::make_shared<CachedPreparation>();
+  Entry->Prog = Build();
+  if (Entry->Prog)
+    Entry->PP = prepareProgram(*Entry->Prog, MaxSteps, CaptureTrace);
+  else {
+    Entry->PP.Ok = false;
+    Entry->PP.Error = "workload build failed";
+  }
+  Promise.set_value(Entry);
+  return Mine.get();
+}
+
+void PreparedProgramCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+}
+
+size_t PreparedProgramCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}

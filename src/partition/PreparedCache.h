@@ -1,0 +1,73 @@
+//===- partition/PreparedCache.h - Shared prepared-program cache -*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A keyed, process-wide cache of prepared programs. Preparation (verify +
+/// points-to + profiling interpretation) is by far the most expensive
+/// per-workload step and also *mutates* the program (profiled heap sizes
+/// are applied), so a program must be prepared exactly once and then
+/// treated as immutable. The cache enforces both: the first request for a
+/// key builds and prepares the workload; every later request — from any
+/// thread, any (strategy, latency) cell, any bench or test in the same
+/// process — shares the same immutable result. Hits and misses are
+/// reported through telemetry (`prepared_cache.hits` / `.misses`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_PARTITION_PREPAREDCACHE_H
+#define GDP_PARTITION_PREPAREDCACHE_H
+
+#include "partition/Pipeline.h"
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace gdp {
+
+/// One cached preparation: the owning program plus its prepared view
+/// (whose `P` points into `Program`). Shared and immutable after build.
+struct CachedPreparation {
+  std::shared_ptr<Program> Prog;
+  PreparedProgram PP;
+};
+
+/// Thread-safe keyed cache of prepared programs. Distinct keys build
+/// concurrently; concurrent requests for the same key build it once (the
+/// losers block on the winner's future).
+class PreparedProgramCache {
+public:
+  /// The process-wide instance used by the bench harness and gdptool.
+  static PreparedProgramCache &global();
+
+  /// Returns the cached preparation of \p Name (built with \p Build and
+  /// prepared with the given options on first use). The result is shared:
+  /// callers must not mutate the program. A failed preparation (PP.Ok
+  /// false) is cached too — it is deterministic.
+  std::shared_ptr<const CachedPreparation>
+  get(const std::string &Name, uint64_t MaxSteps, bool CaptureTrace,
+      const std::function<std::unique_ptr<Program>()> &Build);
+
+  /// Drops every cached entry (tests).
+  void clear();
+
+  /// Number of resident entries.
+  size_t size() const;
+
+private:
+  using Future = std::shared_future<std::shared_ptr<const CachedPreparation>>;
+
+  mutable std::mutex Mutex;
+  std::map<std::string, Future> Entries;
+};
+
+} // namespace gdp
+
+#endif // GDP_PARTITION_PREPAREDCACHE_H

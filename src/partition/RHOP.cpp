@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 
 using namespace gdp;
 
@@ -31,47 +32,34 @@ struct RhopStats {
   uint64_t LockedOps = 0;
 };
 
-/// Multilevel partitioner for one region.
-class RegionPartitioner {
-public:
-  RegionPartitioner(const BlockDFG &DFG, const MachineModel &MM,
-                    const std::vector<int> *Locks, std::vector<int> &Assign,
-                    const RHOPOptions &Opt, Random &RNG, RhopStats &RS)
-      : DFG(DFG), MM(MM), Est(DFG, MM), Locks(Locks), Assign(Assign),
-        Opt(Opt), RNG(RNG), RS(RS) {}
-
-  void run();
-
-private:
-  /// Lock cluster of a local op, or -1.
-  int lockOf(unsigned Local) const {
-    if (!Locks)
-      return -1;
-    return (*Locks)[static_cast<unsigned>(DFG.getOp(Local).getId())];
-  }
-
-  void computeSlackWeights();
-  void coarsen();
-  void refineLevel(const std::vector<std::vector<unsigned>> &Members,
-                   const std::vector<int> &GroupLock);
-
-  const BlockDFG &DFG;
-  const MachineModel &MM;
-  ScheduleEstimator Est;
-  const std::vector<int> *Locks;
-  std::vector<int> &Assign; ///< Function-wide op-id → cluster table.
-  const RHOPOptions &Opt;
-  Random &RNG;
-  RhopStats &RS;
-
-  /// Slack-derived weight per DFG edge index (data edges only; 0 others).
-  std::vector<uint64_t> EdgeWeight;
-  /// GroupOf[level][local op] — group ids at each coarsening level.
-  std::vector<std::vector<unsigned>> GroupOfLevel;
-  std::vector<unsigned> NumGroupsAt;
+/// Buffers reused across every region and pass of one runRHOP() call.
+struct RhopScratch {
+  std::vector<unsigned> Order; ///< Shuffled group visit order.
+  std::vector<unsigned> Count; ///< Ops per cluster (balance tie-break).
 };
 
-void RegionPartitioner::computeSlackWeights() {
+/// Everything about one region that does not depend on the evolving
+/// assignment: the estimator's precomputed tables, the slack-weighted
+/// coarsening hierarchy, and per-level member lists / lock summaries.
+/// Locks are fixed for the whole runRHOP() call and coarsening consumes
+/// no randomness, so the plan is identical across function passes —
+/// build it once per block and sweep it as often as needed.
+struct RegionPlan {
+  bool Built = false;
+  std::vector<unsigned> OpIds; ///< local op → function-wide op id
+  std::vector<int> LockOf;     ///< local op → locked cluster or -1
+  std::vector<std::pair<unsigned, int>> LockedAssigns; ///< (op id, cluster)
+  unsigned Levels = 0;
+  /// LevelMembers[level][group] — member local indices per group.
+  std::vector<std::vector<std::vector<unsigned>>> LevelMembers;
+  /// LevelGroupLock[level][group] — pinned cluster or -1.
+  std::vector<std::vector<int>> LevelGroupLock;
+  std::optional<ScheduleEstimator> Est;
+};
+
+/// Slack-derived weight per DFG edge index (data edges only; 0 others).
+std::vector<uint64_t> computeSlackWeights(const BlockDFG &DFG,
+                                          const MachineModel &MM) {
   unsigned N = DFG.size();
   auto Lat = [&](unsigned I) {
     return MM.getLatency(DFG.getOp(I).getOpcode());
@@ -113,7 +101,7 @@ void RegionPartitioner::computeSlackWeights() {
 
   // Edge weight: (maxSlack + 1 - slack) for data edges, so slack-0 edges
   // coarsen first (paper §3.4: low slack ⇒ high weight ⇒ critical).
-  EdgeWeight.assign(DFG.edges().size(), 0);
+  std::vector<uint64_t> EdgeWeight(DFG.edges().size(), 0);
   unsigned MaxSlack = 0;
   std::vector<unsigned> Slack(DFG.edges().size(), 0);
   for (unsigned E = 0; E != DFG.edges().size(); ++E) {
@@ -128,12 +116,34 @@ void RegionPartitioner::computeSlackWeights() {
   for (unsigned E = 0; E != DFG.edges().size(); ++E)
     if (DFG.edges()[E].Kind == BlockDFG::EdgeKind::Data)
       EdgeWeight[E] = MaxSlack + 1 - Slack[E];
+  return EdgeWeight;
 }
 
-void RegionPartitioner::coarsen() {
+void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
+               const std::vector<int> *Locks, const RHOPOptions &Opt) {
   unsigned N = DFG.size();
-  GroupOfLevel.clear();
-  NumGroupsAt.clear();
+  Plan.OpIds.resize(N);
+  Plan.LockOf.assign(N, -1);
+  for (unsigned I = 0; I != N; ++I) {
+    Plan.OpIds[I] = static_cast<unsigned>(DFG.getOp(I).getId());
+    if (Locks) {
+      int L = (*Locks)[Plan.OpIds[I]];
+      Plan.LockOf[I] = L;
+      if (L >= 0)
+        Plan.LockedAssigns.push_back({Plan.OpIds[I], L});
+    }
+  }
+  Plan.Built = true;
+  if (MM.getNumClusters() == 1)
+    return; // Locks are all a single-cluster machine needs.
+
+  Plan.Est.emplace(DFG, MM);
+  std::vector<uint64_t> EdgeWeight = computeSlackWeights(DFG, MM);
+
+  // --- Coarsen: heaviest-edge matching over slack weights.
+  // GroupOf[level][local op] — group ids at each coarsening level.
+  std::vector<std::vector<unsigned>> GroupOfLevel;
+  std::vector<unsigned> NumGroupsAt;
 
   // Level 0: singletons.
   std::vector<unsigned> Current(N);
@@ -143,8 +153,7 @@ void RegionPartitioner::coarsen() {
   GroupOfLevel.push_back(Current);
   NumGroupsAt.push_back(NumGroups);
 
-  unsigned Target =
-      std::max(Opt.MinGroups, 2 * MM.getNumClusters());
+  unsigned Target = std::max(Opt.MinGroups, 2 * MM.getNumClusters());
 
   while (NumGroups > Target) {
     // Aggregate inter-group edge weights at the current level.
@@ -167,7 +176,7 @@ void RegionPartitioner::coarsen() {
     // pinned to different clusters is forbidden).
     std::vector<int> GroupLock(NumGroups, -1);
     for (unsigned I = 0; I != N; ++I) {
-      int L = lockOf(I);
+      int L = Plan.LockOf[I];
       if (L < 0)
         continue;
       assert((GroupLock[Current[I]] < 0 || GroupLock[Current[I]] == L) &&
@@ -224,33 +233,63 @@ void RegionPartitioner::coarsen() {
     GroupOfLevel.push_back(Current);
     NumGroupsAt.push_back(NumGroups);
   }
+
+  // --- Per-level member lists and lock summaries.
+  Plan.Levels = static_cast<unsigned>(GroupOfLevel.size());
+  Plan.LevelMembers.resize(Plan.Levels);
+  Plan.LevelGroupLock.resize(Plan.Levels);
+  for (unsigned Level = 0; Level != Plan.Levels; ++Level) {
+    const auto &GroupOf = GroupOfLevel[Level];
+    unsigned Groups = NumGroupsAt[Level];
+    auto &Members = Plan.LevelMembers[Level];
+    auto &GroupLock = Plan.LevelGroupLock[Level];
+    Members.assign(Groups, {});
+    GroupLock.assign(Groups, -1);
+    for (unsigned I = 0; I != N; ++I) {
+      Members[GroupOf[I]].push_back(I);
+      int L = Plan.LockOf[I];
+      if (L >= 0)
+        GroupLock[GroupOf[I]] = L;
+    }
+  }
 }
 
-void RegionPartitioner::refineLevel(
-    const std::vector<std::vector<unsigned>> &Members,
-    const std::vector<int> &GroupLock) {
+void refineLevel(const RegionPlan &Plan, unsigned Level,
+                 std::vector<int> &Assign, const MachineModel &MM,
+                 const RHOPOptions &Opt, Random &RNG, RhopStats &RS,
+                 RhopScratch &Scratch) {
+  const auto &Members = Plan.LevelMembers[Level];
+  const auto &GroupLock = Plan.LevelGroupLock[Level];
+  const ScheduleEstimator &Est = *Plan.Est;
   unsigned NumClusters = MM.getNumClusters();
   unsigned NumGroups = static_cast<unsigned>(Members.size());
 
-  auto OpId = [&](unsigned Local) {
-    return static_cast<unsigned>(DFG.getOp(Local).getId());
-  };
-  auto SetGroup = [&](unsigned G, int Cluster) {
+  // Ops-per-cluster table for the balance tie-break, maintained
+  // incrementally as groups move (no full rescan per candidate).
+  auto &Count = Scratch.Count;
+  Count.assign(NumClusters, 0);
+  for (unsigned Id : Plan.OpIds)
+    ++Count[static_cast<unsigned>(Assign[Id])];
+
+  auto SetGroup = [&](unsigned G, int From, int To) {
+    if (From == To)
+      return;
     for (unsigned Local : Members[G])
-      Assign[OpId(Local)] = Cluster;
+      Assign[Plan.OpIds[Local]] = To;
+    unsigned Size = static_cast<unsigned>(Members[G].size());
+    Count[static_cast<unsigned>(From)] -= Size;
+    Count[static_cast<unsigned>(To)] += Size;
   };
   auto OpBalance = [&]() {
     // Max ops on any one cluster — the tie-break metric.
-    std::vector<unsigned> Count(NumClusters, 0);
-    for (unsigned I = 0; I != DFG.size(); ++I)
-      ++Count[static_cast<unsigned>(Assign[OpId(I)])];
     return *std::max_element(Count.begin(), Count.end());
   };
 
+  // Persistent, deterministically shuffled visit order.
+  auto &Order = Scratch.Order;
   for (unsigned Pass = 0; Pass != Opt.MaxRefinePasses; ++Pass) {
     bool Moved = false;
-    // Deterministically shuffled visit order.
-    std::vector<unsigned> Order(NumGroups);
+    Order.resize(NumGroups);
     for (unsigned G = 0; G != NumGroups; ++G)
       Order[G] = G;
     for (unsigned I = NumGroups; I > 1; --I)
@@ -259,28 +298,30 @@ void RegionPartitioner::refineLevel(
     for (unsigned G : Order) {
       if (GroupLock[G] >= 0 || Members[G].empty())
         continue;
-      int Cur = Assign[OpId(Members[G][0])];
+      int Cur = Assign[Plan.OpIds[Members[G][0]]];
       // Lexicographic objective: estimated schedule length, then
       // intercluster transfer count (moves the estimate hides still cost
       // real bandwidth and energy), then operation balance.
       auto Score = [&]() {
-        return std::make_tuple(Est.estimate(Assign),
-                               Est.countMoves(Assign), OpBalance());
+        unsigned Moves;
+        unsigned Len = Est.estimateWithMoves(Assign, Moves);
+        return std::make_tuple(Len, Moves, OpBalance());
       };
-      auto CurScore = Score();
+      auto BestScore = Score();
       int Best = Cur;
-      auto BestScore = CurScore;
+      int At = Cur; // where the group currently sits during trials
       for (unsigned C = 0; C != NumClusters; ++C) {
         if (static_cast<int>(C) == Cur)
           continue;
-        SetGroup(G, static_cast<int>(C));
+        SetGroup(G, At, static_cast<int>(C));
+        At = static_cast<int>(C);
         auto S = Score();
         if (S < BestScore) {
           Best = static_cast<int>(C);
           BestScore = S;
         }
       }
-      SetGroup(G, Best);
+      SetGroup(G, At, Best);
       if (Best != Cur) {
         Moved = true;
         ++RS.GroupMoves;
@@ -292,55 +333,45 @@ void RegionPartitioner::refineLevel(
   }
 }
 
-void RegionPartitioner::run() {
+/// One refinement sweep over one region: apply locks, then uncoarsen the
+/// cached hierarchy from the top, refining at every level.
+void runRegion(const BlockDFG &DFG, RegionPlan &Plan, const MachineModel &MM,
+               const std::vector<int> *Locks, std::vector<int> &Assign,
+               const RHOPOptions &Opt, Random &RNG, RhopStats &RS,
+               RhopScratch &Scratch) {
   unsigned N = DFG.size();
   if (N == 0)
     return;
+  if (!Plan.Built)
+    buildPlan(Plan, DFG, MM, Locks, Opt);
   ++RS.Regions;
 
   // Apply locks up front; locked operations never move.
-  for (unsigned I = 0; I != N; ++I) {
-    int L = lockOf(I);
-    if (L >= 0) {
-      Assign[static_cast<unsigned>(DFG.getOp(I).getId())] = L;
-      ++RS.LockedOps;
-    }
+  for (const auto &[Id, L] : Plan.LockedAssigns) {
+    Assign[Id] = L;
+    ++RS.LockedOps;
   }
   if (MM.getNumClusters() == 1)
     return;
 
-  computeSlackWeights();
-  coarsen();
-  RS.CoarsenLevels += GroupOfLevel.size() - 1;
+  RS.CoarsenLevels += Plan.Levels - 1;
 
-  // Uncoarsen from the top, refining at every level.
-  for (size_t Level = GroupOfLevel.size(); Level-- > 0;) {
-    const auto &GroupOf = GroupOfLevel[Level];
-    unsigned NumGroups = NumGroupsAt[Level];
-    std::vector<std::vector<unsigned>> Members(NumGroups);
-    std::vector<int> GroupLock(NumGroups, -1);
-    for (unsigned I = 0; I != N; ++I) {
-      Members[GroupOf[I]].push_back(I);
-      int L = lockOf(I);
-      if (L >= 0)
-        GroupLock[GroupOf[I]] = L;
-    }
+  for (unsigned Level = Plan.Levels; Level-- > 0;) {
+    const auto &Members = Plan.LevelMembers[Level];
+    const auto &GroupLock = Plan.LevelGroupLock[Level];
     // Groups must start internally consistent: align every member with
     // the group's representative (locks win).
-    for (unsigned G = 0; G != NumGroups; ++G) {
+    for (unsigned G = 0; G != Members.size(); ++G) {
       if (Members[G].empty())
         continue;
       int Cluster = GroupLock[G] >= 0
                         ? GroupLock[G]
-                        : Assign[static_cast<unsigned>(
-                              DFG.getOp(Members[G][0]).getId())];
-      for (unsigned Local : Members[G]) {
-        unsigned Id = static_cast<unsigned>(DFG.getOp(Local).getId());
-        if (lockOf(Local) < 0)
-          Assign[Id] = Cluster;
-      }
+                        : Assign[Plan.OpIds[Members[G][0]]];
+      for (unsigned Local : Members[G])
+        if (Plan.LockOf[Local] < 0)
+          Assign[Plan.OpIds[Local]] = Cluster;
     }
-    refineLevel(Members, GroupLock);
+    refineLevel(Plan, Level, Assign, MM, Opt, RNG, RS, Scratch);
   }
 }
 
@@ -354,6 +385,7 @@ ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
   ClusterAssignment CA(P);
   Random RNG(Opt.Seed);
   RhopStats RS;
+  RhopScratch Scratch;
 
   for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
     const Function &Fn = P.getFunction(F);
@@ -363,18 +395,20 @@ ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
     LoopInfo LI(Fn, Cfg);
     const std::vector<int> *FuncLocks = Locks ? &(*Locks)[F] : nullptr;
 
-    // Prebuild region DFGs once; sweeps reuse them.
+    // Prebuild region DFGs and (lazily) their plans once; sweeps reuse
+    // them across function passes.
     std::vector<BlockDFG> DFGs;
     DFGs.reserve(Fn.getNumBlocks());
     for (unsigned B = 0; B != Fn.getNumBlocks(); ++B)
       DFGs.emplace_back(Fn, Fn.getBlock(B), DU, OI, &LI);
+    std::vector<RegionPlan> Plans(Fn.getNumBlocks());
 
     for (unsigned Pass = 0; Pass != std::max(1u, Opt.NumFunctionPasses);
          ++Pass)
       for (int B : Cfg.reversePostOrder()) {
-        RegionPartitioner RP(DFGs[static_cast<unsigned>(B)], MM, FuncLocks,
-                             CA.func(F), Opt, RNG, RS);
-        RP.run();
+        unsigned BI = static_cast<unsigned>(B);
+        runRegion(DFGs[BI], Plans[BI], MM, FuncLocks, CA.func(F), Opt, RNG,
+                  RS, Scratch);
       }
   }
 

@@ -20,6 +20,14 @@
 /// It is a lower bound on (and in practice tracks) what the list scheduler
 /// produces, and is cheap enough to evaluate once per candidate move.
 ///
+/// The estimator is the innermost loop of RHOP refinement (one call per
+/// candidate group move), so the constructor front-loads everything that
+/// does not depend on the assignment — op ids, FU kinds, latencies, unit
+/// counts, a flat successor array with per-edge base delays, and the
+/// filtered live-in list — and the queries reuse internal scratch buffers
+/// instead of allocating. Queries are const but not reentrant: do not
+/// share one estimator instance across threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDP_SCHED_ESTIMATOR_H
@@ -27,6 +35,8 @@
 
 #include "sched/BlockDFG.h"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace gdp {
@@ -47,10 +57,50 @@ public:
   /// move count).
   unsigned countMoves(const std::vector<int> &ClusterOfOp) const;
 
+  /// estimate() and countMoves() in one pass. The estimate already needs
+  /// the move count for its interconnect bound, so callers that want both
+  /// (RHOP's lexicographic score) avoid counting transfers twice.
+  unsigned estimateWithMoves(const std::vector<int> &ClusterOfOp,
+                             unsigned &MovesOut) const;
+
 private:
-  const BlockDFG &DFG;
-  const MachineModel &MM;
+  unsigned computeMoves(const std::vector<int> &ClusterOfOp) const;
+
+  unsigned N = 0;
+  unsigned NumClusters = 0;
+  unsigned MoveLat = 0;
+  unsigned BW = 1;
+
   std::vector<unsigned> Latency; // per local op
+  std::vector<unsigned> OpIds;   // local op → function-wide operation id
+  std::vector<uint8_t> Kind;     // local op → FU kind
+  std::vector<unsigned> FUCount; // [cluster * 4 + kind] → unit count
+
+  /// Data edges only (the ones that can become transfers), local indices.
+  struct DataEdge {
+    uint32_t From, To;
+  };
+  std::vector<DataEdge> DataEdges;
+
+  /// Live-ins with a real, non-hoistable producer elsewhere.
+  struct LiveUse {
+    uint32_t User; // local index of the consumer
+    int32_t DefId; // producing operation id (≥ 0)
+  };
+  std::vector<LiveUse> LiveUses;
+
+  /// Flat successor adjacency: edges of local op I live at
+  /// [SuccOff[I], SuccOff[I+1]), with the assignment-independent base
+  /// delay and a flag for "data edge" (pays a move when cross-cluster).
+  std::vector<uint32_t> SuccOff;
+  std::vector<uint32_t> SuccTo;
+  std::vector<uint32_t> SuccBase;
+  std::vector<uint8_t> SuccIsData;
+
+  // Per-query scratch, reused across calls (const queries, not reentrant).
+  mutable std::vector<unsigned> KindCountScratch;
+  mutable std::vector<unsigned> StartScratch;
+  mutable std::vector<std::pair<int, int>> MoveScratch;
 };
 
 } // namespace gdp

@@ -29,6 +29,7 @@
 #include "partition/DotExport.h"
 #include "partition/GlobalDataPartitioner.h"
 #include "partition/Pipeline.h"
+#include "partition/PreparedCache.h"
 #include "partition/ProgramGraph.h"
 #include "profile/ExecTrace.h"
 #include "sched/BlockDFG.h"
@@ -165,6 +166,24 @@ void maybeOptimize(Program &P) {
               Before, P.getNumOps());
 }
 
+/// Loads, optionally optimizes, and prepares \p Spec through the
+/// process-wide PreparedProgramCache: repeated commands against the same
+/// program in one process build and profile it once and share the result.
+/// The key folds in --optimize, since the optimizer mutates the program
+/// before profiling and thus yields a distinct preparation. Returns an
+/// entry whose Prog is null when loading failed (already diagnosed).
+std::shared_ptr<const CachedPreparation>
+loadPrepared(const std::string &Spec, bool CaptureTrace = false) {
+  std::string Key = Spec + (OptimizeFlag ? "|opt" : "");
+  return PreparedProgramCache::global().get(
+      Key, /*MaxSteps=*/200000000ULL, CaptureTrace, [&Spec] {
+        std::unique_ptr<Program> P = loadProgram(Spec);
+        if (P)
+          maybeOptimize(*P);
+        return P;
+      });
+}
+
 int cmdList() {
   TextTable Table({"name", "suite"});
   for (const WorkloadInfo &W : allWorkloads())
@@ -182,21 +201,21 @@ int cmdPrint(const std::string &Spec, bool IncludeInit) {
 }
 
 int cmdProfile(const std::string &Spec) {
-  auto P = loadProgram(Spec);
-  if (!P)
-    return 1;
   TelemetryExport Telemetry;
-  maybeOptimize(*P);
-  PreparedProgram PP = prepareProgram(*P);
+  auto C = loadPrepared(Spec);
+  if (!C->Prog)
+    return 1;
+  const PreparedProgram &PP = C->PP;
   if (!PP.Ok) {
     std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
     return 1;
   }
+  const Program &P = *C->Prog;
   std::printf("program %s: %u functions, %u ops, %u data objects\n\n",
-              P->getName().c_str(), P->getNumFunctions(), P->getNumOps(),
-              P->getNumObjects());
+              P.getName().c_str(), P.getNumFunctions(), P.getNumOps(),
+              P.getNumObjects());
   TextTable Table({"object", "kind", "bytes", "dynamic accesses"});
-  for (const DataObject &Obj : P->objects())
+  for (const DataObject &Obj : P.objects())
     Table.addRow(
         {Obj.getName(), Obj.isGlobal() ? "global" : "heap-site",
          formatStr("%llu",
@@ -226,18 +245,18 @@ std::vector<StrategyKind> parseStrategies(const std::string &StrategyArg) {
 
 int cmdRun(const std::string &Spec, const std::string &StrategyArg,
            unsigned Latency, unsigned Clusters, bool ShowPlacement) {
-  auto P = loadProgram(Spec);
-  if (!P)
-    return 1;
   // Always attach a session: the per-strategy timing summary below reads
   // phase timers from the registry even when no JSON export was requested.
   TelemetryExport Telemetry(/*Always=*/true);
-  maybeOptimize(*P);
-  PreparedProgram PP = prepareProgram(*P);
+  auto C = loadPrepared(Spec);
+  if (!C->Prog)
+    return 1;
+  const PreparedProgram &PP = C->PP;
   if (!PP.Ok) {
     std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
     return 1;
   }
+  const Program &P = *C->Prog;
 
   std::vector<StrategyKind> Kinds = parseStrategies(StrategyArg);
   if (Kinds.empty()) {
@@ -247,7 +266,7 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
   }
 
   std::printf("program %s on %u clusters, %u-cycle moves\n\n",
-              P->getName().c_str(), Clusters, Latency);
+              P.getName().c_str(), Clusters, Latency);
 
   // Every strategy is an independent evaluation over shared read-only
   // state, so they run concurrently under --threads. Each evaluation
@@ -299,8 +318,8 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
          formatDouble(R.PartitionSeconds * 1e3, 2)});
     if (ShowPlacement && K != StrategyKind::Unified) {
       std::printf("%s placement:", strategyName(K));
-      for (unsigned O = 0; O != P->getNumObjects(); ++O)
-        std::printf(" %s=%d", P->getObject(O).getName().c_str(),
+      for (unsigned O = 0; O != P.getNumObjects(); ++O)
+        std::printf(" %s=%d", P.getObject(O).getName().c_str(),
                     R.Placement.getHome(O));
       std::printf("\n");
     }
@@ -316,17 +335,16 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
 
 int cmdSim(const std::string &Spec, const std::string &StrategyArg,
            unsigned Latency, unsigned Clusters) {
-  auto P = loadProgram(Spec);
-  if (!P)
-    return 1;
   TelemetryExport Telemetry(/*Always=*/true);
-  maybeOptimize(*P);
-  PreparedProgram PP =
-      prepareProgram(*P, /*MaxSteps=*/200000000ULL, /*CaptureTrace=*/true);
+  auto C = loadPrepared(Spec, /*CaptureTrace=*/true);
+  if (!C->Prog)
+    return 1;
+  const PreparedProgram &PP = C->PP;
   if (!PP.Ok) {
     std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
     return 1;
   }
+  const Program &P = *C->Prog;
 
   std::vector<StrategyKind> Kinds = parseStrategies(StrategyArg);
   if (Kinds.empty()) {
@@ -337,7 +355,7 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
 
   std::printf("program %s on %u clusters, %u-cycle moves — trace of %llu "
               "block executions\n\n",
-              P->getName().c_str(), Clusters, Latency,
+              P.getName().c_str(), Clusters, Latency,
               static_cast<unsigned long long>(PP.Trace->numBlockEvents()));
 
   struct SimEval {
@@ -399,34 +417,34 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
 }
 
 int cmdDot(const std::string &Spec) {
-  auto P = loadProgram(Spec);
-  if (!P)
+  auto C = loadPrepared(Spec);
+  if (!C->Prog)
     return 1;
-  maybeOptimize(*P);
-  PreparedProgram PP = prepareProgram(*P);
+  const PreparedProgram &PP = C->PP;
   if (!PP.Ok) {
     std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
     return 1;
   }
-  ProgramGraph PG(*P, PP.Prof);
-  AccessMerge Merge(PG, *P, MergePolicy::AccessPattern);
-  GDPResult D = runGlobalDataPartitioning(*P, PP.Prof, 2);
-  std::printf("%s", exportProgramGraphDot(*P, PG, Merge,
+  const Program &P = *C->Prog;
+  ProgramGraph PG(P, PP.Prof);
+  AccessMerge Merge(PG, P, MergePolicy::AccessPattern);
+  GDPResult D = runGlobalDataPartitioning(P, PP.Prof, 2);
+  std::printf("%s", exportProgramGraphDot(P, PG, Merge,
                                           &D.Placement).c_str());
   return 0;
 }
 
 int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
                 unsigned Latency, unsigned Clusters) {
-  auto P = loadProgram(Spec);
-  if (!P)
+  auto C = loadPrepared(Spec);
+  if (!C->Prog)
     return 1;
-  maybeOptimize(*P);
-  PreparedProgram PP = prepareProgram(*P);
+  const PreparedProgram &PP = C->PP;
   if (!PP.Ok) {
     std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
     return 1;
   }
+  const Program &P = *C->Prog;
   PipelineOptions Opt;
   Opt.Strategy = StrategyArg == "unified"     ? StrategyKind::Unified
                  : StrategyArg == "naive"     ? StrategyKind::Naive
@@ -440,9 +458,9 @@ int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
   // Find the hottest block (largest cycle contribution).
   unsigned BestF = 0, BestB = 0;
   uint64_t BestContrib = 0;
-  ProgramSchedule PS = scheduleProgram(*P, PP.Prof, MM, R.Assignment);
-  for (unsigned F = 0; F != P->getNumFunctions(); ++F)
-    for (unsigned Bk = 0; Bk != P->getFunction(F).getNumBlocks(); ++Bk) {
+  ProgramSchedule PS = scheduleProgram(P, PP.Prof, MM, R.Assignment);
+  for (unsigned F = 0; F != P.getNumFunctions(); ++F)
+    for (unsigned Bk = 0; Bk != P.getFunction(F).getNumBlocks(); ++Bk) {
       uint64_t Contrib = static_cast<uint64_t>(PS.BlockLengths[F][Bk]) *
                          PP.Prof.getBlockFreq(F, Bk);
       if (Contrib > BestContrib) {
@@ -452,7 +470,7 @@ int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
       }
     }
 
-  const Function &Fn = P->getFunction(BestF);
+  const Function &Fn = P.getFunction(BestF);
   OpIndex OI(Fn);
   DefUse DU(Fn);
   CFG Cfg(Fn);
