@@ -3,10 +3,12 @@
 #include "bench/BenchCommon.h"
 
 #include "partition/PreparedCache.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <numeric>
@@ -93,25 +95,80 @@ std::string machineJson(const std::string &Strategy, unsigned MoveLatency) {
       static_cast<unsigned long long>(MM.getClusterMemoryBytes()));
 }
 
+/// Test override for the per-cell fault plan (setFaultPlanForTesting).
+const support::FaultPlan *FaultPlanOverride = nullptr;
+
+/// The plan every per-cell scope installs: the test override when set,
+/// else the process-wide GDP_FAULTS plan.
+const support::FaultPlan *benchFaultPlan() {
+  return FaultPlanOverride ? FaultPlanOverride
+                           : support::FaultPlan::fromEnv();
+}
+
+/// The fault-scope name of one matrix cell ("bench|Strategy|latN"). One
+/// scope per cell means an injected fault fires in exactly the same cells
+/// at any thread count (the determinism contract in
+/// support/FaultInjector.h), and a `@filter` rule can single a cell out.
+std::string cellName(const EvalTask &T) {
+  return T.Entry->Name + "|" + strategyName(T.Strategy) + "|lat" +
+         std::to_string(T.MoveLatency);
+}
+
+/// Runs one strategy evaluation under its per-cell fault scope with task
+/// isolation: any exception — including an injected `pool.task` fault —
+/// becomes a Failed result with a task_failed diagnostic, and the rest of
+/// the matrix continues.
+PipelineResult evalCell(const EvalTask &T) {
+  support::FaultScope Scope(benchFaultPlan(), cellName(T));
+  try {
+    if (support::faultAt("pool.task"))
+      throw support::FaultInjectedError("pool.task");
+    PipelineOptions Opt;
+    Opt.Strategy = T.Strategy;
+    Opt.MoveLatency = T.MoveLatency;
+    return runStrategy(T.Entry->PP, Opt);
+  } catch (const std::exception &E) {
+    PipelineResult R;
+    R.RequestedStrategy = T.Strategy;
+    R.EffectiveStrategy = T.Strategy;
+    R.Failed = true;
+    R.Diags.push_back(support::errorDiag(support::StatusCode::TaskFailed,
+                                         "bench.task", E.what()));
+    return R;
+  }
+}
+
 /// One evaluation with a private telemetry session when records are being
 /// collected, so each record reflects exactly one run's counters. Safe on
 /// any thread (sessions are thread-local).
 PipelineResult evalOne(const EvalTask &T,
                        std::unique_ptr<telemetry::TelemetrySession> *Out) {
-  PipelineOptions Opt;
-  Opt.Strategy = T.Strategy;
-  Opt.MoveLatency = T.MoveLatency;
   if (!jsonEnabled())
-    return runStrategy(T.Entry->PP, Opt);
+    return evalCell(T);
   auto S = std::make_unique<telemetry::TelemetrySession>();
   PipelineResult R;
   {
     telemetry::ScopedSession Scope(*S);
-    R = runStrategy(T.Entry->PP, Opt);
+    R = evalCell(T);
   }
   if (Out)
     *Out = std::move(S);
   return R;
+}
+
+/// The conditional robustness tail of a --json record: empty for a clean
+/// run (existing records stay byte-identical), status/effective-strategy/
+/// fallbacks/diags when the evaluation degraded or failed.
+std::string statusFieldsJson(const PipelineResult &R) {
+  if (!R.Failed && !R.Degraded)
+    return "";
+  return formatStr(", \"status\": \"%s\", \"requested_strategy\": \"%s\", "
+                   "\"effective_strategy\": \"%s\", \"fallbacks\": %u, "
+                   "\"diags\": %s",
+                   R.Failed ? "failed" : "degraded",
+                   strategyName(R.RequestedStrategy),
+                   strategyName(R.EffectiveStrategy), R.Fallbacks,
+                   support::diagsToJson(R.Diags).c_str());
 }
 
 } // namespace
@@ -147,6 +204,10 @@ unsigned gdp::bench::threads() {
 
 void gdp::bench::setThreads(unsigned N) { NumThreads = N ? N : 1; }
 
+void gdp::bench::setFaultPlanForTesting(const support::FaultPlan *Plan) {
+  FaultPlanOverride = Plan;
+}
+
 bool gdp::bench::deterministicRecords() {
   if (DeterministicFlag)
     return true;
@@ -173,6 +234,7 @@ std::string gdp::bench::formatRecord(
       Deterministic ? 0.0 : R.Phases.DataPartitionSeconds,
       Deterministic ? 0.0 : R.Phases.RhopSeconds,
       Deterministic ? 0.0 : R.Phases.ScheduleSeconds);
+  Rec += statusFieldsJson(R);
   if (Session) {
     Rec += ", \"counters\": {";
     bool First = true;
@@ -191,12 +253,18 @@ std::string gdp::bench::formatRecord(
 std::string gdp::bench::formatExhaustiveRecord(const std::string &Benchmark,
                                                unsigned MoveLatency,
                                                const ExhaustiveResult &R) {
-  return formatStr(
+  if (!R.Ok)
+    return formatStr("{\"benchmark\": \"%s\", \"strategy\": \"Exhaustive\", "
+                     "\"move_latency\": %u, \"status\": \"failed\", "
+                     "\"diags\": %s}",
+                     escape(Benchmark).c_str(), MoveLatency,
+                     support::diagsToJson(R.Diags).c_str());
+  std::string Rec = formatStr(
       "{\"benchmark\": \"%s\", \"strategy\": \"Exhaustive\", "
       "\"move_latency\": %u, \"cycles\": %llu, \"exhaustive\": "
       "{\"num_points\": %zu, \"best_cycles\": %llu, \"worst_cycles\": %llu, "
       "\"best_mask\": %llu, \"worst_mask\": %llu, \"gdp_mask\": %llu, "
-      "\"profilemax_mask\": %llu}}",
+      "\"profilemax_mask\": %llu}",
       escape(Benchmark).c_str(), MoveLatency,
       static_cast<unsigned long long>(R.BestCycles), R.Points.size(),
       static_cast<unsigned long long>(R.BestCycles),
@@ -205,6 +273,13 @@ std::string gdp::bench::formatExhaustiveRecord(const std::string &Benchmark,
       static_cast<unsigned long long>(R.WorstMask),
       static_cast<unsigned long long>(R.GDPMask),
       static_cast<unsigned long long>(R.ProfileMaxMask));
+  if (R.BudgetExhausted)
+    Rec += formatStr(", \"status\": \"budget_exhausted\", "
+                     "\"evaluated_points\": %llu, \"diags\": %s",
+                     static_cast<unsigned long long>(R.EvaluatedPoints),
+                     support::diagsToJson(R.Diags).c_str());
+  Rec += "}";
+  return Rec;
 }
 
 void gdp::bench::recordResult(const std::string &Benchmark,
@@ -311,13 +386,9 @@ gdp::bench::runMatrixRecords(const std::vector<EvalTask> &Tasks) {
   std::iota(Indices.begin(), Indices.end(), 0);
   std::vector<Evaluated> Evals = Pool.parallelMap(Indices, [&](size_t I) {
     Evaluated E;
-    const EvalTask &T = Tasks[I];
-    PipelineOptions Opt;
-    Opt.Strategy = T.Strategy;
-    Opt.MoveLatency = T.MoveLatency;
     E.Session = std::make_unique<telemetry::TelemetrySession>();
     telemetry::ScopedSession Scope(*E.Session);
-    E.R = runStrategy(T.Entry->PP, Opt);
+    E.R = evalCell(Tasks[I]);
     return E;
   });
   std::vector<std::string> Records;
@@ -335,6 +406,17 @@ std::string gdp::bench::formatSimRecord(const std::string &Benchmark,
                                         unsigned MoveLatency,
                                         const PipelineResult &R,
                                         const SimResult &S) {
+  if (!S.Ok) {
+    // Failed cell: a short record that still names the cell, so the rest
+    // of the matrix file stays usable and the failure is attributable.
+    std::vector<support::Diag> All = R.Diags;
+    All.insert(All.end(), S.Diags.begin(), S.Diags.end());
+    return formatStr("{\"benchmark\": \"%s\", \"strategy\": \"%s\", "
+                     "\"move_latency\": %u, \"status\": \"failed\", "
+                     "\"diags\": %s}",
+                     escape(Benchmark).c_str(), escape(Strategy).c_str(),
+                     MoveLatency, support::diagsToJson(All).c_str());
+  }
   std::string Rec = formatStr(
       "{\"benchmark\": \"%s\", \"strategy\": \"%s\", "
       "\"move_latency\": %u, %s, \"cycles\": %llu, \"sim_cycles\": %llu, "
@@ -358,7 +440,9 @@ std::string gdp::bench::formatSimRecord(const std::string &Benchmark,
       static_cast<unsigned long long>(S.MemPortStallCycles));
   for (size_t C = 0; C != S.ClusterUtilization.size(); ++C)
     Rec += formatStr("%s%.6f", C ? ", " : "", S.ClusterUtilization[C]);
-  Rec += "]}";
+  Rec += "]";
+  Rec += statusFieldsJson(R);
+  Rec += "}";
   return Rec;
 }
 
@@ -369,22 +453,41 @@ gdp::bench::runSimMatrix(const std::vector<EvalTask> &Tasks) {
   std::iota(Indices.begin(), Indices.end(), 0);
   std::vector<SimEval> Evals = Pool.parallelMap(Indices, [&](size_t I) {
     const EvalTask &T = Tasks[I];
-    PipelineOptions Opt;
-    Opt.Strategy = T.Strategy;
-    Opt.MoveLatency = T.MoveLatency;
+    // Same per-cell scope and isolation as evalCell(): a poisoned cell
+    // yields a failed record and the matrix continues.
+    support::FaultScope Scope(benchFaultPlan(), cellName(T));
     SimEval E;
-    E.R = runStrategy(T.Entry->PP, Opt);
-    E.S = simulateStrategy(T.Entry->PP, E.R, Opt);
+    try {
+      if (support::faultAt("pool.task"))
+        throw support::FaultInjectedError("pool.task");
+      PipelineOptions Opt;
+      Opt.Strategy = T.Strategy;
+      Opt.MoveLatency = T.MoveLatency;
+      E.R = runStrategy(T.Entry->PP, Opt);
+      if (E.R.ok()) {
+        E.S = simulateStrategy(T.Entry->PP, E.R, Opt);
+      } else {
+        E.S.Error = "static evaluation failed; simulation skipped";
+        E.S.Diags.push_back(support::errorDiag(
+            support::StatusCode::TaskFailed, "sim", E.S.Error));
+      }
+    } catch (const std::exception &Ex) {
+      E.R.RequestedStrategy = T.Strategy;
+      E.R.EffectiveStrategy = T.Strategy;
+      E.R.Failed = true;
+      E.R.Diags.push_back(support::errorDiag(
+          support::StatusCode::TaskFailed, "bench.task", Ex.what()));
+      E.S.Ok = false;
+      E.S.Error = Ex.what();
+    }
     return E;
   });
   for (size_t I = 0; I != Tasks.size(); ++I) {
     const EvalTask &T = Tasks[I];
-    if (!Evals[I].S.Ok) {
+    if (!Evals[I].S.Ok)
       std::fprintf(stderr, "simulation of %s/%s failed: %s\n",
                    T.Entry->Name.c_str(), strategyName(T.Strategy),
                    Evals[I].S.Error.c_str());
-      std::exit(1);
-    }
     if (jsonEnabled())
       appendRecord(T.Entry->Name + "|" + strategyName(T.Strategy) + "|" +
                        std::to_string(T.MoveLatency) + "|sim",

@@ -27,6 +27,7 @@
 #include "partition/Exhaustive.h"
 #include "partition/Pipeline.h"
 #include "sim/Simulator.h"
+#include "support/FaultInjector.h"
 #include "support/Histogram.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
@@ -82,10 +83,18 @@ void setThreads(unsigned N);
 /// True when --json records should zero their wall-clock fields.
 bool deterministicRecords();
 
+/// Overrides the fault plan the per-cell scopes install (tests; null
+/// restores the default, the process-wide GDP_FAULTS plan). The plan must
+/// outlive every matrix run made while it is installed.
+void setFaultPlanForTesting(const support::FaultPlan *Plan);
+
 /// Formats one --json record. \p Session, when given, contributes its
 /// counters. When \p Deterministic, the *_sec wall-clock fields are
 /// written as 0 so records compare byte-identical across runs and thread
-/// counts (every other field is deterministic already).
+/// counts (every other field is deterministic already). Degraded or
+/// failed evaluations additionally carry status/requested_strategy/
+/// effective_strategy/fallbacks/diags fields (docs/OBSERVABILITY.md);
+/// clean records are byte-identical to the historic schema.
 std::string formatRecord(const std::string &Benchmark,
                          const std::string &Strategy, unsigned MoveLatency,
                          const PipelineResult &R,
@@ -149,7 +158,9 @@ std::string formatSimRecord(const std::string &Benchmark,
 /// Evaluates and simulates every task (concurrently when threads() > 1),
 /// returning results in input order; --json sim records append in input
 /// order. Suite entries must come from loadSuite(/*CaptureTraces=*/true).
-/// Exits with a diagnostic if any simulation fails.
+/// A failed cell (evaluation or simulation, including injected faults) is
+/// reported on stderr and recorded as {"status": "failed", ...}; the rest
+/// of the matrix continues.
 std::vector<SimEval> runSimMatrix(const std::vector<EvalTask> &Tasks);
 
 /// Like runSimMatrix(), but returns every task's deterministic JSON record

@@ -315,7 +315,7 @@ void repairBalance(const CSRGraph &G, std::vector<unsigned> &Assign,
 /// bounds the pass at one move per node.
 unsigned refinePass(const CSRGraph &G, std::vector<unsigned> &Assign,
                     RefineContext &RC, const CapacityTable &MaxAllowed,
-                    const GraphPartitionOptions &Opt) {
+                    const GraphPartitionOptions &Opt, uint64_t MoveCap) {
   unsigned NumParts = Opt.NumParts;
   unsigned N = G.getNumNodes();
   unsigned NumC = G.getNumConstraints();
@@ -376,6 +376,8 @@ unsigned refinePass(const CSRGraph &G, std::vector<unsigned> &Assign,
 
   unsigned Moved = 0;
   while (!Bucket.empty()) {
+    if (Moved >= MoveCap)
+      break; // Per-level move budget spent; keep what we have.
     GainBucket::Entry E = Bucket.top();
     int64_t Gain;
     unsigned Part;
@@ -531,13 +533,20 @@ void refine(const CSRGraph &G, std::vector<unsigned> &Assign,
       RC.Ideal[C] =
           static_cast<double>(Totals[C]) / static_cast<double>(Opt.NumParts);
   repairBalance(G, Assign, RC, MaxAllowed, Opt, RNG, RS);
+  // Per-level accepted-move budget (0 = unlimited): bounds refinement work
+  // deterministically — the cap trips after the same move sequence no
+  // matter the thread count, unlike a wall-clock check would.
+  uint64_t MovesLeft = Opt.MaxRefineMoves
+                           ? Opt.MaxRefineMoves
+                           : std::numeric_limits<uint64_t>::max();
   for (unsigned Pass = 0; Pass != Opt.MaxRefinePasses; ++Pass) {
-    unsigned Moved = refinePass(G, Assign, RC, MaxAllowed, Opt);
-    unsigned Swapped = swapPass(G, Assign, RC, MaxAllowed);
+    unsigned Moved = refinePass(G, Assign, RC, MaxAllowed, Opt, MovesLeft);
+    MovesLeft -= Moved;
+    unsigned Swapped = MovesLeft ? swapPass(G, Assign, RC, MaxAllowed) : 0;
     ++RS.RefinePasses;
     RS.RefineMoves += Moved;
     RS.SwapMoves += Swapped;
-    if (!Moved && !Swapped)
+    if ((!Moved && !Swapped) || !MovesLeft)
       break;
   }
 }

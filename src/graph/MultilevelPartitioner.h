@@ -39,6 +39,10 @@ struct GraphPartitionOptions {
   unsigned CoarsenTargetNodes = 48;
   /// Refinement passes per level.
   unsigned MaxRefinePasses = 6;
+  /// Cap on accepted refinement moves per uncoarsening level (0 =
+  /// unlimited). A budget knob: refinement stops early once the cap is
+  /// reached, keeping whatever improvement it already found.
+  uint64_t MaxRefineMoves = 0;
   /// Independent initial partitions tried at the coarsest level.
   unsigned NumInitialTries = 4;
   /// Optional relative capacity per part (e.g. {2, 1, 1, 1} gives part 0

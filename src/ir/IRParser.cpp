@@ -19,6 +19,9 @@ class LineCursor {
 public:
   explicit LineCursor(const std::string &Line) : S(Line) {}
 
+  /// 0-based character offset into the line (for error columns).
+  size_t position() const { return Pos; }
+
   void skipSpace() {
     while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
       ++Pos;
@@ -146,7 +149,21 @@ public:
 
 private:
   bool fail(const std::string &Msg) {
-    Error = formatStr("line %u: %s", LineNo, Msg.c_str());
+    ErrLine = LineNo;
+    ErrCol = Cur ? static_cast<unsigned>(Cur->position()) + 1 : 1;
+    Error = formatStr("line %u:%u: %s", ErrLine, ErrCol, Msg.c_str());
+    D = support::errorDiag(support::StatusCode::ParseError, "parser", Msg);
+    D.with("line", static_cast<uint64_t>(ErrLine))
+        .with("column", static_cast<uint64_t>(ErrCol));
+    if (F) {
+      Error += formatStr(" (in %s", F->getName().c_str());
+      D.with("function", F->getName());
+      if (BB) {
+        Error += formatStr("/bb%d", BB->getId());
+        D.with("block", static_cast<int64_t>(BB->getId()));
+      }
+      Error += ")";
+    }
     return false;
   }
 
@@ -164,7 +181,10 @@ private:
   BasicBlock *BB = nullptr;
   int LastObject = -1;
   unsigned LineNo = 0;
+  const LineCursor *Cur = nullptr; ///< Cursor of the line being parsed.
+  unsigned ErrLine = 0, ErrCol = 0;
   std::string Error;
+  support::Diag D;
 };
 
 void Parser::ensureReg(int Reg) {
@@ -449,6 +469,7 @@ bool Parser::parseLine(const std::string &Raw) {
     Line = Line.substr(0, Semi);
 
   LineCursor C(Line);
+  Cur = &C; // For error columns; only read while this line is live.
   if (C.atEnd())
     return true;
 
@@ -486,9 +507,14 @@ ParseResult Parser::run(const std::string &Text) {
       End = Text.size();
     ++LineNo;
     std::string Line = Text.substr(Pos, End - Pos);
-    if (!parseLine(Line)) {
+    bool LineOk = parseLine(Line);
+    Cur = nullptr;
+    if (!LineOk) {
       ParseResult R;
       R.Error = Error;
+      R.D = D;
+      R.Line = ErrLine;
+      R.Column = ErrCol;
       return R;
     }
     Pos = End + 1;
@@ -496,6 +522,8 @@ ParseResult Parser::run(const std::string &Text) {
   ParseResult R;
   if (!P) {
     R.Error = "empty input: expected 'program NAME'";
+    R.D = support::errorDiag(support::StatusCode::ParseError, "parser",
+                             R.Error);
     return R;
   }
   R.P = std::move(P);

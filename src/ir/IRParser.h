@@ -28,6 +28,8 @@
 #ifndef GDP_IR_IRPARSER_H
 #define GDP_IR_IRPARSER_H
 
+#include "support/Status.h"
+
 #include <memory>
 #include <string>
 
@@ -38,7 +40,15 @@ class Program;
 /// Result of a parse: a program or a diagnostic.
 struct ParseResult {
   std::unique_ptr<Program> P; ///< Null on failure.
-  std::string Error;          ///< Diagnostic with line number on failure.
+  /// Rendered diagnostic with "line L:C:" position and, when inside a
+  /// function body, the enclosing "(in func/bbN)" context. Empty on
+  /// success.
+  std::string Error;
+  /// The same diagnostic, structured (code parse_error, site "parser",
+  /// context line/column/function/block). Code Ok on success.
+  support::Diag D;
+  unsigned Line = 0;   ///< 1-based error line (0 on success).
+  unsigned Column = 0; ///< 1-based error column (0 on success).
 
   bool ok() const { return P != nullptr; }
 };

@@ -16,11 +16,31 @@ class Checker {
 public:
   Checker(const Program &P, VerifyResult &R) : P(P), R(R) {}
 
-  void error(const std::string &Msg) { R.Errors.push_back(Context + Msg); }
+  void error(const std::string &Msg) {
+    R.Errors.push_back(Context + Msg);
+    support::Diag D = support::errorDiag(support::StatusCode::VerifyError,
+                                         "verifier", Msg);
+    if (!CtxFunction.empty())
+      D.with("function", CtxFunction);
+    if (CtxBlock >= 0)
+      D.with("block", static_cast<int64_t>(CtxBlock));
+    if (CtxOp >= 0)
+      D.with("op", static_cast<int64_t>(CtxOp));
+    R.Diags.push_back(std::move(D));
+  }
 
   void checkFunction(const Function &F);
 
 private:
+  /// Sets the rendered prefix and the structured location in one place so
+  /// the string and diagnostic forms can never drift apart.
+  void setContext(std::string Prefix, std::string Fn, int Block, int Op) {
+    Context = std::move(Prefix);
+    CtxFunction = std::move(Fn);
+    CtxBlock = Block;
+    CtxOp = Op;
+  }
+
   void checkOperation(const Function &F, const BasicBlock &BB,
                       const Operation &Op, bool IsLast);
   void checkReg(const Function &F, int Reg, const char *Role);
@@ -28,6 +48,9 @@ private:
   const Program &P;
   VerifyResult &R;
   std::string Context;
+  std::string CtxFunction;
+  int CtxBlock = -1;
+  int CtxOp = -1;
 };
 
 } // namespace
@@ -40,8 +63,9 @@ void Checker::checkReg(const Function &F, int Reg, const char *Role) {
 
 void Checker::checkOperation(const Function &F, const BasicBlock &BB,
                              const Operation &Op, bool IsLast) {
-  Context = formatStr("%s/bb%d/op%d: ", F.getName().c_str(), BB.getId(),
-                      Op.getId());
+  setContext(formatStr("%s/bb%d/op%d: ", F.getName().c_str(), BB.getId(),
+                       Op.getId()),
+             F.getName(), BB.getId(), Op.getId());
   Opcode Code = Op.getOpcode();
 
   // Arity.
@@ -119,13 +143,14 @@ void Checker::checkOperation(const Function &F, const BasicBlock &BB,
 }
 
 void Checker::checkFunction(const Function &F) {
-  Context = formatStr("%s: ", F.getName().c_str());
+  setContext(formatStr("%s: ", F.getName().c_str()), F.getName(), -1, -1);
   if (F.getNumBlocks() == 0) {
     error("function has no blocks");
     return;
   }
   for (const auto &BB : F.blocks()) {
-    Context = formatStr("%s/bb%d: ", F.getName().c_str(), BB->getId());
+    setContext(formatStr("%s/bb%d: ", F.getName().c_str(), BB->getId()),
+               F.getName(), BB->getId(), -1);
     if (BB->empty()) {
       error("empty block");
       continue;

@@ -15,6 +15,8 @@
 #ifndef GDP_IR_VERIFIER_H
 #define GDP_IR_VERIFIER_H
 
+#include "support/Status.h"
+
 #include <string>
 #include <vector>
 
@@ -24,8 +26,12 @@ class Program;
 class Function;
 
 /// Result of verification: empty error list means the module is well formed.
+/// Every entry of Errors has a structured counterpart in Diags (code
+/// verify_error, site "verifier") carrying the function/block/op location
+/// as context pairs instead of a formatted prefix.
 struct VerifyResult {
   std::vector<std::string> Errors;
+  std::vector<support::Diag> Diags;
 
   bool ok() const { return Errors.empty(); }
   /// All errors joined with newlines (empty string when ok).

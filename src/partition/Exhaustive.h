@@ -25,6 +25,7 @@
 #define GDP_PARTITION_EXHAUSTIVE_H
 
 #include "partition/Pipeline.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <vector>
@@ -37,6 +38,7 @@ struct ExhaustivePoint {
   uint64_t Cycles = 0;
   double Imbalance = 0;   ///< 0 = balanced bytes, 1 = one-sided (Figure 9's
                           ///< shading).
+  bool Evaluated = false; ///< False for points a budget cut off.
 };
 
 /// The whole search plus the placements the two partitioners would pick.
@@ -48,6 +50,16 @@ struct ExhaustiveResult {
   uint64_t WorstMask = 0; ///< Lowest mask achieving WorstCycles.
   uint64_t GDPMask = 0;        ///< Placement chosen by GDP.
   uint64_t ProfileMaxMask = 0; ///< Placement chosen by ProfileMax.
+  uint64_t NaiveMask = 0;      ///< Placement chosen by Naive.
+  /// False when the search could not run at all (unprepared program, too
+  /// many objects, wrong cluster count); Diags says why.
+  bool Ok = true;
+  /// True when a budget stopped the scan early. Best/Worst then cover the
+  /// evaluated points only — which always include the three strategy
+  /// anchor masks, so BestCycles is never worse than the heuristics.
+  bool BudgetExhausted = false;
+  uint64_t EvaluatedPoints = 0; ///< How many Points carry real data.
+  std::vector<support::Diag> Diags;
 };
 
 /// Maximum object count accepted (2^N evaluations).
@@ -58,9 +70,22 @@ inline constexpr unsigned MaxExhaustiveObjects = 18;
 /// \p Threads is the total thread count: 1 = the serial loop, 0 = take
 /// `GDP_THREADS` from the environment. Results are identical for every
 /// value (see the determinism contract above).
+///
+/// Total: an unprepared program, an object count over
+/// MaxExhaustiveObjects, or a non-2-cluster machine comes back as
+/// Ok=false with a diagnostic instead of asserting.
+///
+/// \p B (optional) bounds the search: one budget node is charged per
+/// placement evaluation, and on exhaustion the scan stops with
+/// best-so-far results (BudgetExhausted). A NodeLimit replays
+/// bit-identically in serial runs; wall-clock/deadline limits and
+/// parallel budgeted runs stop at a timing-dependent point and are
+/// outside the determinism contract (the anchors above still bound the
+/// answer's quality).
 ExhaustiveResult exhaustiveSearch(const PreparedProgram &PP,
                                   const PipelineOptions &Opt,
-                                  unsigned Threads = 1);
+                                  unsigned Threads = 1,
+                                  const support::Budget *B = nullptr);
 
 } // namespace gdp
 

@@ -5,6 +5,7 @@
 #include "graph/MultilevelPartitioner.h"
 #include "ir/Program.h"
 #include "profile/ProfileData.h"
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -15,6 +16,14 @@ GDPResult gdp::runGlobalDataPartitioning(const Program &P,
                                          const ProfileData &Prof,
                                          unsigned NumClusters,
                                          const GDPOptions &Opt) {
+  if (support::faultAt("graph.coarsen")) {
+    GDPResult Result;
+    Result.Feasible = false;
+    Result.Placement = DataPlacement(P.getNumObjects());
+    Result.Diags.push_back(support::injectedFaultDiag("graph.coarsen"));
+    return Result;
+  }
+
   ProgramGraph PG(P, Prof);
   AccessMerge Merge(PG, P, Opt.Policy);
 
@@ -67,11 +76,12 @@ GDPResult gdp::runGlobalDataPartitioning(const Program &P,
   // force-split on bytes, severing high-affinity object/op groups for no
   // benefit (crc32 and pegwit regress >1.3× against the exhaustive
   // optimum exactly this way; see tests/DifferentialTests.cpp).
+  uint64_t TotalBytes = 0;
+  for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj)
+    TotalBytes += P.getObject(Obj).getSizeBytes();
+
   double MemTol = Opt.MemBalanceTolerance;
   if (Opt.MemCapacityBytes) {
-    uint64_t TotalBytes = 0;
-    for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj)
-      TotalBytes += P.getObject(Obj).getSizeBytes();
     if (TotalBytes) {
       double MeanPerCluster =
           static_cast<double>(TotalBytes) / NumClusters;
@@ -87,6 +97,7 @@ GDPResult gdp::runGlobalDataPartitioning(const Program &P,
   GOpt.NumParts = NumClusters;
   GOpt.Tolerances = {MemTol, Opt.OpBalanceTolerance};
   GOpt.Seed = Opt.Seed;
+  GOpt.MaxRefineMoves = Opt.MaxRefineMoves;
   GOpt.PartCapacityShares = Opt.ClusterCapacityShares;
   GraphPartition Part = partitionGraph(G, GOpt);
 
@@ -97,6 +108,37 @@ GDPResult gdp::runGlobalDataPartitioning(const Program &P,
   for (unsigned Obj = 0; Obj != P.getNumObjects(); ++Obj)
     Result.Placement.setHome(
         Obj, static_cast<int>(Part.Assignment[Merge.groupOfObject(Obj)]));
+
+  // --- Hard capacity check. A cut that leaves some cluster over capacity
+  // is only *this placement's* fault when a fitting assignment could exist
+  // at all; a footprint above NumClusters × capacity cannot fit anywhere,
+  // so capacity degrades to advisory (warning) and the result stands.
+  if (Opt.MemCapacityBytes) {
+    std::vector<uint64_t> ClusterBytes =
+        Result.Placement.bytesPerCluster(P, NumClusters);
+    uint64_t Worst =
+        *std::max_element(ClusterBytes.begin(), ClusterBytes.end());
+    if (Worst > Opt.MemCapacityBytes) {
+      uint64_t Budget = Opt.MemCapacityBytes * NumClusters;
+      support::Diag D =
+          TotalBytes <= Budget
+              ? support::errorDiag(support::StatusCode::Infeasible,
+                                   "gdp.place",
+                                   "placement exceeds cluster memory "
+                                   "capacity")
+              : support::warnDiag(support::StatusCode::Infeasible,
+                                  "gdp.place",
+                                  "program footprint exceeds total cluster "
+                                  "memory; capacity treated as advisory");
+      D.with("capacity_bytes", Opt.MemCapacityBytes)
+          .with("worst_cluster_bytes", Worst)
+          .with("total_bytes", TotalBytes)
+          .with("clusters", static_cast<uint64_t>(NumClusters));
+      if (TotalBytes <= Budget)
+        Result.Feasible = false;
+      Result.Diags.push_back(std::move(D));
+    }
+  }
 
   telemetry::counter("gdp.runs");
   telemetry::counter("gdp.graph_nodes", G.getNumNodes());

@@ -19,6 +19,7 @@
 
 #include "partition/AccessMerge.h"
 #include "partition/DataPlacement.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -48,6 +49,10 @@ struct GDPOptions {
   double OpBalanceTolerance = 8.0;
   MergePolicy Policy = MergePolicy::AccessPattern;
   uint64_t Seed = 1;
+  /// Cap on refinement moves per uncoarsening level handed to the graph
+  /// partitioner (0 = unlimited). The pipeline sets this from its budget
+  /// so a pathological refinement cannot blow the wall-clock limit.
+  uint64_t MaxRefineMoves = 0;
   /// Relative memory capacity per cluster for heterogeneous machines
   /// (empty = uniform). The pipeline fills this from the machine's
   /// per-cluster memory-unit counts.
@@ -59,6 +64,16 @@ struct GDPResult {
   DataPlacement Placement;
   uint64_t CutWeight = 0;   ///< Flow volume crossing clusters in the model.
   unsigned NumGroups = 0;   ///< Coarsened node count handed to the cutter.
+  /// False when the pass produced no usable placement: the coarsen+cut
+  /// failed (fault site "graph.coarsen"), or MemCapacityBytes is set, the
+  /// cut leaves some cluster over capacity, and a fitting assignment could
+  /// exist (total footprint ≤ NumClusters × capacity). The pipeline's
+  /// degradation chain (docs/ROBUSTNESS.md) takes over. When the footprint
+  /// itself exceeds total memory no assignment can fit, so the result
+  /// stays feasible with a warning diagnostic — capacity is advisory then.
+  bool Feasible = true;
+  /// Diagnostics explaining infeasibility (and capacity warnings).
+  std::vector<support::Diag> Diags;
 };
 
 /// Runs the first pass on \p P (which must already carry memory access

@@ -7,11 +7,11 @@
 #include "profile/ExecTrace.h"
 #include "profile/Interpreter.h"
 #include "sched/ListScheduler.h"
+#include "support/FaultInjector.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 
 using namespace gdp;
@@ -48,6 +48,7 @@ PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps,
     VerifyResult VR = verifyProgram(P);
     if (!VR.ok()) {
       PP.Error = "verification failed:\n" + VR.message();
+      PP.Diags = VR.Diags;
       Done();
       return PP;
     }
@@ -61,6 +62,10 @@ PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps,
           "%u memory operations have empty access sets (address not rooted "
           "in any data object)",
           EmptyAccess);
+      PP.Diags.push_back(
+          support::errorDiag(support::StatusCode::InputError, "points_to",
+                             "memory operations with empty access sets")
+              .with("count", static_cast<uint64_t>(EmptyAccess)));
       Done();
       return PP;
     }
@@ -76,6 +81,8 @@ PreparedProgram gdp::prepareProgram(Program &P, uint64_t MaxSteps,
     InterpResult IR = Interp.run(MaxSteps);
     if (!IR.Ok) {
       PP.Error = "profiling run failed: " + IR.Error;
+      PP.Diags.push_back(support::errorDiag(
+          support::StatusCode::ProfileError, "profile", IR.Error));
       Done();
       return PP;
     }
@@ -154,9 +161,14 @@ objectAccessByCluster(const Program &P, const ProfileData &Prof,
   return Counts;
 }
 
+/// GDP with built-in recovery: an infeasible first cut is retried once
+/// with a relaxed byte-balance tolerance before the strategy gives up
+/// (\p FailedOut) and the caller demotes to ProfileMax. \p DegradedOut is
+/// set when the relaxed retry was needed, even if it then succeeded.
 PipelineResult runGDPStrategy(const PreparedProgram &PP,
                               const PipelineOptions &Opt,
-                              const MachineModel &MM) {
+                              const MachineModel &MM, bool &FailedOut,
+                              bool &DegradedOut) {
   PipelineResult R;
   {
     PhaseClock T(R.Phases.DataPartitionSeconds, "pipeline.data_partition");
@@ -177,10 +189,37 @@ PipelineResult runGDPStrategy(const PreparedProgram &PP,
       DataOpt.MemCapacityBytes = MM.getClusterMemoryBytes();
     GDPResult D = runGlobalDataPartitioning(*PP.P, PP.Prof,
                                             MM.getNumClusters(), DataOpt);
+    for (support::Diag &Dg : D.Diags)
+      R.Diags.push_back(std::move(Dg));
+    if (!D.Feasible) {
+      GDPOptions Relaxed = DataOpt;
+      Relaxed.MemBalanceTolerance =
+          std::max(0.5, DataOpt.MemBalanceTolerance * 4.0);
+      R.Diags.push_back(
+          support::warnDiag(support::StatusCode::Infeasible, "pipeline.retry",
+                            "retrying data partition with relaxed balance "
+                            "tolerance")
+              .with("mem_tolerance", Relaxed.MemBalanceTolerance));
+      telemetry::counter("pipeline.relaxed_retries");
+      DegradedOut = true;
+      D = runGlobalDataPartitioning(*PP.P, PP.Prof, MM.getNumClusters(),
+                                    Relaxed);
+      for (support::Diag &Dg : D.Diags)
+        R.Diags.push_back(std::move(Dg));
+      if (!D.Feasible) {
+        FailedOut = true;
+        return R;
+      }
+    }
     R.Placement = D.Placement;
   }
   {
     PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    if (support::faultAt("rhop.lock")) {
+      R.Diags.push_back(support::injectedFaultDiag("rhop.lock"));
+      FailedOut = true;
+      return R;
+    }
     LockMap Locks = buildLockMap(*PP.P, R.Placement, PP.Prof);
     R.Assignment = runRHOP(*PP.P, PP.Prof, MM, &Locks, Opt.RhopOpt);
   }
@@ -190,7 +229,8 @@ PipelineResult runGDPStrategy(const PreparedProgram &PP,
 
 PipelineResult runProfileMaxStrategy(const PreparedProgram &PP,
                                      const PipelineOptions &Opt,
-                                     const MachineModel &MM) {
+                                     const MachineModel &MM,
+                                     bool &FailedOut) {
   PipelineResult R;
   const Program &P = *PP.P;
   unsigned NumClusters = MM.getNumClusters();
@@ -272,6 +312,12 @@ PipelineResult runProfileMaxStrategy(const PreparedProgram &PP,
   // Second detailed run, cognizant of the placement.
   {
     PhaseClock T(R.Phases.RhopSeconds, "pipeline.rhop");
+    if (support::faultAt("rhop.lock")) {
+      R.Diags.push_back(support::injectedFaultDiag("rhop.lock"));
+      R.RHOPRuns = 1; // The unlocked first run did happen.
+      FailedOut = true;
+      return R;
+    }
     LockMap Locks = buildLockMap(P, R.Placement, PP.Prof);
     R.Assignment = runRHOP(P, PP.Prof, MM, &Locks, Opt.RhopOpt);
   }
@@ -344,24 +390,69 @@ PipelineResult runUnifiedStrategy(const PreparedProgram &PP,
 
 PipelineResult gdp::runStrategy(const PreparedProgram &PP,
                                 const PipelineOptions &Opt) {
-  assert(PP.Ok && "prepareProgram() must succeed first");
+  PipelineResult R;
+  R.RequestedStrategy = Opt.Strategy;
+  R.EffectiveStrategy = Opt.Strategy;
+
+  if (!PP.Ok) {
+    R.Failed = true;
+    R.Diags = PP.Diags;
+    if (R.Diags.empty())
+      R.Diags.push_back(support::errorDiag(
+          support::StatusCode::Internal, "pipeline",
+          PP.Error.empty() ? "program was not prepared" : PP.Error));
+    return R;
+  }
+
   MachineModel MM = machineFor(Opt);
 
-  PipelineResult R;
-  switch (Opt.Strategy) {
-  case StrategyKind::GDP:
-    R = runGDPStrategy(PP, Opt, MM);
-    break;
-  case StrategyKind::ProfileMax:
-    R = runProfileMaxStrategy(PP, Opt, MM);
-    break;
-  case StrategyKind::Naive:
-    R = runNaiveStrategy(PP, Opt, MM);
-    break;
-  case StrategyKind::Unified:
-    R = runUnifiedStrategy(PP, Opt, MM);
-    break;
+  // Degradation chain (docs/ROBUSTNESS.md): a strategy that cannot produce
+  // a usable placement demotes along the paper's Table 1 quality ladder,
+  // GDP → ProfileMax → Naive, accumulating phase times, RHOP runs and
+  // diagnostics across the attempts. Naive and Unified have no failure
+  // modes of their own, so the chain always terminates.
+  StrategyKind Effective = Opt.Strategy;
+  for (;;) {
+    bool AttemptFailed = false;
+    PipelineResult A;
+    switch (Effective) {
+    case StrategyKind::GDP:
+      A = runGDPStrategy(PP, Opt, MM, AttemptFailed, R.Degraded);
+      break;
+    case StrategyKind::ProfileMax:
+      A = runProfileMaxStrategy(PP, Opt, MM, AttemptFailed);
+      break;
+    case StrategyKind::Naive:
+      A = runNaiveStrategy(PP, Opt, MM);
+      break;
+    case StrategyKind::Unified:
+      A = runUnifiedStrategy(PP, Opt, MM);
+      break;
+    }
+    R.Phases.DataPartitionSeconds += A.Phases.DataPartitionSeconds;
+    R.Phases.RhopSeconds += A.Phases.RhopSeconds;
+    R.RHOPRuns += A.RHOPRuns;
+    for (support::Diag &D : A.Diags)
+      R.Diags.push_back(std::move(D));
+
+    if (!AttemptFailed) {
+      R.Placement = std::move(A.Placement);
+      R.Assignment = std::move(A.Assignment);
+      break;
+    }
+    StrategyKind Next = Effective == StrategyKind::GDP
+                            ? StrategyKind::ProfileMax
+                            : StrategyKind::Naive;
+    ++R.Fallbacks;
+    R.Degraded = true;
+    telemetry::counter("pipeline.fallbacks");
+    R.Diags.push_back(support::warnDiag(
+        support::StatusCode::Infeasible, "pipeline.fallback",
+        formatStr("%s failed; falling back to %s", strategyName(Effective),
+                  strategyName(Next))));
+    Effective = Next;
   }
+  R.EffectiveStrategy = Effective;
 
   R.Phases.PrepareSeconds = PP.PrepareSeconds;
   R.PartitionSeconds = R.Phases.partitionSeconds();
@@ -369,10 +460,15 @@ PipelineResult gdp::runStrategy(const PreparedProgram &PP,
 
   {
     PhaseClock T(R.Phases.ScheduleSeconds, "pipeline.schedule");
-    ProgramSchedule PS = scheduleProgram(*PP.P, PP.Prof, MM, R.Assignment);
-    R.Cycles = PS.TotalCycles;
-    R.DynamicMoves = PS.DynamicMoves;
-    R.StaticMoves = PS.StaticMoves;
+    if (support::faultAt("sched.estimate")) {
+      R.Failed = true;
+      R.Diags.push_back(support::injectedFaultDiag("sched.estimate"));
+    } else {
+      ProgramSchedule PS = scheduleProgram(*PP.P, PP.Prof, MM, R.Assignment);
+      R.Cycles = PS.TotalCycles;
+      R.DynamicMoves = PS.DynamicMoves;
+      R.StaticMoves = PS.StaticMoves;
+    }
   }
   return R;
 }

@@ -30,9 +30,11 @@
 #include "partition/RHOP.h"
 #include "profile/ProfileData.h"
 #include "sched/ClusterAssignment.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace gdp {
 
@@ -71,6 +73,9 @@ struct PreparedProgram {
   ProfileData Prof;
   bool Ok = false;
   std::string Error; ///< Verifier/points-to/interpreter failure, if any.
+  /// Structured form of Error: verifier diagnostics verbatim, or one
+  /// diagnostic for a points-to/profiling failure. Empty on success.
+  std::vector<support::Diag> Diags;
   double PrepareSeconds = 0; ///< Verify + points-to + profiling wall clock.
   /// Dynamic trace of the profiling run, present only when the program was
   /// prepared with CaptureTrace (the cycle simulator's input). Shared so a
@@ -109,9 +114,31 @@ struct PipelineResult {
   double PartitionSeconds = 0; ///< Wall-clock spent partitioning.
   PhaseTimes Phases;           ///< Per-phase breakdown of the above.
   unsigned RHOPRuns = 0;       ///< Detailed-partitioner runs (§4.5).
+
+  /// What the caller asked for.
+  StrategyKind RequestedStrategy = StrategyKind::GDP;
+  /// The strategy that actually produced the result. Differs from
+  /// RequestedStrategy when the degradation chain demoted the run
+  /// (GDP → ProfileMax → Naive; docs/ROBUSTNESS.md).
+  StrategyKind EffectiveStrategy = StrategyKind::GDP;
+  /// True when no usable evaluation was produced (preparation failed, the
+  /// chain was exhausted, or the final schedule estimate failed). Cycles,
+  /// moves, placement and assignment are then meaningless.
+  bool Failed = false;
+  /// True when any recovery action was taken (a relaxed-tolerance retry
+  /// or a strategy demotion), even if the final result is usable.
+  bool Degraded = false;
+  /// Number of strategy demotions taken (0 on a clean run).
+  unsigned Fallbacks = 0;
+  /// Everything that went wrong (and how it was recovered), in order.
+  std::vector<support::Diag> Diags;
+
+  bool ok() const { return !Failed; }
 };
 
-/// Evaluates one strategy on a prepared program.
+/// Evaluates one strategy on a prepared program. Total: never throws or
+/// asserts on bad input — an unprepared program or an exhausted
+/// degradation chain comes back as a Failed result carrying diagnostics.
 PipelineResult runStrategy(const PreparedProgram &PP,
                            const PipelineOptions &Opt);
 

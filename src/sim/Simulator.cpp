@@ -13,6 +13,7 @@
 #include "profile/ExecTrace.h"
 #include "sched/BlockDFG.h"
 #include "sched/ListScheduler.h"
+#include "support/FaultInjector.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
 
@@ -109,6 +110,16 @@ SimResult gdp::simulateTrace(const Program &P, const ExecTrace &Trace,
   if (Trace.AccessObj.size() != P.getNumFunctions()) {
     R.Error = "trace does not match program (was the program prepared with "
               "trace capture?)";
+    R.Diags.push_back(support::errorDiag(support::StatusCode::InputError,
+                                         "sim", R.Error));
+    return R;
+  }
+
+  // The bus model is the simulator's heart; its (injected) failure fails
+  // the whole replay before any cycles are accounted.
+  if (support::faultAt("sim.bus")) {
+    R.Error = "injected fault at sim.bus";
+    R.Diags.push_back(support::injectedFaultDiag("sim.bus"));
     return R;
   }
 
@@ -187,6 +198,8 @@ SimResult gdp::simulateTrace(const Program &P, const ExecTrace &Trace,
         Ev.Block >= Funcs[Ev.Func].Blocks.size()) {
       R.Error = formatStr("trace event (%u, %u) out of range", Ev.Func,
                           Ev.Block);
+      R.Diags.push_back(support::errorDiag(support::StatusCode::InputError,
+                                           "sim", R.Error));
       return R;
     }
     FuncDesc &FD = Funcs[Ev.Func];
@@ -247,6 +260,8 @@ SimResult gdp::simulateTrace(const Program &P, const ExecTrace &Trace,
             "access stream of operation (%u, %u) exhausted after %u events "
             "(trace/profile mismatch)",
             Ev.Func, MO.OpId, Cursor);
+        R.Diags.push_back(support::errorDiag(
+            support::StatusCode::InputError, "sim", R.Error));
         return R;
       }
       int32_t Obj = Stream[Cursor++];
@@ -325,6 +340,8 @@ SimResult gdp::simulateStrategy(const PreparedProgram &PP,
     SimResult S;
     S.Error = "prepared program carries no execution trace; call "
               "prepareProgram(P, MaxSteps, /*CaptureTrace=*/true)";
+    S.Diags.push_back(support::errorDiag(support::StatusCode::UsageError,
+                                         "sim", S.Error));
     return S;
   }
   MachineModel MM = machineFor(Opt);

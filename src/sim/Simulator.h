@@ -37,6 +37,8 @@
 #ifndef GDP_SIM_SIMULATOR_H
 #define GDP_SIM_SIMULATOR_H
 
+#include "support/Status.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -56,6 +58,9 @@ struct PreparedProgram;
 struct SimResult {
   bool Ok = false;
   std::string Error; ///< Empty on success.
+  /// Structured form of Error (site "sim", or the injected-fault site).
+  /// Empty on success.
+  std::vector<support::Diag> Diags;
 
   uint64_t Cycles = 0;     ///< Total dynamic cycles.
   uint64_t BlockExecs = 0; ///< Trace events replayed.

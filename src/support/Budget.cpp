@@ -1,0 +1,64 @@
+//===- support/Budget.cpp - Resource budgets and cancellation ---------------===//
+
+#include "support/Budget.h"
+
+using namespace gdp;
+using namespace gdp::support;
+
+BudgetMeter::BudgetMeter(const Budget &B)
+    : B(B), Start(std::chrono::steady_clock::now()) {}
+
+double BudgetMeter::elapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+bool BudgetMeter::charge(uint64_t N) {
+  if (Exhausted.load(std::memory_order_relaxed))
+    return false;
+  uint64_t Total = Nodes.fetch_add(N, std::memory_order_relaxed) + N;
+
+  int Tripped = 0;
+  if (B.NodeLimit && Total >= B.NodeLimit)
+    Tripped = 1;
+  if (!Tripped && (B.WallMsLimit > 0 || B.hasDeadline())) {
+    auto Now = std::chrono::steady_clock::now();
+    if (B.WallMsLimit > 0 &&
+        std::chrono::duration<double, std::milli>(Now - Start).count() >=
+            B.WallMsLimit)
+      Tripped = 2;
+    else if (B.hasDeadline() && Now >= B.Deadline)
+      Tripped = 3;
+  }
+  if (!Tripped && B.Cancel && B.Cancel->cancelled())
+    Tripped = 4;
+  if (!Tripped)
+    return true;
+
+  int Expected = 0;
+  TrippedBy.compare_exchange_strong(Expected, Tripped,
+                                    std::memory_order_relaxed);
+  Exhausted.store(true, std::memory_order_relaxed);
+  if (B.Cancel)
+    B.Cancel->cancel(); // Wake sibling workers at their next poll.
+  return false;
+}
+
+Diag BudgetMeter::diag(const std::string &Site) const {
+  int Tripped = TrippedBy.load(std::memory_order_relaxed);
+  StatusCode Code =
+      Tripped == 4 ? StatusCode::Cancelled : StatusCode::BudgetExhausted;
+  const char *What = Tripped == 1   ? "node limit reached"
+                     : Tripped == 2 ? "wall-clock limit reached"
+                     : Tripped == 3 ? "deadline passed"
+                     : Tripped == 4 ? "cancelled"
+                                    : "budget exhausted";
+  Diag D = warnDiag(Code, Site, What);
+  D.with("nodes", consumed());
+  if (B.NodeLimit)
+    D.with("node_limit", B.NodeLimit);
+  if (B.WallMsLimit > 0)
+    D.with("wall_ms_limit", B.WallMsLimit);
+  return D;
+}

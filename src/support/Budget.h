@@ -1,0 +1,113 @@
+//===- support/Budget.h - Resource budgets and cancellation -----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit resource budgets for the search-shaped parts of the pipeline
+/// (docs/ROBUSTNESS.md): a `Budget` bounds a computation by wall clock,
+/// node count and/or an absolute deadline, and carries an optional
+/// cooperative `CancelToken` so concurrent workers stop promptly once any
+/// of them exhausts the budget. Budgeted entry points return their
+/// best-so-far result plus a `BudgetExhausted` diagnostic instead of
+/// running unbounded or failing — the graceful-degradation counterpart for
+/// compute (related partitioners run under the same discipline: Moreira et
+/// al., Feldman et al., see PAPERS.md).
+///
+/// A `BudgetMeter` tracks consumption. Node charges are exact; the wall
+/// clock and deadline are polled on every charge (one steady_clock read),
+/// which the chunked callers amortize by charging in batches. NodeLimit
+/// checks are deterministic for serial callers; wall-clock limits are
+/// inherently timing-dependent and excluded from the determinism contract
+/// (docs/PARALLELISM.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_BUDGET_H
+#define GDP_SUPPORT_BUDGET_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gdp {
+namespace support {
+
+/// Cooperative cancellation flag shared between a controller and workers.
+/// Workers poll `cancelled()` at loop boundaries; nothing is interrupted
+/// preemptively, so a poisoned or slow task can never wedge its siblings —
+/// they observe the flag at their next check and wind down.
+class CancelToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Bounds for one budgeted computation. Default-constructed = unlimited.
+struct Budget {
+  /// Wall-clock limit in milliseconds from the meter's start. 0 = none.
+  double WallMsLimit = 0;
+  /// Maximum nodes (search points, iterations) to evaluate. 0 = none.
+  uint64_t NodeLimit = 0;
+  /// Absolute deadline; time_point{} (the epoch) = none.
+  std::chrono::steady_clock::time_point Deadline{};
+  /// Optional cancellation token checked alongside the limits; exhausting
+  /// any limit also trips it so sibling workers stop promptly.
+  CancelToken *Cancel = nullptr;
+
+  bool hasDeadline() const {
+    return Deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool unlimited() const {
+    return WallMsLimit <= 0 && NodeLimit == 0 && !hasDeadline() &&
+           Cancel == nullptr;
+  }
+};
+
+/// Tracks consumption against one Budget. Thread-safe: concurrent workers
+/// may charge the same meter; exhaustion is sticky.
+class BudgetMeter {
+public:
+  /// Starts the wall clock now. The meter keeps a copy of \p B (but not of
+  /// the token it points to, which must outlive the meter).
+  explicit BudgetMeter(const Budget &B);
+
+  /// Records \p Nodes more units of work and re-checks every limit.
+  /// Returns true while the budget still has room; false once exhausted
+  /// (sticky — every later call also returns false).
+  bool charge(uint64_t Nodes = 1);
+
+  /// True once any limit tripped (or the token was cancelled externally).
+  bool exhausted() const { return Exhausted.load(std::memory_order_relaxed); }
+
+  /// Total nodes charged so far.
+  uint64_t consumed() const { return Nodes.load(std::memory_order_relaxed); }
+
+  /// Elapsed wall clock since construction, in milliseconds.
+  double elapsedMs() const;
+
+  /// The limit that tripped, as a diagnostic attributable to \p Site
+  /// (BudgetExhausted, or Cancelled when only the token fired). Only
+  /// meaningful once exhausted().
+  Diag diag(const std::string &Site) const;
+
+private:
+  Budget B;
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<uint64_t> Nodes{0};
+  std::atomic<bool> Exhausted{false};
+  std::atomic<int> TrippedBy{0}; ///< 0 none, 1 nodes, 2 wall, 3 deadline,
+                                 ///< 4 external cancellation.
+};
+
+} // namespace support
+} // namespace gdp
+
+#endif // GDP_SUPPORT_BUDGET_H

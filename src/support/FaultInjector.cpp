@@ -1,0 +1,139 @@
+//===- support/FaultInjector.cpp - Deterministic fault injection ------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace gdp;
+using namespace gdp::support;
+
+const std::vector<std::string> &gdp::support::faultSites() {
+  static const std::vector<std::string> Sites = {
+      "graph.coarsen", "rhop.lock", "sched.estimate", "sim.bus", "pool.task",
+  };
+  return Sites;
+}
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
+                      std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  Out.Rules.clear();
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Part = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Part.empty())
+      continue;
+
+    FaultRule Rule;
+    size_t At = Part.find('@');
+    if (At != std::string::npos) {
+      Rule.ScopeFilter = Part.substr(At + 1);
+      Part = Part.substr(0, At);
+      if (Rule.ScopeFilter.empty())
+        return Fail("empty scope filter after '@' in '" + Part + "'");
+    }
+    size_t Colon = Part.find(':');
+    if (Colon == std::string::npos)
+      return Fail("missing ':<hit>' in fault rule '" + Part + "'");
+    Rule.Site = Part.substr(0, Colon);
+    std::string Count = Part.substr(Colon + 1);
+    if (!Count.empty() && Count.back() == '+') {
+      Rule.Sticky = true;
+      Count.pop_back();
+    }
+    const std::vector<std::string> &Sites = faultSites();
+    if (std::find(Sites.begin(), Sites.end(), Rule.Site) == Sites.end())
+      return Fail("unknown fault site '" + Rule.Site + "' (sites: " +
+                  join(Sites, ", ") + ")");
+    char *End = nullptr;
+    unsigned long long N = std::strtoull(Count.c_str(), &End, 10);
+    if (Count.empty() || *End != '\0' || N == 0)
+      return Fail("fault rule '" + Part +
+                  "' needs a positive 1-based hit ordinal");
+    Rule.Ordinal = N;
+    Out.Rules.push_back(std::move(Rule));
+  }
+  if (Out.Rules.empty())
+    return Fail("empty fault spec");
+  return true;
+}
+
+const FaultPlan *FaultPlan::fromEnv() {
+  static const FaultPlan *Plan = []() -> const FaultPlan * {
+    const char *Env = std::getenv("GDP_FAULTS");
+    if (!Env || !*Env)
+      return nullptr;
+    auto *P = new FaultPlan;
+    std::string Err;
+    if (!FaultPlan::parse(Env, *P, &Err)) {
+      std::fprintf(stderr, "error: faults: malformed GDP_FAULTS: %s\n",
+                   Err.c_str());
+      std::exit(1);
+    }
+    return P;
+  }();
+  return Plan;
+}
+
+/// Per-scope hit counters. Defined at namespace scope (FaultScope::State)
+/// so the RAII class can own one.
+struct FaultScope::State {
+  const FaultPlan *Plan = nullptr;
+  std::string Name;
+  std::map<std::string, uint64_t> Hits;
+};
+
+namespace {
+thread_local FaultScope::State *Current = nullptr;
+} // namespace
+
+FaultScope::FaultScope(const FaultPlan *Plan, std::string Name) {
+  Prev = Current;
+  if (Plan && !Plan->empty()) {
+    Mine = new State;
+    Mine->Plan = Plan;
+    Mine->Name = std::move(Name);
+    Current = Mine;
+  }
+}
+
+FaultScope::~FaultScope() {
+  if (Mine) {
+    Current = Prev;
+    delete Mine;
+  }
+}
+
+bool gdp::support::faultAt(const char *Site) {
+  FaultScope::State *S = Current;
+  if (!S)
+    return false;
+  uint64_t Hit = ++S->Hits[Site];
+  for (const FaultRule &R : S->Plan->Rules) {
+    if (R.Site != Site)
+      continue;
+    if (!R.ScopeFilter.empty() &&
+        S->Name.find(R.ScopeFilter) == std::string::npos)
+      continue;
+    if (R.Sticky ? Hit >= R.Ordinal : Hit == R.Ordinal)
+      return true;
+  }
+  return false;
+}
+
+Diag gdp::support::injectedFaultDiag(const char *Site) {
+  return errorDiag(StatusCode::FaultInjected, Site, "injected fault");
+}

@@ -1,0 +1,107 @@
+//===- support/Status.h - Structured diagnostics ----------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured error and diagnostic reporting for the robustness layer
+/// (docs/ROBUSTNESS.md). A `Diag` carries a machine-readable code, a
+/// severity, the *site* that produced it (a dotted path such as
+/// "pipeline.gdp" or "exhaustive.search"), a human-readable message, and an
+/// ordered list of key/value context pairs. Public entry points return
+/// diagnostics instead of throwing, so one failed evaluation can never
+/// abort a bench matrix or a CLI session (the "total entry points"
+/// contract).
+///
+/// Rendering is deterministic: equal diagnostics render to equal strings
+/// and equal JSON, so records that embed them stay byte-identical across
+/// runs and thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_STATUS_H
+#define GDP_SUPPORT_STATUS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdp {
+namespace support {
+
+/// Machine-readable diagnostic codes. Stable names (statusCodeName) appear
+/// in rendered diagnostics, JSON records and tests — extend, don't renumber.
+enum class StatusCode {
+  Ok,
+  UsageError,      ///< Bad flags/arguments (CLI exit code 1).
+  InputError,      ///< Unreadable/unparsable input (CLI exit code 2).
+  ParseError,      ///< Textual IR syntax error (CLI exit code 2).
+  VerifyError,     ///< Structural IR validation failure (CLI exit code 2).
+  ProfileError,    ///< Interpreter/profiling failure (CLI exit code 2).
+  Infeasible,      ///< No placement satisfies the constraints (exit 3).
+  BudgetExhausted, ///< A resource budget stopped the work early (exit 3).
+  TooLarge,        ///< Search space exceeds representable bounds (exit 3).
+  FaultInjected,   ///< A deterministic fault-injection site fired.
+  TaskFailed,      ///< A worker task failed (exception or injected fault).
+  Cancelled,       ///< Cooperative cancellation stopped the work.
+  Internal,        ///< Invariant violation (a bug, not an input problem).
+};
+
+/// Stable lower-snake name of \p C ("budget_exhausted", ...).
+const char *statusCodeName(StatusCode C);
+
+/// Diagnostic severity: errors abort the unit of work they describe, while
+/// warnings/notes annotate a result that is still usable (e.g. a strategy
+/// demotion in the graceful-degradation chain).
+enum class Severity { Note, Warning, Error };
+
+/// Stable name of \p S ("note", "warning", "error").
+const char *severityName(Severity S);
+
+/// One structured diagnostic. Cheap to copy; context pairs keep insertion
+/// order so rendering is deterministic.
+struct Diag {
+  StatusCode Code = StatusCode::Ok;
+  Severity Sev = Severity::Error;
+  std::string Site;    ///< Dotted producer path, e.g. "rhop.lock".
+  std::string Message; ///< Human-readable, no trailing newline.
+  std::vector<std::pair<std::string, std::string>> Context;
+
+  Diag() = default;
+  Diag(StatusCode Code, Severity Sev, std::string Site, std::string Message)
+      : Code(Code), Sev(Sev), Site(std::move(Site)),
+        Message(std::move(Message)) {}
+
+  /// Appends one context pair; returns *this for chaining.
+  Diag &with(std::string Key, std::string Value);
+  Diag &with(std::string Key, uint64_t Value);
+  Diag &with(std::string Key, int64_t Value);
+  Diag &with(std::string Key, double Value);
+
+  /// "error: rhop.lock: lock construction failed [benchmark=fir]".
+  std::string render() const;
+
+  /// {"code": "...", "severity": "...", "site": "...", "message": "...",
+  ///  "context": {"k": "v", ...}} — keys in insertion order.
+  std::string toJson() const;
+};
+
+/// Convenience constructors for the two severities the pipeline emits.
+Diag errorDiag(StatusCode Code, std::string Site, std::string Message);
+Diag warnDiag(StatusCode Code, std::string Site, std::string Message);
+
+/// JSON array of \p Diags ("[]" when empty).
+std::string diagsToJson(const std::vector<Diag> &Diags);
+
+/// Renders every diagnostic on its own line (no trailing newline).
+std::string renderDiags(const std::vector<Diag> &Diags);
+
+/// First error-severity diagnostic, or null if none.
+const Diag *firstError(const std::vector<Diag> &Diags);
+
+} // namespace support
+} // namespace gdp
+
+#endif // GDP_SUPPORT_STATUS_H

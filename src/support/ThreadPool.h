@@ -34,6 +34,8 @@
 #ifndef GDP_SUPPORT_THREADPOOL_H
 #define GDP_SUPPORT_THREADPOOL_H
 
+#include "support/Budget.h"
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -66,6 +68,15 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   unsigned getNumWorkers() const { return NumWorkers; }
+
+  /// Cooperative-cancellation token shared by this pool's tasks. The pool
+  /// never checks it itself (a queued packaged_task must still run so its
+  /// future gets a value); cooperative task bodies poll it at loop
+  /// boundaries and return early once it trips, so one poisoned or
+  /// over-budget task winds the whole batch down without hanging
+  /// parallelFor/parallelMap (those still complete and rethrow the
+  /// lowest-indexed exception as always).
+  CancelToken &cancelToken() { return Cancel; }
 
   /// Schedules \p Fn and returns the future of its result. With zero
   /// workers the task runs here and now; the returned future is ready.
@@ -157,6 +168,7 @@ private:
   void workerLoop();
 
   unsigned NumWorkers;
+  CancelToken Cancel;
   std::vector<std::thread> Workers;
   std::mutex Mu;
   std::condition_variable QueueCV;

@@ -36,6 +36,8 @@
 #include "sched/ListScheduler.h"
 #include "sched/SchedulePrinter.h"
 #include "sim/Simulator.h"
+#include "support/FaultInjector.h"
+#include "support/Status.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -79,14 +81,63 @@ void usage(std::FILE *Out = stderr) {
       "                               accepted by 'profile')\n"
       "      --trace=FILE.json        dump a Chrome trace_event log for\n"
       "                               chrome://tracing or Perfetto\n"
+      "      --faults=SITE:N[+][@SCOPE]  inject deterministic faults (see\n"
+      "                               docs/ROBUSTNESS.md; also via the\n"
+      "                               GDP_FAULTS environment variable)\n"
       "  --help                       print this message\n"
-      "<prog> is a bundled workload name or a path to a textual IR file.\n");
+      "<prog> is a bundled workload name or a path to a textual IR file.\n"
+      "exit codes: 0 success (including degraded strategy fallbacks),\n"
+      "            1 usage error, 2 input/parse/verify/profile error,\n"
+      "            3 infeasible or failed evaluation\n");
 }
 
 bool OptimizeFlag = false;
 std::string StatsPath;
 std::string TracePath;
 unsigned ThreadsFlag = 0; // 0 = resolve from GDP_THREADS (else serial).
+std::unique_ptr<support::FaultPlan> FaultsFlag; // From --faults=.
+
+/// Prints every diagnostic on stderr in rendered form
+/// ("severity: site: message [k=v, ...]").
+void reportDiags(const std::vector<support::Diag> &Diags) {
+  for (const support::Diag &D : Diags)
+    std::fprintf(stderr, "%s\n", D.render().c_str());
+}
+
+/// Diagnoses a failed preparation (parse/verify/profile) with its
+/// structured diagnostics and returns the input-error exit code.
+int reportPrepareFailure(const PreparedProgram &PP) {
+  if (!PP.Diags.empty())
+    reportDiags(PP.Diags);
+  else
+    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
+  return 2;
+}
+
+/// Diagnoses one strategy evaluation's robustness outcome: errors and exit
+/// code 3 when it failed, warnings (still exit 0) when it degraded.
+/// Returns the exit code this evaluation implies (0 or 3).
+int reportEvaluation(StrategyKind Requested, const PipelineResult &R) {
+  if (R.Failed) {
+    reportDiags(R.Diags);
+    std::fprintf(stderr, "error: %s: evaluation failed\n",
+                 strategyName(Requested));
+    return 3;
+  }
+  if (R.Degraded) {
+    reportDiags(R.Diags);
+    if (R.Fallbacks)
+      std::fprintf(stderr,
+                   "warning: %s degraded to %s after %u fallback(s)\n",
+                   strategyName(Requested),
+                   strategyName(R.EffectiveStrategy), R.Fallbacks);
+    else
+      std::fprintf(stderr,
+                   "warning: %s recovered via relaxed-tolerance retry\n",
+                   strategyName(Requested));
+  }
+  return 0;
+}
 
 unsigned toolThreads() {
   return ThreadsFlag ? ThreadsFlag : support::threadCountFromEnv();
@@ -195,7 +246,7 @@ int cmdList() {
 int cmdPrint(const std::string &Spec, bool IncludeInit) {
   auto P = loadProgram(Spec);
   if (!P)
-    return 1;
+    return 2;
   std::printf("%s", printProgram(*P, IncludeInit).c_str());
   return 0;
 }
@@ -204,12 +255,10 @@ int cmdProfile(const std::string &Spec) {
   TelemetryExport Telemetry;
   auto C = loadPrepared(Spec);
   if (!C->Prog)
-    return 1;
+    return 2;
   const PreparedProgram &PP = C->PP;
-  if (!PP.Ok) {
-    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
-    return 1;
-  }
+  if (!PP.Ok)
+    return reportPrepareFailure(PP);
   const Program &P = *C->Prog;
   std::printf("program %s: %u functions, %u ops, %u data objects\n\n",
               P.getName().c_str(), P.getNumFunctions(), P.getNumOps(),
@@ -250,12 +299,10 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
   TelemetryExport Telemetry(/*Always=*/true);
   auto C = loadPrepared(Spec);
   if (!C->Prog)
-    return 1;
+    return 2;
   const PreparedProgram &PP = C->PP;
-  if (!PP.Ok) {
-    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
-    return 1;
-  }
+  if (!PP.Ok)
+    return reportPrepareFailure(PP);
   const Program &P = *C->Prog;
 
   std::vector<StrategyKind> Kinds = parseStrategies(StrategyArg);
@@ -284,6 +331,11 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
         StrategyEval E;
         E.Shard = std::make_unique<telemetry::TelemetrySession>();
         telemetry::ScopedSession Scope(*E.Shard);
+        // Per-strategy fault scope: hit counting is independent of the
+        // thread the evaluation lands on (docs/ROBUSTNESS.md).
+        support::FaultScope Faults(
+            FaultsFlag ? FaultsFlag.get() : support::FaultPlan::fromEnv(),
+            std::string("gdptool|run|") + Spec + "|" + strategyName(K));
         PipelineOptions Opt;
         Opt.Strategy = K;
         Opt.MoveLatency = Latency;
@@ -294,11 +346,14 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
 
   TextTable Table({"strategy", "cycles", "dyn moves", "partition ms"});
   uint64_t UnifiedCycles = 0;
+  int Exit = 0;
   std::vector<std::string> TimingLines;
   for (size_t I = 0; I != Kinds.size(); ++I) {
     StrategyKind K = Kinds[I];
     const PipelineResult &R = Evals[I].R;
     Telemetry.session()->mergeFrom(*Evals[I].Shard);
+    if (int Code = reportEvaluation(K, R))
+      Exit = Code;
     // Per-strategy phase seconds come straight from the shard's timers.
     auto Timers = Evals[I].Shard->stats().timerSnapshot();
     auto Ms = [&](const char *Name) {
@@ -313,10 +368,12 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
       UnifiedCycles = R.Cycles;
     Table.addRow(
         {strategyName(K),
-         formatStr("%llu", static_cast<unsigned long long>(R.Cycles)),
+         R.Failed ? std::string("failed")
+                  : formatStr("%llu",
+                              static_cast<unsigned long long>(R.Cycles)),
          formatStr("%llu", static_cast<unsigned long long>(R.DynamicMoves)),
          formatDouble(R.PartitionSeconds * 1e3, 2)});
-    if (ShowPlacement && K != StrategyKind::Unified) {
+    if (ShowPlacement && !R.Failed && K != StrategyKind::Unified) {
       std::printf("%s placement:", strategyName(K));
       for (unsigned O = 0; O != P.getNumObjects(); ++O)
         std::printf(" %s=%d", P.getObject(O).getName().c_str(),
@@ -330,7 +387,7 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
     std::printf("  %s\n", Line.c_str());
   if (UnifiedCycles)
     std::printf("\n(unified memory is the upper-bound reference)\n");
-  return 0;
+  return Exit;
 }
 
 int cmdSim(const std::string &Spec, const std::string &StrategyArg,
@@ -338,12 +395,10 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
   TelemetryExport Telemetry(/*Always=*/true);
   auto C = loadPrepared(Spec, /*CaptureTrace=*/true);
   if (!C->Prog)
-    return 1;
+    return 2;
   const PreparedProgram &PP = C->PP;
-  if (!PP.Ok) {
-    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
-    return 1;
-  }
+  if (!PP.Ok)
+    return reportPrepareFailure(PP);
   const Program &P = *C->Prog;
 
   std::vector<StrategyKind> Kinds = parseStrategies(StrategyArg);
@@ -368,24 +423,35 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
     SimEval E;
     E.Shard = std::make_unique<telemetry::TelemetrySession>();
     telemetry::ScopedSession Scope(*E.Shard);
+    support::FaultScope Faults(
+        FaultsFlag ? FaultsFlag.get() : support::FaultPlan::fromEnv(),
+        std::string("gdptool|sim|") + Spec + "|" + strategyName(K));
     PipelineOptions Opt;
     Opt.Strategy = K;
     Opt.MoveLatency = Latency;
     Opt.NumClusters = Clusters;
     E.R = runStrategy(PP, Opt);
-    E.S = simulateStrategy(PP, E.R, Opt);
+    if (E.R.ok())
+      E.S = simulateStrategy(PP, E.R, Opt);
     return E;
   });
 
   TextTable Table({"strategy", "static cycles", "sim cycles", "sim/static",
                    "bus stall", "move stall", "port stall", "remote"});
+  int Exit = 0;
   for (size_t I = 0; I != Kinds.size(); ++I) {
     const SimEval &E = Evals[I];
     Telemetry.session()->mergeFrom(*E.Shard);
+    if (int Code = reportEvaluation(Kinds[I], E.R))
+      Exit = Code;
+    if (E.R.Failed)
+      continue; // Diagnosed above; nothing to simulate or tabulate.
     if (!E.S.Ok) {
+      reportDiags(E.S.Diags);
       std::fprintf(stderr, "error: %s: %s\n", strategyName(Kinds[I]),
                    E.S.Error.c_str());
-      return 1;
+      Exit = 3;
+      continue;
     }
     Table.addRow(
         {strategyName(Kinds[I]),
@@ -407,28 +473,33 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
 
   std::printf("\nper-cluster issue-slot utilization:\n");
   for (size_t I = 0; I != Kinds.size(); ++I) {
+    if (!Evals[I].S.Ok)
+      continue;
     std::printf("  %-10s", strategyName(Kinds[I]));
     for (size_t C = 0; C != Evals[I].S.ClusterUtilization.size(); ++C)
       std::printf(" c%zu=%s", C,
                   formatDouble(Evals[I].S.ClusterUtilization[C], 3).c_str());
     std::printf("\n");
   }
-  return 0;
+  return Exit;
 }
 
 int cmdDot(const std::string &Spec) {
   auto C = loadPrepared(Spec);
   if (!C->Prog)
-    return 1;
+    return 2;
   const PreparedProgram &PP = C->PP;
-  if (!PP.Ok) {
-    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
-    return 1;
-  }
+  if (!PP.Ok)
+    return reportPrepareFailure(PP);
   const Program &P = *C->Prog;
   ProgramGraph PG(P, PP.Prof);
   AccessMerge Merge(PG, P, MergePolicy::AccessPattern);
   GDPResult D = runGlobalDataPartitioning(P, PP.Prof, 2);
+  if (!D.Feasible) {
+    reportDiags(D.Diags);
+    std::fprintf(stderr, "error: GDP placement infeasible\n");
+    return 3;
+  }
   std::printf("%s", exportProgramGraphDot(P, PG, Merge,
                                           &D.Placement).c_str());
   return 0;
@@ -438,12 +509,10 @@ int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
                 unsigned Latency, unsigned Clusters) {
   auto C = loadPrepared(Spec);
   if (!C->Prog)
-    return 1;
+    return 2;
   const PreparedProgram &PP = C->PP;
-  if (!PP.Ok) {
-    std::fprintf(stderr, "error: %s\n", PP.Error.c_str());
-    return 1;
-  }
+  if (!PP.Ok)
+    return reportPrepareFailure(PP);
   const Program &P = *C->Prog;
   PipelineOptions Opt;
   Opt.Strategy = StrategyArg == "unified"     ? StrategyKind::Unified
@@ -453,6 +522,8 @@ int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
   Opt.MoveLatency = Latency;
   Opt.NumClusters = Clusters;
   PipelineResult R = runStrategy(PP, Opt);
+  if (int Code = reportEvaluation(Opt.Strategy, R))
+    return Code;
   MachineModel MM = machineFor(Opt);
 
   // Find the hottest block (largest cycle contribution).
@@ -544,6 +615,16 @@ int main(int argc, char **argv) {
       StatsPath = Arg.substr(8);
     else if (Arg.rfind("--trace=", 0) == 0)
       TracePath = Arg.substr(8);
+    else if (Arg.rfind("--faults=", 0) == 0) {
+      auto Plan = std::make_unique<support::FaultPlan>();
+      std::string Err;
+      if (!support::FaultPlan::parse(Arg.substr(9), *Plan, &Err)) {
+        std::fprintf(stderr, "error: --faults: %s\n", Err.c_str());
+        usage();
+        return 1;
+      }
+      FaultsFlag = std::move(Plan);
+    }
     else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       usage();
@@ -558,6 +639,12 @@ int main(int argc, char **argv) {
   }
 
   OptimizeFlag = Optimize;
+  // One fault-counting scope spans the whole command, so `--faults=site:n`
+  // means "the n-th hit of this invocation" regardless of strategy count
+  // or thread schedule (docs/ROBUSTNESS.md).
+  const support::FaultPlan *Faults =
+      FaultsFlag ? FaultsFlag.get() : support::FaultPlan::fromEnv();
+  support::FaultScope Scope(Faults, "gdptool|" + Cmd + "|" + Spec);
   if (Cmd == "print")
     return cmdPrint(Spec, IncludeInit);
   if (Cmd == "profile")
