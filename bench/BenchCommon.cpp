@@ -142,10 +142,12 @@ PipelineResult evalCell(const EvalTask &T) {
 /// collected, so each record reflects exactly one run's counters. Safe on
 /// any thread (sessions are thread-local).
 PipelineResult evalOne(const EvalTask &T,
-                       std::unique_ptr<telemetry::TelemetrySession> *Out) {
+                       std::unique_ptr<telemetry::TelemetrySession> *Out,
+                       int32_t TaskIndex = -1) {
   if (!jsonEnabled())
     return evalCell(T);
   auto S = std::make_unique<telemetry::TelemetrySession>();
+  S->adoptTaskContext(telemetry::inheritedContext(), TaskIndex);
   PipelineResult R;
   {
     telemetry::ScopedSession Scope(*S);
@@ -360,7 +362,7 @@ gdp::bench::runMatrix(const std::vector<EvalTask> &Tasks) {
   std::iota(Indices.begin(), Indices.end(), 0);
   std::vector<Evaluated> Evals = Pool.parallelMap(Indices, [&](size_t I) {
     Evaluated E;
-    E.R = evalOne(Tasks[I], &E.Session);
+    E.R = evalOne(Tasks[I], &E.Session, static_cast<int32_t>(I));
     return E;
   });
   // Records append on this thread, in input order: the file is identical
@@ -387,6 +389,8 @@ gdp::bench::runMatrixRecords(const std::vector<EvalTask> &Tasks) {
   std::vector<Evaluated> Evals = Pool.parallelMap(Indices, [&](size_t I) {
     Evaluated E;
     E.Session = std::make_unique<telemetry::TelemetrySession>();
+    E.Session->adoptTaskContext(telemetry::inheritedContext(),
+                                static_cast<int32_t>(I));
     telemetry::ScopedSession Scope(*E.Session);
     E.R = evalCell(Tasks[I]);
     return E;

@@ -133,6 +133,10 @@ ExhaustiveResult gdp::exhaustiveSearch(const PreparedProgram &PP,
       std::optional<telemetry::ScopedSession> Scope;
       if (Parent) {
         Shards[Chunk] = std::make_unique<telemetry::TelemetrySession>();
+        // Merged trace events re-parent onto the span that spawned the
+        // chunk tasks and carry the chunk index as their task tag.
+        Shards[Chunk]->adoptTaskContext(telemetry::inheritedContext(),
+                                        static_cast<int32_t>(Chunk));
         Scope.emplace(*Shards[Chunk]);
       }
       uint64_t Begin = Chunk * ChunkSize;

@@ -394,6 +394,15 @@ PipelineResult gdp::runStrategy(const PreparedProgram &PP,
   R.RequestedStrategy = Opt.Strategy;
   R.EffectiveStrategy = Opt.Strategy;
 
+  // The per-evaluation root span: every phase timer below nests under it,
+  // and the attributes identify the run in a merged multi-strategy trace.
+  telemetry::Span Strat("pipeline.strategy", "pipeline");
+  Strat.attr("strategy", strategyName(Opt.Strategy))
+      .attr("move_latency", Opt.MoveLatency)
+      .attr("clusters", Opt.NumClusters);
+  if (PP.P)
+    Strat.attr("program", PP.P->getName());
+
   if (!PP.Ok) {
     R.Failed = true;
     R.Diags = PP.Diags;
@@ -446,6 +455,11 @@ PipelineResult gdp::runStrategy(const PreparedProgram &PP,
     ++R.Fallbacks;
     R.Degraded = true;
     telemetry::counter("pipeline.fallbacks");
+    // Ladder transitions are individually visible in --stats: only two
+    // demotions exist (GDP→ProfileMax, ProfileMax→Naive).
+    telemetry::counter(Effective == StrategyKind::GDP
+                           ? "pipeline.degraded.gdp_profilemax"
+                           : "pipeline.degraded.profilemax_naive");
     R.Diags.push_back(support::warnDiag(
         support::StatusCode::Infeasible, "pipeline.fallback",
         formatStr("%s failed; falling back to %s", strategyName(Effective),

@@ -4,11 +4,38 @@
 
 #include "support/Telemetry.h"
 
+#include <chrono>
+
 using namespace gdp;
 
 PreparedProgramCache &PreparedProgramCache::global() {
   static PreparedProgramCache Cache;
   return Cache;
+}
+
+void PreparedProgramCache::evictLocked(const std::string &Protect) {
+  if (Capacity == 0)
+    return;
+  // Walk from the LRU end, skipping entries that are still building
+  // (their future is not ready — dropping the map entry would let a
+  // concurrent request start a second build of the same key) and the
+  // just-inserted key.
+  auto It = Lru.end();
+  while (Entries.size() > Capacity && It != Lru.begin()) {
+    --It;
+    const std::string &Key = *It;
+    if (Key == Protect)
+      continue;
+    auto EIt = Entries.find(Key);
+    bool Ready = EIt->second.F.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready;
+    if (!Ready)
+      continue;
+    It = Lru.erase(It);
+    Entries.erase(EIt);
+    ++Evictions;
+    telemetry::counter("prepared_cache.evictions");
+  }
 }
 
 std::shared_ptr<const CachedPreparation> PreparedProgramCache::get(
@@ -23,36 +50,63 @@ std::shared_ptr<const CachedPreparation> PreparedProgramCache::get(
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Entries.find(Key);
     if (It != Entries.end()) {
-      if (telemetry::enabled())
+      if (telemetry::enabled()) {
         telemetry::counter("prepared_cache.hits");
-      Future Shared = It->second;
+        telemetry::value("prepared_cache.resident",
+                         static_cast<double>(Entries.size()));
+      }
+      // Touch: this key is now the most recently used.
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+      Future Shared = It->second.F;
       // Wait outside the lock: another thread may still be preparing.
       return Shared.get();
     }
     Mine = Promise.get_future().share();
-    Entries.emplace(Key, Mine);
+    Lru.push_front(Key);
+    Entries.emplace(Key, Entry{Mine, Lru.begin()});
+    evictLocked(Key);
+    if (telemetry::enabled())
+      telemetry::value("prepared_cache.resident",
+                       static_cast<double>(Entries.size()));
   }
   if (telemetry::enabled())
     telemetry::counter("prepared_cache.misses");
 
-  auto Entry = std::make_shared<CachedPreparation>();
-  Entry->Prog = Build();
-  if (Entry->Prog)
-    Entry->PP = prepareProgram(*Entry->Prog, MaxSteps, CaptureTrace);
+  auto Built = std::make_shared<CachedPreparation>();
+  Built->Prog = Build();
+  if (Built->Prog)
+    Built->PP = prepareProgram(*Built->Prog, MaxSteps, CaptureTrace);
   else {
-    Entry->PP.Ok = false;
-    Entry->PP.Error = "workload build failed";
+    Built->PP.Ok = false;
+    Built->PP.Error = "workload build failed";
   }
-  Promise.set_value(Entry);
+  Promise.set_value(Built);
   return Mine.get();
+}
+
+size_t PreparedProgramCache::capacity() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Capacity;
+}
+
+void PreparedProgramCache::setCapacity(size_t Cap) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Capacity = Cap;
+  evictLocked(std::string());
 }
 
 void PreparedProgramCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Entries.clear();
+  Lru.clear();
 }
 
 size_t PreparedProgramCache::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Entries.size();
+}
+
+uint64_t PreparedProgramCache::evictionCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Evictions;
 }

@@ -2,6 +2,8 @@
 
 #include "support/Budget.h"
 
+#include "support/Telemetry.h"
+
 using namespace gdp;
 using namespace gdp::support;
 
@@ -37,8 +39,15 @@ bool BudgetMeter::charge(uint64_t N) {
     return true;
 
   int Expected = 0;
-  TrippedBy.compare_exchange_strong(Expected, Tripped,
-                                    std::memory_order_relaxed);
+  if (TrippedBy.compare_exchange_strong(Expected, Tripped,
+                                        std::memory_order_relaxed)) {
+    // Exactly one charge() observes the trip first; it owns the counter so
+    // --stats shows each exhaustion once, not once per polling worker.
+    static const char *const Kind[] = {
+        nullptr, "budget.exhausted.node_limit", "budget.exhausted.wall_limit",
+        "budget.exhausted.deadline", "budget.exhausted.cancelled"};
+    telemetry::counter(Kind[Tripped]);
+  }
   Exhausted.store(true, std::memory_order_relaxed);
   if (B.Cancel)
     B.Cancel->cancel(); // Wake sibling workers at their next poll.

@@ -1,0 +1,105 @@
+//===- support/MetricsHub.cpp - Process-wide metrics aggregation ------------===//
+
+#include "support/MetricsHub.h"
+
+#include "support/StrUtil.h"
+
+#include <cmath>
+
+using namespace gdp;
+using namespace gdp::telemetry;
+
+MetricsHub &MetricsHub::global() {
+  static MetricsHub Hub;
+  return Hub;
+}
+
+void MetricsHub::publish(const TelemetrySession &S) { publish(S.stats()); }
+
+void MetricsHub::publish(const StatsRegistry &R) {
+  Aggregate.mergeFrom(R);
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sessions;
+}
+
+uint64_t MetricsHub::sessionsPublished() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sessions;
+}
+
+std::string MetricsHub::toJson() const {
+  uint64_t N = sessionsPublished();
+  std::string Stats = Aggregate.toJson();
+  // Splice the session count into the registry's object: the registry
+  // renders "{\n ... }\n"; insert before the closing brace.
+  size_t Close = Stats.rfind('}');
+  std::string Out = Stats.substr(0, Close);
+  Out += formatStr(",  \"sessions_published\": %llu\n}\n",
+                   static_cast<unsigned long long>(N));
+  return Out;
+}
+
+std::string MetricsHub::prometheusName(const std::string &Name) {
+  std::string Out = "gdp_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+namespace {
+
+std::string promNumber(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  return formatStr("%.17g", V);
+}
+
+} // namespace
+
+std::string MetricsHub::renderPrometheus(const StatsRegistry &R,
+                                         bool IncludeTimers) {
+  std::string Out;
+  for (const auto &[Name, V] : R.counterSnapshot()) {
+    std::string M = prometheusName(Name);
+    Out += formatStr("# TYPE %s counter\n%s %llu\n", M.c_str(), M.c_str(),
+                     static_cast<unsigned long long>(V));
+  }
+  auto Values = R.valueSnapshot();
+  auto Quantiles = R.quantileSnapshot();
+  for (const auto &[Name, V] : Values) {
+    std::string M = prometheusName(Name);
+    Out += formatStr("# TYPE %s summary\n", M.c_str());
+    auto It = Quantiles.find(Name);
+    if (It != Quantiles.end())
+      for (double Q : {0.5, 0.9, 0.99})
+        Out += formatStr("%s{quantile=\"%g\"} %s\n", M.c_str(), Q,
+                         promNumber(It->second.quantile(Q)).c_str());
+    Out += formatStr("%s_sum %s\n%s_count %llu\n", M.c_str(),
+                     promNumber(V.Sum).c_str(), M.c_str(),
+                     static_cast<unsigned long long>(V.Count));
+  }
+  if (IncludeTimers)
+    for (const auto &[Name, V] : R.timerSnapshot()) {
+      std::string M = prometheusName(Name) + "_seconds";
+      Out += formatStr("# TYPE %s counter\n%s %s\n", M.c_str(), M.c_str(),
+                       promNumber(V).c_str());
+    }
+  return Out;
+}
+
+std::string MetricsHub::toPrometheus(bool IncludeTimers) const {
+  std::string Out = renderPrometheus(Aggregate, IncludeTimers);
+  Out += formatStr("# TYPE gdp_sessions_published_total counter\n"
+                   "gdp_sessions_published_total %llu\n",
+                   static_cast<unsigned long long>(sessionsPublished()));
+  return Out;
+}
+
+void MetricsHub::reset() {
+  Aggregate.reset();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sessions = 0;
+}

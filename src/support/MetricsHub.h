@@ -1,0 +1,86 @@
+//===- support/MetricsHub.h - Process-wide metrics aggregation --*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide aggregation point for finished telemetry sessions — the
+/// surface `gdpd --stats` will serve (ROADMAP item 1). Sessions stay
+/// thread-local and lock-free while they record; when one finishes, its
+/// owner publishes it here and the hub folds counters, value summaries,
+/// quantile histograms and timers into a single long-lived registry.
+/// Quantile buckets merge exactly (support/Histogram.h), so the hub's
+/// p50/p90/p99 are the same numbers a single giant session would report.
+///
+/// Snapshots render as the registry's JSON or as Prometheus text
+/// exposition format (version 0.0.4): counters as `counter`, value series
+/// as `summary` with p50/p90/p99 quantile labels, timers as `_seconds`
+/// counters. Metric names are sanitized (dots become underscores, `gdp_`
+/// prefix) to satisfy the Prometheus data model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_METRICSHUB_H
+#define GDP_SUPPORT_METRICSHUB_H
+
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace gdp {
+namespace telemetry {
+
+/// Aggregates finished sessions; thread-safe.
+class MetricsHub {
+public:
+  /// The process-wide hub.
+  static MetricsHub &global();
+
+  /// Folds a finished session's statistics into the aggregate. The
+  /// session must no longer be recording.
+  void publish(const TelemetrySession &S);
+
+  /// Folds a bare registry into the aggregate.
+  void publish(const StatsRegistry &R);
+
+  /// Number of publish() calls so far.
+  uint64_t sessionsPublished() const;
+
+  /// The aggregate registry (counters/values/quantiles/timers of every
+  /// published session added together).
+  const StatsRegistry &aggregate() const { return Aggregate; }
+
+  /// JSON snapshot: the aggregate registry plus `sessions_published`.
+  std::string toJson() const;
+
+  /// Prometheus text-exposition snapshot of the aggregate, plus
+  /// `gdp_sessions_published_total`. \p IncludeTimers drops the
+  /// wall-clock timer families when false, leaving only the
+  /// deterministic part (used by the determinism tests).
+  std::string toPrometheus(bool IncludeTimers = true) const;
+
+  /// Drops everything (tests).
+  void reset();
+
+  /// Renders any registry in Prometheus text exposition format; the
+  /// instance snapshot and `gdptool --prometheus` share this.
+  static std::string renderPrometheus(const StatsRegistry &R,
+                                      bool IncludeTimers = true);
+
+  /// `gdp_` + \p Name with every character outside [a-zA-Z0-9_:] mapped
+  /// to '_' — a valid Prometheus metric name.
+  static std::string prometheusName(const std::string &Name);
+
+private:
+  mutable std::mutex Mu; // Guards Sessions; Aggregate locks itself.
+  StatsRegistry Aggregate;
+  uint64_t Sessions = 0;
+};
+
+} // namespace telemetry
+} // namespace gdp
+
+#endif // GDP_SUPPORT_METRICSHUB_H

@@ -17,6 +17,7 @@ void StatsRegistry::addCounter(const std::string &Name, uint64_t Delta) {
 void StatsRegistry::recordValue(const std::string &Name, double Value) {
   std::lock_guard<std::mutex> Lock(Mu);
   Values[Name].add(Value);
+  Quantiles[Name].add(Value);
 }
 
 void StatsRegistry::addTime(const std::string &Name, double Seconds) {
@@ -42,6 +43,19 @@ ValueStats StatsRegistry::getValue(const std::string &Name) const {
   return It == Values.end() ? ValueStats() : It->second;
 }
 
+LogHistogram StatsRegistry::getQuantileHistogram(
+    const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Quantiles.find(Name);
+  return It == Quantiles.end() ? LogHistogram() : It->second;
+}
+
+double StatsRegistry::quantile(const std::string &Name, double Q) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Quantiles.find(Name);
+  return It == Quantiles.end() ? 0 : It->second.quantile(Q);
+}
+
 size_t StatsRegistry::numCounters() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Counters.size();
@@ -57,16 +71,28 @@ std::map<std::string, double> StatsRegistry::timerSnapshot() const {
   return Timers;
 }
 
+std::map<std::string, ValueStats> StatsRegistry::valueSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Values;
+}
+
+std::map<std::string, LogHistogram> StatsRegistry::quantileSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Quantiles;
+}
+
 void StatsRegistry::mergeFrom(const StatsRegistry &O) {
   // Copy the source under its own lock first; locking both would risk
   // deadlock if two registries merged into each other concurrently.
   std::map<std::string, uint64_t> OC;
   std::map<std::string, ValueStats> OV;
+  std::map<std::string, LogHistogram> OQ;
   std::map<std::string, double> OT;
   {
     std::lock_guard<std::mutex> Lock(O.Mu);
     OC = O.Counters;
     OV = O.Values;
+    OQ = O.Quantiles;
     OT = O.Timers;
   }
   std::lock_guard<std::mutex> Lock(Mu);
@@ -74,6 +100,8 @@ void StatsRegistry::mergeFrom(const StatsRegistry &O) {
     Counters[Name] += V;
   for (const auto &[Name, V] : OV)
     Values[Name].merge(V);
+  for (const auto &[Name, V] : OQ)
+    Quantiles[Name].merge(V);
   for (const auto &[Name, V] : OT)
     Timers[Name] += V;
 }
@@ -82,6 +110,7 @@ void StatsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   Counters.clear();
   Values.clear();
+  Quantiles.clear();
   Timers.clear();
 }
 
@@ -149,6 +178,19 @@ std::string StatsRegistry::toJson() const {
         jsonEscape(Name).c_str(), static_cast<unsigned long long>(V.Count),
         jsonNumber(V.Sum).c_str(), jsonNumber(V.Min).c_str(),
         jsonNumber(V.Max).c_str(), jsonNumber(V.mean()).c_str());
+    First = false;
+  }
+  Out += "\n  },\n  \"quantiles\": {";
+  First = true;
+  for (const auto &[Name, V] : Quantiles) {
+    Out += First ? "\n" : ",\n";
+    Out += formatStr(
+        "    \"%s\": {\"count\": %llu, \"p50\": %s, \"p90\": %s, "
+        "\"p99\": %s}",
+        jsonEscape(Name).c_str(), static_cast<unsigned long long>(V.count()),
+        jsonNumber(V.quantile(0.5)).c_str(),
+        jsonNumber(V.quantile(0.9)).c_str(),
+        jsonNumber(V.quantile(0.99)).c_str());
     First = false;
   }
   Out += "\n  },\n  \"timers_sec\": {";

@@ -19,6 +19,8 @@
 #ifndef GDP_SUPPORT_STATSREGISTRY_H
 #define GDP_SUPPORT_STATSREGISTRY_H
 
+#include "support/Histogram.h"
+
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -73,7 +75,9 @@ public:
   /// Adds \p Delta to the monotonic counter \p Name (created at 0).
   void addCounter(const std::string &Name, uint64_t Delta);
 
-  /// Records one sample of the value histogram \p Name.
+  /// Records one sample of the value histogram \p Name. Feeds both the
+  /// streaming summary (ValueStats) and the log-bucketed quantile
+  /// histogram, so every value metric gets p50/p90/p99 for free.
   void recordValue(const std::string &Name, double Value);
 
   /// Adds \p Seconds to the wall-clock timer \p Name.
@@ -88,6 +92,12 @@ public:
   /// Snapshot of a value histogram (zero stats if never touched).
   ValueStats getValue(const std::string &Name) const;
 
+  /// Snapshot of the quantile histogram of \p Name (empty if untouched).
+  LogHistogram getQuantileHistogram(const std::string &Name) const;
+
+  /// Quantile \p Q of the value series \p Name (0 if never touched).
+  double quantile(const std::string &Name, double Q) const;
+
   /// Number of distinct counters.
   size_t numCounters() const;
 
@@ -97,6 +107,12 @@ public:
   /// Copy of the timer table.
   std::map<std::string, double> timerSnapshot() const;
 
+  /// Copy of the value-summary table.
+  std::map<std::string, ValueStats> valueSnapshot() const;
+
+  /// Copy of the quantile-histogram table.
+  std::map<std::string, LogHistogram> quantileSnapshot() const;
+
   /// Merges every counter, histogram and timer of \p O into this registry.
   void mergeFrom(const StatsRegistry &O);
 
@@ -104,13 +120,15 @@ public:
   void reset();
 
   /// Flat JSON object: {"counters":{...},"values":{name:{count,sum,min,
-  /// max,mean}},"timers_sec":{...}} with keys in sorted order.
+  /// max,mean}},"quantiles":{name:{count,p50,p90,p99}},"timers_sec":{...}}
+  /// with keys in sorted order.
   std::string toJson() const;
 
 private:
   mutable std::mutex Mu;
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, ValueStats> Values;
+  std::map<std::string, LogHistogram> Quantiles;
   std::map<std::string, double> Timers;
 };
 

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <cstdlib>
 
 using namespace gdp;
@@ -39,15 +41,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> Task) {
+  // Capture the submitting thread's span context so the task body can
+  // parent its telemetry shard onto the span that spawned it (see
+  // telemetry::inheritedContext). Captured here — on the submitter — and
+  // installed around the body wherever it ends up running.
+  telemetry::SpanContext Ctx = telemetry::currentContext();
+  auto Run = [Ctx, Task = std::move(Task)] {
+    telemetry::InheritedContextScope Scope(Ctx);
+    Task();
+  };
   if (NumWorkers == 0) {
     // Inline mode: execute immediately, in submission order, on this
     // thread — the exact serial behaviour.
-    Task();
+    Run();
     return;
   }
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    Queue.push_back(std::move(Task));
+    Queue.push_back(std::move(Run));
   }
   QueueCV.notify_one();
 }

@@ -14,14 +14,19 @@
 #include "bench/BenchCommon.h"
 #include "partition/Exhaustive.h"
 #include "partition/Pipeline.h"
+#include "support/MetricsHub.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <tuple>
 #include <vector>
 
 using namespace gdp;
@@ -217,6 +222,99 @@ TEST(Determinism, ExhaustiveSearchIdenticalAtEveryThreadCount) {
           << E.Name << " at " << Threads << " threads";
     }
   }
+}
+
+TEST(Determinism, QuantileAndPrometheusIdenticalAtEveryThreadCount) {
+  // The merged session's quantile histograms — and the deterministic part
+  // of the Prometheus exposition rendered from it — are byte-identical at
+  // any thread count: shards are per-task and merge in input order, and
+  // log-bucket merging is exact (tests/MetricsTests.cpp).
+  auto Observe = [](unsigned Threads) {
+    support::ThreadPool Pool(Threads - 1);
+    telemetry::TelemetrySession Main;
+    telemetry::ScopedSession Scope(Main);
+    std::vector<size_t> Indices(entries().size());
+    std::iota(Indices.begin(), Indices.end(), 0);
+    std::vector<std::unique_ptr<telemetry::TelemetrySession>> Shards =
+        Pool.parallelMap(Indices, [](size_t I) {
+          auto S = std::make_unique<telemetry::TelemetrySession>();
+          S->adoptTaskContext(telemetry::inheritedContext(),
+                              static_cast<int32_t>(I));
+          telemetry::ScopedSession Inner(*S);
+          for (StrategyKind K :
+               {StrategyKind::GDP, StrategyKind::ProfileMax}) {
+            PipelineOptions Opt;
+            Opt.Strategy = K;
+            runStrategy(entries()[I].PP, Opt);
+          }
+          return S;
+        });
+    for (const auto &S : Shards)
+      Main.mergeFrom(*S);
+    // Quantile values per metric plus the full deterministic exposition.
+    std::string Prom = telemetry::MetricsHub::renderPrometheus(
+        Main.stats(), /*IncludeTimers=*/false);
+    std::map<std::string, std::vector<double>> Qs;
+    for (const auto &[Name, H] : Main.stats().quantileSnapshot())
+      for (double Q : {0.5, 0.9, 0.99})
+        Qs[Name].push_back(H.quantile(Q));
+    return std::pair(Prom, Qs);
+  };
+  entries(); // Warm up: preparation must not record into the first run.
+  auto Baseline = Observe(1);
+  EXPECT_FALSE(Baseline.second.empty());
+  EXPECT_NE(Baseline.first.find("quantile=\"0.99\""), std::string::npos);
+  for (unsigned Threads : ThreadCounts) {
+    auto Got = Observe(Threads);
+    EXPECT_EQ(Got.second, Baseline.second) << Threads << " threads";
+    EXPECT_EQ(Got.first, Baseline.first)
+        << "Prometheus exposition diverged at " << Threads << " threads";
+  }
+}
+
+TEST(Determinism, MergedSpanTreeIdenticalAtEveryThreadCount) {
+  // The merged trace's structural skeleton — event name, span id, parent
+  // id, task index, in merge order — must not depend on the thread count.
+  // (Timestamps and durations are wall-clock and excluded.)
+  auto Skeleton = [](unsigned Threads) {
+    support::ThreadPool Pool(Threads - 1);
+    telemetry::TelemetrySession Main;
+    telemetry::ScopedSession Scope(Main);
+    telemetry::Span Root("matrix", "test");
+    std::vector<size_t> Indices(entries().size());
+    std::iota(Indices.begin(), Indices.end(), 0);
+    std::vector<std::unique_ptr<telemetry::TelemetrySession>> Shards =
+        Pool.parallelMap(Indices, [](size_t I) {
+          auto S = std::make_unique<telemetry::TelemetrySession>();
+          S->adoptTaskContext(telemetry::inheritedContext(),
+                              static_cast<int32_t>(I));
+          telemetry::ScopedSession Inner(*S);
+          PipelineOptions Opt;
+          Opt.Strategy = StrategyKind::GDP;
+          runStrategy(entries()[I].PP, Opt);
+          return S;
+        });
+    for (const auto &S : Shards)
+      Main.mergeFrom(*S);
+    Root.stop();
+    std::vector<std::tuple<std::string, uint64_t, uint64_t, int32_t>> Out;
+    for (const telemetry::TraceEvent &E : Main.trace().events())
+      Out.emplace_back(E.Name, E.SpanId, E.ParentId, E.TaskIndex);
+    return Out;
+  };
+  entries(); // Warm up: preparation must not record into the first run.
+  auto Baseline = Skeleton(1);
+  ASSERT_FALSE(Baseline.empty());
+  // Every shard event was re-parented into the root's tree and tagged.
+  int32_t MaxTask = -1;
+  for (const auto &[Name, Span, Parent, Task] : Baseline)
+    if (Name != "matrix") {
+      EXPECT_GE(Task, 0) << Name;
+      MaxTask = std::max(MaxTask, Task);
+    }
+  EXPECT_EQ(MaxTask, 2) << "three tasks expected";
+  for (unsigned Threads : ThreadCounts)
+    EXPECT_EQ(Skeleton(Threads), Baseline) << Threads << " threads";
 }
 
 TEST(Determinism, ExhaustiveShardedTelemetryMergesExactly) {

@@ -308,6 +308,72 @@ TEST(PreparedCacheTest, FailedBuildsAreCachedToo) {
   EXPECT_EQ(Second.get(), First.get());
 }
 
+TEST(PreparedCacheTest, LruEvictsLeastRecentlyUsedFirst) {
+  telemetry::TelemetrySession S;
+  telemetry::ScopedSession Scope(S);
+  PreparedProgramCache Cache; // Private instance: capacity play is local.
+  Cache.setCapacity(2);
+  EXPECT_EQ(Cache.capacity(), 2u);
+
+  int Builds = 0;
+  auto Build = [&Builds] {
+    ++Builds;
+    return buildWorkload("fir");
+  };
+  Cache.get("a", 1000000ULL, false, Build);
+  Cache.get("b", 1000000ULL, false, Build);
+  // Touch "a": now "b" is the least recently used.
+  Cache.get("a", 1000000ULL, false, Build);
+  EXPECT_EQ(Builds, 2);
+  EXPECT_EQ(Cache.size(), 2u);
+
+  Cache.get("c", 1000000ULL, false, Build);
+  EXPECT_EQ(Builds, 3);
+  EXPECT_EQ(Cache.size(), 2u) << "inserting past the cap must evict";
+  EXPECT_EQ(Cache.evictionCount(), 1u);
+
+  // "a" survived (recently used), "b" was the victim and rebuilds.
+  Cache.get("a", 1000000ULL, false, Build);
+  EXPECT_EQ(Builds, 3) << "the recently-used entry must still be resident";
+  Cache.get("b", 1000000ULL, false, Build);
+  EXPECT_EQ(Builds, 4) << "the evicted entry must rebuild";
+  EXPECT_EQ(Cache.evictionCount(), 2u); // Re-inserting "b" evicted "c".
+
+  // Telemetry: evictions counted, residency sampled with peak at the cap.
+  EXPECT_EQ(S.stats().getCounter("prepared_cache.evictions"), 2u);
+  EXPECT_EQ(S.stats().getCounter("prepared_cache.misses"), 4u);
+  EXPECT_EQ(S.stats().getCounter("prepared_cache.hits"), 2u);
+  EXPECT_DOUBLE_EQ(S.stats().getValue("prepared_cache.resident").Max, 2.0);
+}
+
+TEST(PreparedCacheTest, SetCapacityEvictsDownImmediately) {
+  PreparedProgramCache Cache;
+  Cache.setCapacity(0); // Unbounded.
+  auto Build = [] { return buildWorkload("fir"); };
+  for (const char *Key : {"k1", "k2", "k3", "k4"})
+    Cache.get(Key, 1000000ULL, false, Build);
+  EXPECT_EQ(Cache.size(), 4u);
+  EXPECT_EQ(Cache.evictionCount(), 0u);
+
+  Cache.setCapacity(1);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.evictionCount(), 3u);
+  // The survivor is the most recently used key.
+  int Builds = 0;
+  Cache.get("k4", 1000000ULL, false, [&Builds] {
+    ++Builds;
+    return buildWorkload("fir");
+  });
+  EXPECT_EQ(Builds, 0) << "k4 was most recently used and must survive";
+}
+
+TEST(PreparedCacheTest, DefaultCapacityIsGenerous) {
+  PreparedProgramCache Cache;
+  EXPECT_EQ(Cache.capacity(), PreparedProgramCache::DefaultCapacity);
+  EXPECT_GE(PreparedProgramCache::DefaultCapacity, 32u)
+      << "the whole bench suite must fit without eviction churn";
+}
+
 // --- Refinement determinism --------------------------------------------------
 
 TEST(RefinementDeterminism, PartitionerIdenticalAcrossRepeatedRuns) {

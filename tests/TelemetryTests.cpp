@@ -303,9 +303,104 @@ TEST(Telemetry, DisabledFastPathAllocatesNothing) {
     value("hot.value", 1.5);
     instant("hot.marker");
     ScopedTimer T("hot.phase");
+    // Spans with attributes must be equally free when no session is
+    // installed: attr() formats only behind the enabled check.
+    Span Sp("hot.span", "cat");
+    Sp.attr("strategy", "gdp").attr("clusters", 4u).attr("score", 0.5);
   }
   EXPECT_EQ(GAllocCount.load(), Before)
       << "disabled telemetry touched the allocator";
+}
+
+TEST(Telemetry, SpanParentChildLinksInTrace) {
+  TelemetrySession S;
+  uint64_t OuterId = 0;
+  {
+    ScopedSession Scope(S);
+    Span Outer("outer", "t");
+    OuterId = Outer.id();
+    EXPECT_NE(OuterId, 0u);
+    {
+      Span Inner("inner", "t");
+      EXPECT_NE(Inner.id(), 0u);
+      EXPECT_NE(Inner.id(), OuterId);
+    }
+    instant("mark");
+  }
+  // Events flush innermost-first: inner, mark, outer.
+  const auto &Events = S.trace().events();
+  ASSERT_EQ(Events.size(), 3u);
+  const TraceEvent &Inner = Events[0], &Mark = Events[1],
+                   &Outer = Events[2];
+  EXPECT_EQ(Outer.Name, "outer");
+  EXPECT_EQ(Outer.SpanId, OuterId);
+  EXPECT_EQ(Outer.ParentId, 0u);
+  EXPECT_EQ(Inner.Name, "inner");
+  EXPECT_EQ(Inner.ParentId, OuterId);
+  // The instant fired after Inner closed, so it hangs off Outer again.
+  EXPECT_EQ(Mark.Name, "mark");
+  EXPECT_EQ(Mark.ParentId, OuterId);
+}
+
+TEST(Telemetry, SpanAttributesRenderInTraceJson) {
+  TelemetrySession S;
+  {
+    ScopedSession Scope(S);
+    Span Sp("pipeline.strategy", "pipeline");
+    Sp.attr("strategy", "gdp").attr("clusters", 2u).attr("ratio", 0.25);
+  }
+  testjson::JVal Doc;
+  std::string Err;
+  ASSERT_TRUE(testjson::parse(S.trace().toJson(), Doc, Err)) << Err;
+  const testjson::JVal &E = Doc["traceEvents"].Arr.at(0);
+  ASSERT_TRUE(E.has("args"));
+  const testjson::JVal &Args = E["args"];
+  EXPECT_GT(Args["span"].Num, 0);
+  EXPECT_EQ(Args["strategy"].Str, "gdp");
+  EXPECT_EQ(Args["clusters"].Num, 2);
+  EXPECT_DOUBLE_EQ(Args["ratio"].Num, 0.25);
+}
+
+TEST(Telemetry, MergeReparentsShardSpansAndTagsTask) {
+  TelemetrySession Main;
+  ScopedSession Scope(Main);
+  Span Root("root", "t");
+  uint64_t RootId = Root.id();
+
+  // A shard session stamped the way ThreadPool task bodies do it: adopt
+  // the submitting context plus a task index, then record under its own
+  // ScopedSession on (conceptually) another thread.
+  TelemetrySession Shard;
+  Shard.adoptTaskContext(SpanContext{RootId}, 7);
+  {
+    ScopedSession ShardScope(Shard);
+    Span Task("task.work", "t");
+    instant("task.mark");
+  }
+  Main.mergeFrom(Shard);
+  Root.stop();
+
+  const auto &Events = Main.trace().events();
+  ASSERT_EQ(Events.size(), 3u);
+  const TraceEvent *Work = nullptr, *Mark = nullptr;
+  for (const TraceEvent &E : Events) {
+    if (E.Name == "task.work")
+      Work = &E;
+    if (E.Name == "task.mark")
+      Mark = &E;
+  }
+  ASSERT_TRUE(Work && Mark);
+  // The shard's root-level span was re-parented onto the submitting span,
+  // its id remapped clear of Main's id space, and both events tagged with
+  // the originating task index.
+  EXPECT_EQ(Work->ParentId, RootId);
+  EXPECT_NE(Work->SpanId, 0u);
+  EXPECT_NE(Work->SpanId, RootId);
+  EXPECT_EQ(Work->TaskIndex, 7);
+  EXPECT_EQ(Mark->TaskIndex, 7);
+  // The nested instant still parents onto the shard's own span (remapped),
+  // not the merge parent.
+  EXPECT_EQ(Mark->ParentId, Work->SpanId);
 }
 
 TEST(Telemetry, DisabledTraceHookAllocatesNothing) {

@@ -1,0 +1,128 @@
+//===- tools/bench_diff.cpp - Benchmark regression gate ---------------------===//
+//
+// Compares two benchmark JSON files (gdp-bench-v1 records or
+// gdp-compile-speed-v1 timings) metric by metric and exits nonzero when
+// the current file regressed past the configured tolerances. CI runs this
+// against the checked-in baselines (docs/OBSERVABILITY.md).
+//
+// Usage:
+//   bench_diff BASELINE.json CURRENT.json [options]
+//     --tol=X           default relative tolerance (0.05 = +5%; default 0)
+//     --tol=METRIC:X    per-metric override (repeatable)
+//     --allow-missing   records absent from CURRENT don't fail the diff
+//     --verbose         print unchanged metrics too
+//     --report=FILE     also write the report to FILE
+//
+// Exit codes: 0 no regression, 1 regression found, 2 usage or I/O error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchDiff.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace gdp::bench;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff BASELINE.json CURRENT.json [--tol=X] "
+      "[--tol=METRIC:X]... [--allow-missing] [--verbose] [--report=FILE]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Paths[2];
+  int NumPaths = 0;
+  DiffOptions Opt;
+  bool Verbose = false;
+  std::string ReportPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--tol=", 0) == 0) {
+      std::string Spec = Arg.substr(6);
+      size_t Colon = Spec.find(':');
+      char *End = nullptr;
+      if (Colon == std::string::npos) {
+        Opt.DefaultTolerance = std::strtod(Spec.c_str(), &End);
+        if (End == Spec.c_str() || *End != '\0' || Opt.DefaultTolerance < 0) {
+          std::fprintf(stderr, "bench_diff: bad --tol value '%s'\n",
+                       Spec.c_str());
+          return 2;
+        }
+      } else {
+        std::string Metric = Spec.substr(0, Colon);
+        std::string Val = Spec.substr(Colon + 1);
+        double T = std::strtod(Val.c_str(), &End);
+        if (Metric.empty() || End == Val.c_str() || *End != '\0' || T < 0) {
+          std::fprintf(stderr, "bench_diff: bad --tol spec '%s'\n",
+                       Spec.c_str());
+          return 2;
+        }
+        Opt.MetricTolerance[Metric] = T;
+      }
+    } else if (Arg == "--allow-missing") {
+      Opt.AllowMissing = true;
+    } else if (Arg == "--verbose") {
+      Verbose = true;
+    } else if (Arg.rfind("--report=", 0) == 0) {
+      ReportPath = Arg.substr(9);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", Arg.c_str());
+      return usage();
+    } else if (NumPaths < 2) {
+      Paths[NumPaths++] = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (NumPaths != 2)
+    return usage();
+
+  std::string BaseText, CurText;
+  if (!readFile(Paths[0], BaseText)) {
+    std::fprintf(stderr, "bench_diff: cannot read baseline '%s'\n",
+                 Paths[0].c_str());
+    return 2;
+  }
+  if (!readFile(Paths[1], CurText)) {
+    std::fprintf(stderr, "bench_diff: cannot read current '%s'\n",
+                 Paths[1].c_str());
+    return 2;
+  }
+
+  DiffResult R = diffBenchJson(BaseText, CurText, Opt);
+  std::string Report = renderDiffReport(R, Verbose);
+  std::fputs(Report.c_str(), R.regressed() ? stderr : stdout);
+  if (!ReportPath.empty()) {
+    std::ofstream Out(ReportPath);
+    Out << Report;
+    if (!Out) {
+      std::fprintf(stderr, "bench_diff: cannot write report '%s'\n",
+                   ReportPath.c_str());
+      return 2;
+    }
+  }
+  if (!R.Ok)
+    return 2;
+  return R.regressed() ? 1 : 0;
+}

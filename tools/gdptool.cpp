@@ -37,6 +37,7 @@
 #include "sched/SchedulePrinter.h"
 #include "sim/Simulator.h"
 #include "support/FaultInjector.h"
+#include "support/MetricsHub.h"
 #include "support/Status.h"
 #include "support/StrUtil.h"
 #include "support/Telemetry.h"
@@ -69,6 +70,12 @@ void usage(std::FILE *Out = stderr) {
       "  sim <prog> [options]         trace-driven cycle simulation of the\n"
       "                               partitioned program vs. the static\n"
       "                               schedule estimate\n"
+      "  report <prog> [options]      per-run attribution report: phase\n"
+      "                               timings, stall taxonomy, cache and\n"
+      "                               quantile metrics, degradation events\n"
+      "      --format=text|md         report rendering (default text)\n"
+      "      --out=FILE               write the report to FILE (default\n"
+      "                               stdout)\n"
       "      --strategy=gdp|profilemax|naive|unified|all   (default: all)\n"
       "      --latency=N (or --lat=N) intercluster move latency (default 5)\n"
       "      --clusters=N             cluster count (default 2)\n"
@@ -81,6 +88,9 @@ void usage(std::FILE *Out = stderr) {
       "                               accepted by 'profile')\n"
       "      --trace=FILE.json        dump a Chrome trace_event log for\n"
       "                               chrome://tracing or Perfetto\n"
+      "      --prometheus=FILE        dump the session's metrics in\n"
+      "                               Prometheus text exposition format\n"
+      "                               (the gdpd --stats surface)\n"
       "      --faults=SITE:N[+][@SCOPE]  inject deterministic faults (see\n"
       "                               docs/ROBUSTNESS.md; also via the\n"
       "                               GDP_FAULTS environment variable)\n"
@@ -94,6 +104,7 @@ void usage(std::FILE *Out = stderr) {
 bool OptimizeFlag = false;
 std::string StatsPath;
 std::string TracePath;
+std::string PrometheusPath;
 unsigned ThreadsFlag = 0; // 0 = resolve from GDP_THREADS (else serial).
 std::unique_ptr<support::FaultPlan> FaultsFlag; // From --faults=.
 
@@ -160,7 +171,8 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
 class TelemetryExport {
 public:
   explicit TelemetryExport(bool Always = false) {
-    if (Always || !StatsPath.empty() || !TracePath.empty()) {
+    if (Always || !StatsPath.empty() || !TracePath.empty() ||
+        !PrometheusPath.empty()) {
       Session = std::make_unique<telemetry::TelemetrySession>();
       Scope =
           std::make_unique<telemetry::ScopedSession>(*Session);
@@ -171,11 +183,18 @@ public:
     Scope.reset(); // Uninstall before exporting.
     if (!Session)
       return;
+    // The finished session feeds the process-wide hub — the same flow a
+    // long-running gdpd would use per request; --prometheus then snapshots
+    // the hub the way its --stats endpoint will.
+    telemetry::MetricsHub::global().publish(*Session);
     bool WroteOk = true;
     if (!StatsPath.empty())
       WroteOk &= writeFile(StatsPath, Session->stats().toJson());
     if (!TracePath.empty())
       WroteOk &= writeFile(TracePath, Session->trace().toJson());
+    if (!PrometheusPath.empty())
+      WroteOk &= writeFile(PrometheusPath,
+                           telemetry::MetricsHub::global().toPrometheus());
     if (!WroteOk)
       std::exit(1);
   }
@@ -327,9 +346,14 @@ int cmdRun(const std::string &Spec, const std::string &StrategyArg,
   };
   support::ThreadPool Pool(toolThreads() - 1);
   std::vector<StrategyEval> Evals =
-      Pool.parallelMap(Kinds, [&](StrategyKind K) {
+      Pool.parallelMap(Kinds, [&](const StrategyKind &K) {
         StrategyEval E;
         E.Shard = std::make_unique<telemetry::TelemetrySession>();
+        // Merged --trace events carry the strategy's task index and hang
+        // off the span that was live when the task was submitted.
+        E.Shard->adoptTaskContext(
+            telemetry::inheritedContext(),
+            static_cast<int32_t>(&K - Kinds.data()));
         telemetry::ScopedSession Scope(*E.Shard);
         // Per-strategy fault scope: hit counting is independent of the
         // thread the evaluation lands on (docs/ROBUSTNESS.md).
@@ -419,9 +443,11 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
     std::unique_ptr<telemetry::TelemetrySession> Shard;
   };
   support::ThreadPool Pool(toolThreads() - 1);
-  std::vector<SimEval> Evals = Pool.parallelMap(Kinds, [&](StrategyKind K) {
+  std::vector<SimEval> Evals = Pool.parallelMap(Kinds, [&](const StrategyKind &K) {
     SimEval E;
     E.Shard = std::make_unique<telemetry::TelemetrySession>();
+    E.Shard->adoptTaskContext(telemetry::inheritedContext(),
+                              static_cast<int32_t>(&K - Kinds.data()));
     telemetry::ScopedSession Scope(*E.Shard);
     support::FaultScope Faults(
         FaultsFlag ? FaultsFlag.get() : support::FaultPlan::fromEnv(),
@@ -480,6 +506,252 @@ int cmdSim(const std::string &Spec, const std::string &StrategyArg,
       std::printf(" c%zu=%s", C,
                   formatDouble(Evals[I].S.ClusterUtilization[C], 3).c_str());
     std::printf("\n");
+  }
+  return Exit;
+}
+
+/// Table that renders as an aligned TextTable or a markdown pipe table,
+/// so `report --format=md` can be pasted into a PR description verbatim.
+class ReportTable {
+public:
+  explicit ReportTable(std::vector<std::string> H) : Header(std::move(H)) {}
+  void addRow(std::vector<std::string> R) { Rows.push_back(std::move(R)); }
+
+  std::string render(bool Markdown) const {
+    if (!Markdown) {
+      TextTable T(Header);
+      for (const auto &R : Rows)
+        T.addRow(R);
+      return T.render();
+    }
+    auto Line = [](const std::vector<std::string> &Cells) {
+      std::string S = "|";
+      for (const std::string &C : Cells)
+        S += " " + C + " |";
+      return S + "\n";
+    };
+    std::string Out = Line(Header) + "|";
+    for (size_t I = 0; I != Header.size(); ++I)
+      Out += " --- |";
+    Out += "\n";
+    for (const auto &R : Rows)
+      Out += Line(R);
+    return Out;
+  }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+std::string u64Str(uint64_t V) {
+  return formatStr("%llu", static_cast<unsigned long long>(V));
+}
+
+/// `gdptool report`: evaluates every strategy (plus the trace simulator)
+/// and renders one attribution document answering "where did this run's
+/// time and cycles go" — compile-time phases, stall taxonomy, cache
+/// behaviour, quantile metrics and robustness events. This is the human
+/// twin of the --stats/--prometheus machine exports.
+int cmdReport(const std::string &Spec, unsigned Latency, unsigned Clusters,
+              const std::string &Format, const std::string &OutPath) {
+  bool Markdown = Format == "md" || Format == "markdown";
+  if (!Markdown && Format != "text") {
+    std::fprintf(stderr, "error: unknown --format '%s' (text|md)\n",
+                 Format.c_str());
+    return 1;
+  }
+  TelemetryExport Telemetry(/*Always=*/true);
+  telemetry::Span Root("gdptool.report", "tool");
+  Root.attr("program", Spec)
+      .attr("move_latency", Latency)
+      .attr("clusters", Clusters);
+  auto C = loadPrepared(Spec, /*CaptureTrace=*/true);
+  if (!C->Prog)
+    return 2;
+  const PreparedProgram &PP = C->PP;
+  if (!PP.Ok)
+    return reportPrepareFailure(PP);
+  const Program &P = *C->Prog;
+
+  std::vector<StrategyKind> Kinds = parseStrategies("all");
+  struct ReportEval {
+    PipelineResult R;
+    SimResult S;
+    std::unique_ptr<telemetry::TelemetrySession> Shard;
+    std::map<std::string, double> Timers;
+  };
+  support::ThreadPool Pool(toolThreads() - 1);
+  std::vector<ReportEval> Evals =
+      Pool.parallelMap(Kinds, [&](const StrategyKind &K) {
+        ReportEval E;
+        E.Shard = std::make_unique<telemetry::TelemetrySession>();
+        E.Shard->adoptTaskContext(telemetry::inheritedContext(),
+                                  static_cast<int32_t>(&K - Kinds.data()));
+        telemetry::ScopedSession Scope(*E.Shard);
+        support::FaultScope Faults(
+            FaultsFlag ? FaultsFlag.get() : support::FaultPlan::fromEnv(),
+            std::string("gdptool|report|") + Spec + "|" + strategyName(K));
+        PipelineOptions Opt;
+        Opt.Strategy = K;
+        Opt.MoveLatency = Latency;
+        Opt.NumClusters = Clusters;
+        E.R = runStrategy(PP, Opt);
+        if (E.R.ok())
+          E.S = simulateStrategy(PP, E.R, Opt);
+        return E;
+      });
+
+  int Exit = 0;
+  for (size_t I = 0; I != Kinds.size(); ++I) {
+    Evals[I].Timers = Evals[I].Shard->stats().timerSnapshot();
+    Telemetry.session()->mergeFrom(*Evals[I].Shard);
+    if (Evals[I].R.Failed || (!Evals[I].S.Ok && Evals[I].R.ok()))
+      Exit = 3;
+  }
+  const telemetry::StatsRegistry &Stats = Telemetry.session()->stats();
+
+  std::string Out;
+  auto Section = [&](const char *Title) {
+    Out += Markdown ? formatStr("\n## %s\n\n", Title)
+                    : formatStr("\n%s\n\n", Title);
+  };
+  Out += Markdown ? formatStr("# gdptool report: %s\n\n", P.getName().c_str())
+                  : formatStr("gdptool report: %s\n\n", P.getName().c_str());
+  Out += formatStr("%u functions, %u ops, %u data objects; %u clusters, "
+                   "%u-cycle moves; trace of %llu block executions; "
+                   "%u threads\n",
+                   P.getNumFunctions(), P.getNumOps(), P.getNumObjects(),
+                   Clusters, Latency,
+                   static_cast<unsigned long long>(PP.Trace->numBlockEvents()),
+                   toolThreads());
+
+  // -- Strategy results ----------------------------------------------------
+  Section("strategy results");
+  {
+    ReportTable T({"strategy", "status", "cycles", "dyn moves",
+                   "static moves", "rhop runs", "sim cycles", "sim/static"});
+    for (size_t I = 0; I != Kinds.size(); ++I) {
+      const ReportEval &E = Evals[I];
+      std::string Status = E.R.Failed     ? "failed"
+                           : E.R.Degraded ? formatStr("degraded->%s",
+                                                      strategyName(
+                                                          E.R.EffectiveStrategy))
+                                          : "ok";
+      T.addRow({strategyName(Kinds[I]), Status,
+                E.R.Failed ? "-" : u64Str(E.R.Cycles),
+                E.R.Failed ? "-" : u64Str(E.R.DynamicMoves),
+                E.R.Failed ? "-" : u64Str(E.R.StaticMoves),
+                E.R.Failed ? "-" : u64Str(E.R.RHOPRuns),
+                E.S.Ok ? u64Str(E.S.Cycles) : "-",
+                E.S.Ok ? formatDouble(
+                             static_cast<double>(E.S.Cycles) /
+                                 static_cast<double>(E.R.Cycles ? E.R.Cycles
+                                                                : 1),
+                             3)
+                       : "-"});
+    }
+    Out += T.render(Markdown);
+  }
+
+  // -- Compile-time phase breakdown ----------------------------------------
+  Section("compile-time phase breakdown");
+  {
+    ReportTable T({"strategy", "data-partition ms", "rhop ms", "schedule ms",
+                   "total ms"});
+    for (size_t I = 0; I != Kinds.size(); ++I) {
+      const auto &Timers = Evals[I].Timers;
+      auto Ms = [&Timers](const char *Name) {
+        auto It = Timers.find(Name);
+        return (It == Timers.end() ? 0 : It->second) * 1e3;
+      };
+      double DP = Ms("pipeline.data_partition"), RH = Ms("pipeline.rhop"),
+             SC = Ms("pipeline.schedule");
+      T.addRow({strategyName(Kinds[I]), formatDouble(DP, 2),
+                formatDouble(RH, 2), formatDouble(SC, 2),
+                formatDouble(DP + RH + SC, 2)});
+    }
+    Out += T.render(Markdown);
+    Out += formatStr("%sshared preparation (verify+points-to+profile): "
+                     "%.2f ms\n",
+                     Markdown ? "\n" : "", PP.PrepareSeconds * 1e3);
+  }
+
+  // -- Simulator stall taxonomy --------------------------------------------
+  Section("simulator stall taxonomy");
+  {
+    ReportTable T({"strategy", "bus stall", "move stall", "port stall",
+                   "bus transfers", "remote", "local"});
+    for (size_t I = 0; I != Kinds.size(); ++I) {
+      const SimResult &S = Evals[I].S;
+      if (!S.Ok)
+        continue;
+      T.addRow({strategyName(Kinds[I]), u64Str(S.BusContentionStallCycles),
+                u64Str(S.MoveLatencyStallCycles),
+                u64Str(S.MemPortStallCycles), u64Str(S.BusTransfers),
+                u64Str(S.RemoteAccesses), u64Str(S.LocalAccesses)});
+    }
+    Out += T.render(Markdown);
+  }
+
+  // -- Prepared-program cache ----------------------------------------------
+  Section("prepared-program cache");
+  {
+    telemetry::ValueStats Resident = Stats.getValue("prepared_cache.resident");
+    Out += formatStr("hits %llu, misses %llu, evictions %llu; peak resident "
+                     "entries %g\n",
+                     static_cast<unsigned long long>(
+                         Stats.getCounter("prepared_cache.hits")),
+                     static_cast<unsigned long long>(
+                         Stats.getCounter("prepared_cache.misses")),
+                     static_cast<unsigned long long>(
+                         Stats.getCounter("prepared_cache.evictions")),
+                     Resident.Max);
+  }
+
+  // -- Quantile metrics ----------------------------------------------------
+  Section("quantile metrics");
+  {
+    ReportTable T({"metric", "count", "mean", "p50", "p90", "p99"});
+    for (const auto &[Name, H] : Stats.quantileSnapshot()) {
+      telemetry::ValueStats V = Stats.getValue(Name);
+      T.addRow({Name, u64Str(H.count()), formatDouble(V.mean(), 3),
+                formatDouble(H.quantile(0.50), 3),
+                formatDouble(H.quantile(0.90), 3),
+                formatDouble(H.quantile(0.99), 3)});
+    }
+    Out += T.render(Markdown);
+  }
+
+  // -- Robustness ----------------------------------------------------------
+  Section("robustness");
+  {
+    bool Any = false;
+    for (const auto &[Name, V] : Stats.counterSnapshot()) {
+      if (Name.rfind("budget.exhausted.", 0) == 0 ||
+          Name.rfind("pipeline.degraded.", 0) == 0 ||
+          Name == "pipeline.fallbacks" || Name.rfind("faults.", 0) == 0) {
+        Out += formatStr("%s%s = %llu\n", Markdown ? "- " : "  ",
+                         Name.c_str(), static_cast<unsigned long long>(V));
+        Any = true;
+      }
+    }
+    for (size_t I = 0; I != Kinds.size(); ++I)
+      for (const support::Diag &D : Evals[I].R.Diags) {
+        Out += formatStr("%s%s: %s\n", Markdown ? "- " : "  ",
+                         strategyName(Kinds[I]), D.render().c_str());
+        Any = true;
+      }
+    if (!Any)
+      Out += Markdown ? "clean run: no degradation, budget or fault events\n"
+                      : "  clean run: no degradation, budget or fault "
+                        "events\n";
+  }
+
+  if (OutPath.empty()) {
+    std::printf("%s", Out.c_str());
+  } else if (!writeFile(OutPath, Out)) {
+    return 2;
   }
   return Exit;
 }
@@ -575,7 +847,8 @@ int main(int argc, char **argv) {
     return cmdList();
 
   bool Known = Cmd == "print" || Cmd == "profile" || Cmd == "run" ||
-               Cmd == "sim" || Cmd == "schedule" || Cmd == "dot";
+               Cmd == "sim" || Cmd == "report" || Cmd == "schedule" ||
+               Cmd == "dot";
   if (!Known) {
     std::fprintf(stderr, "error: unknown command '%s'\n", Cmd.c_str());
     usage();
@@ -589,6 +862,7 @@ int main(int argc, char **argv) {
   }
   std::string Spec = argv[2];
   std::string Strategy = "all";
+  std::string Format = "text", OutPath;
   unsigned Latency = 5, Clusters = 2;
   bool IncludeInit = false, ShowPlacement = false, Optimize = false;
   for (int I = 3; I < argc; ++I) {
@@ -615,6 +889,12 @@ int main(int argc, char **argv) {
       StatsPath = Arg.substr(8);
     else if (Arg.rfind("--trace=", 0) == 0)
       TracePath = Arg.substr(8);
+    else if (Arg.rfind("--prometheus=", 0) == 0)
+      PrometheusPath = Arg.substr(13);
+    else if (Arg.rfind("--format=", 0) == 0)
+      Format = Arg.substr(9);
+    else if (Arg.rfind("--out=", 0) == 0)
+      OutPath = Arg.substr(6);
     else if (Arg.rfind("--faults=", 0) == 0) {
       auto Plan = std::make_unique<support::FaultPlan>();
       std::string Err;
@@ -653,6 +933,8 @@ int main(int argc, char **argv) {
     return cmdRun(Spec, Strategy, Latency, Clusters, ShowPlacement);
   if (Cmd == "sim")
     return cmdSim(Spec, Strategy, Latency, Clusters);
+  if (Cmd == "report")
+    return cmdReport(Spec, Latency, Clusters, Format, OutPath);
   if (Cmd == "schedule")
     return cmdSchedule(Spec, Strategy, Latency, Clusters);
   if (Cmd == "dot")
