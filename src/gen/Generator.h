@@ -1,0 +1,143 @@
+//===- gen/Generator.h - Seeded IR program generator ------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, valid-by-construction random IR program generator. The
+/// generated corpus is the scenario-diversity front door for the whole
+/// pipeline (ROADMAP item 5): differential tests run GDP against the
+/// exhaustive optimum on thousands of small generated programs, the
+/// robustness suite replays them under fault injection and budgets, and
+/// the `gen_scale` bench stretches compile-time work to ~10^5-operation
+/// programs where multilevel-vs-streaming tradeoffs become measurable.
+///
+/// Guarantees:
+///   - **Deterministic.** The same `GenOptions` produce a byte-identical
+///     program (same `printProgram` text) on every call, thread and
+///     process — all randomness flows through `support/Random.h`.
+///   - **Valid by construction.** Every program verifies
+///     (`verifyProgram`), terminates under the profiling interpreter
+///     (loops are counted, the call graph is acyclic), and never faults
+///     at runtime: object element counts are rounded to powers of two so
+///     every generated index is masked in-bounds, and division is never
+///     emitted with an unchecked divisor.
+///   - **Analyzable.** Addresses are `addrof`/`malloc` results plus
+///     integer arithmetic, which the points-to analysis tracks, so every
+///     load/store gets a nonempty access set.
+///
+/// A failing seed reproduces in one line:
+///   gdptool gen --seed=N --ops=K        (emits the program as IR text)
+///   gdptool run gen:N:K                 (partitions it directly)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_GEN_GENERATOR_H
+#define GDP_GEN_GENERATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace gdp {
+
+class Program;
+
+namespace gen {
+
+/// Knobs for one generated program. Every field participates in the
+/// determinism contract: two equal option structs yield byte-identical
+/// programs.
+struct GenOptions {
+  /// Master seed. Distinct seeds produce structurally distinct programs.
+  uint64_t Seed = 1;
+
+  /// Approximate static operation count to emit (the generator stops at
+  /// the first statement boundary past this). Exercised up to ~10^5.
+  unsigned TargetOps = 200;
+
+  /// Data-object count range (inclusive). Differential presets keep this
+  /// small enough for `exhaustiveSearch` (2^N placements).
+  unsigned MinObjects = 3;
+  unsigned MaxObjects = 8;
+
+  /// Object element-count range. Counts are rounded up to a power of two
+  /// so access indices can be masked in-bounds by construction.
+  uint64_t MinElems = 8;
+  uint64_t MaxElems = 64;
+
+  /// Fraction of objects that are malloc() call sites instead of globals
+  /// (sized by the profiling run, as in the paper).
+  double HeapFraction = 0.2;
+
+  /// Access skew in [0, 0.95]: 0 = uniform object selection; higher
+  /// values concentrate loads/stores on a hot prefix of the object table
+  /// (each step of the picker zooms into the first half with this
+  /// probability).
+  double AccessSkew = 0.5;
+
+  /// Maximum loop nesting depth inside one function.
+  unsigned MaxLoopDepth = 2;
+
+  /// Loop trip counts are powers of two in [2, MaxTrip]; the generator
+  /// additionally caps the product of enclosing trip counts so the
+  /// profiling interpretation stays far below its step limit.
+  uint64_t MaxTrip = 16;
+
+  /// Helper-function count range; helpers only call lower-numbered
+  /// helpers, so the call graph is a DAG (guaranteed termination).
+  unsigned MaxHelpers = 3;
+
+  /// Maximum distinct callees referenced per function (call-graph
+  /// fanout).
+  unsigned MaxCallFanout = 2;
+
+  /// Probability that an expression statement is a floating-point chain.
+  double FloatFraction = 0.15;
+
+  /// Probability that a statement is an if/else diamond.
+  double BranchFraction = 0.12;
+
+  /// Attach randomized initializers to globals (exercises `--init`
+  /// round-trips; required for interesting interpreted values).
+  bool WithInit = true;
+
+  /// Generator-side cap on the *estimated* dynamic operation count; trip
+  /// counts and call emission adapt to stay under it. Keeps preparation
+  /// (profiling interpretation) fast even at 10^5 static ops.
+  uint64_t DynOpLimit = 4000000;
+
+  /// Preset: small differential programs — few objects (so 2^N placement
+  /// enumeration is cheap), modest op count, every feature enabled.
+  static GenOptions smallDifferential(uint64_t Seed);
+
+  /// Preset: the PropertyTests shape — a handful of objects and loops,
+  /// helper calls, ~120 ops.
+  static GenOptions property(uint64_t Seed);
+
+  /// Preset: scale benching — \p Ops static operations (10^3..10^5),
+  /// larger object table, deeper loops.
+  static GenOptions scale(uint64_t Seed, unsigned Ops);
+};
+
+/// Generates one program. Never returns an unverified program: the result
+/// is checked with `verifyProgram` before being handed out, and a
+/// verifier failure (a generator bug) is reported on stderr together with
+/// the one-line repro and returned as null. Callers treat null as a hard
+/// test failure.
+std::unique_ptr<Program> generateProgram(const GenOptions &Opt);
+
+/// The one-line `gdptool` command that regenerates exactly this program
+/// (seed, op count, and any non-default shape flags).
+std::string reproCommand(const GenOptions &Opt);
+
+/// Parses a `gen:SEED[:OPS]` program spec (the short repro form accepted
+/// by `gdptool run`/`sim`/`report`). Returns false if \p Spec is not a
+/// gen spec or is malformed.
+bool parseGenSpec(const std::string &Spec, GenOptions &Out);
+
+} // namespace gen
+} // namespace gdp
+
+#endif // GDP_GEN_GENERATOR_H

@@ -1,0 +1,95 @@
+//===- tests/GenDifferentialTests.cpp - GDP vs optimum on generated corpus ----===//
+//
+// The DifferentialTests contract, scaled from 20 hand-built workloads to a
+// generated corpus: for a sweep of seeded small programs (few objects, so
+// the 2^N exhaustive enumeration is cheap), assert that
+//
+//   (a) GDP never beats the enumerated optimum,
+//   (b) evaluating GDP's mask through the exhaustive path reproduces the
+//       GDP pipeline's cycle count exactly,
+//   (c) GDP stays within the same 1.35x sanity bound of the optimum that
+//       the hand-built suite satisfies.
+//
+// Sweep width: GDP_GEN_SEEDS (CI extended job: 500; acceptance floor:
+// 100), default small to keep ctest fast. Any failing seed prints its
+// one-line `gdptool gen` repro and, under GDP_GEN_DUMP_DIR, dumps IR.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+#include "partition/Exhaustive.h"
+#include "partition/Pipeline.h"
+#include "tests/GenTestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+using namespace gdp;
+
+namespace {
+
+/// Same tripwire as tests/DifferentialTests.cpp — the generated corpus
+/// must not be allowed a looser bound than the curated suite.
+constexpr double SanityBound = 1.35;
+
+TEST(GenDifferential, GDPWithinBoundOfExhaustiveOptimum) {
+  unsigned N = gentest::seedCount(24);
+  unsigned Checked = 0;
+  double WorstRatio = 0;
+  uint64_t WorstSeed = 0;
+  for (uint64_t Seed = 1; Seed <= N; ++Seed) {
+    gen::GenOptions Opt = gen::GenOptions::smallDifferential(Seed);
+    SCOPED_TRACE(gen::reproCommand(Opt));
+    bool Before = ::testing::Test::HasFailure();
+
+    std::unique_ptr<Program> P = gen::generateProgram(Opt);
+    ASSERT_NE(P, nullptr);
+    PreparedProgram PP = prepareProgram(*P);
+    ASSERT_TRUE(PP.Ok) << PP.Error;
+
+    PipelineOptions PO;
+    PO.MoveLatency = 5;
+    ExhaustiveResult Ex = exhaustiveSearch(PP, PO, /*Threads=*/0);
+    ASSERT_TRUE(Ex.Ok);
+    ASSERT_FALSE(Ex.Points.empty());
+
+    PO.Strategy = StrategyKind::GDP;
+    PipelineResult G = runStrategy(PP, PO);
+    ASSERT_FALSE(G.Failed);
+
+    // (a) Never better than the enumerated optimum.
+    ASSERT_LT(Ex.GDPMask, Ex.Points.size());
+    const ExhaustivePoint &GPoint = Ex.Points[Ex.GDPMask];
+    EXPECT_GE(GPoint.Cycles, Ex.BestCycles);
+    EXPECT_GE(G.Cycles, Ex.BestCycles);
+
+    // (b) Exhaustive evaluation of GDP's mask is the GDP pipeline.
+    EXPECT_EQ(G.Cycles, GPoint.Cycles)
+        << "evaluating GDP's placement through the exhaustive path must "
+        << "reproduce the GDP pipeline's schedule";
+
+    // (c) Sanity bound against the optimum.
+    double Ratio = static_cast<double>(GPoint.Cycles) /
+                   static_cast<double>(Ex.BestCycles);
+    EXPECT_LE(Ratio, SanityBound)
+        << "GDP is " << Ratio << "x the exhaustive optimum ("
+        << GPoint.Cycles << " vs " << Ex.BestCycles << " cycles)";
+    if (Ratio > WorstRatio) {
+      WorstRatio = Ratio;
+      WorstSeed = Seed;
+    }
+    ++Checked;
+
+    if (!Before && ::testing::Test::HasFailure())
+      gentest::dumpFailingSeed(Opt, P.get(), "differential");
+  }
+  EXPECT_EQ(Checked, N);
+  std::printf("  gen differential: %u seeds checked, worst ratio %.3f "
+              "(seed %llu)\n",
+              Checked, WorstRatio,
+              static_cast<unsigned long long>(WorstSeed));
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+//===- tests/GenRoundTripTests.cpp - Printer/parser fixpoint on gen corpus ----===//
+//
+// For a seed sweep over generated programs: IRPrinter → IRParser →
+// IRPrinter reaches a fixpoint in one round trip (the reprinted text is
+// byte-identical), the reparsed program verifies, and it prepares to the
+// same profile-visible behaviour (same op and object counts). This is
+// what makes `gdptool gen --out=f.gdp` + `gdptool run f.gdp` a faithful
+// repro path for any corpus failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "tests/GenTestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace gdp;
+
+namespace {
+
+void roundTripOne(const gen::GenOptions &Opt) {
+  SCOPED_TRACE(gen::reproCommand(Opt));
+  bool Before = ::testing::Test::HasFailure();
+  std::unique_ptr<Program> P = gen::generateProgram(Opt);
+  ASSERT_NE(P, nullptr);
+  std::string T1 = printProgram(*P, /*IncludeInit=*/true);
+
+  ParseResult R = parseProgram(T1);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  VerifyResult VR = verifyProgram(*R.P);
+  EXPECT_TRUE(VR.ok()) << VR.message();
+  EXPECT_EQ(R.P->getNumOps(), P->getNumOps());
+  EXPECT_EQ(R.P->getNumObjects(), P->getNumObjects());
+
+  std::string T2 = printProgram(*R.P, /*IncludeInit=*/true);
+  EXPECT_EQ(T1, T2) << "print -> parse -> print is not a fixpoint";
+
+  if (!Before && ::testing::Test::HasFailure())
+    gentest::dumpFailingSeed(Opt, P.get(), "round trip");
+}
+
+TEST(GenRoundTrip, PropertyShapeSweep) {
+  unsigned N = gentest::seedCount(25);
+  for (uint64_t Seed = 1; Seed <= N; ++Seed)
+    roundTripOne(gen::GenOptions::property(Seed));
+}
+
+TEST(GenRoundTrip, DifferentialShapeSweep) {
+  unsigned N = gentest::seedCount(25);
+  for (uint64_t Seed = 1; Seed <= N; ++Seed)
+    roundTripOne(gen::GenOptions::smallDifferential(Seed));
+}
+
+TEST(GenRoundTrip, ScaleShapeWithFloatsAndHeap) {
+  // One larger program with every feature dialed up: floats (the %g
+  // constant round trip), heap sites, deep loops, helper calls.
+  gen::GenOptions Opt = gen::GenOptions::scale(3, 4000);
+  Opt.FloatFraction = 0.4;
+  Opt.HeapFraction = 0.5;
+  roundTripOne(Opt);
+}
+
+} // namespace

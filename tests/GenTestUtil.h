@@ -1,0 +1,69 @@
+//===- tests/GenTestUtil.h - Shared gen-corpus test helpers -----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the generated-program test suites
+/// (docs/TESTING.md): the seed-sweep width control (`GDP_GEN_SEEDS`) and
+/// the failing-seed workflow — every failure prints the one-line
+/// `gdptool gen` repro, and with `GDP_GEN_DUMP_DIR` set the offending
+/// program's IR text is written there for CI artifact upload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_TESTS_GENTESTUTIL_H
+#define GDP_TESTS_GENTESTUTIL_H
+
+#include "gen/Generator.h"
+#include "ir/IRPrinter.h"
+#include "ir/Program.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace gdp {
+namespace gentest {
+
+/// Number of seeds a sweep should cover: `GDP_GEN_SEEDS` when set (the CI
+/// extended job uses 500), else \p Default — chosen per suite so the
+/// default ctest run stays fast.
+inline unsigned seedCount(unsigned Default) {
+  const char *Env = std::getenv("GDP_GEN_SEEDS");
+  if (!Env || !*Env)
+    return Default;
+  long V = std::strtol(Env, nullptr, 10);
+  if (V < 1)
+    return Default;
+  return static_cast<unsigned>(V > 100000 ? 100000 : V);
+}
+
+/// Reports one failing generated program: the one-line repro on stderr
+/// and, when `GDP_GEN_DUMP_DIR` is set, the full IR text as
+/// `<dir>/gen_s<seed>_<ops>.gdp` (uploaded as a CI artifact).
+inline void dumpFailingSeed(const gen::GenOptions &Opt, const Program *P,
+                            const std::string &Why) {
+  std::fprintf(stderr, "gen corpus failure (%s)\n  repro: %s\n",
+               Why.c_str(), gen::reproCommand(Opt).c_str());
+  const char *Dir = std::getenv("GDP_GEN_DUMP_DIR");
+  if (!Dir || !*Dir || !P)
+    return;
+  std::string Path = std::string(Dir) + "/gen_s" +
+                     std::to_string(Opt.Seed) + "_" +
+                     std::to_string(Opt.TargetOps) + ".gdp";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "  (could not write %s)\n", Path.c_str());
+    return;
+  }
+  Out << printProgram(*P, /*IncludeInit=*/true);
+  std::fprintf(stderr, "  IR dumped to %s\n", Path.c_str());
+}
+
+} // namespace gentest
+} // namespace gdp
+
+#endif // GDP_TESTS_GENTESTUTIL_H

@@ -1,19 +1,20 @@
 //===- tests/PropertyTests.cpp - Randomized whole-pipeline properties ----------===//
 //
-// A random program generator drives end-to-end properties: every generated
-// program must verify, execute, be soundly analyzed by points-to, and go
-// through all four partitioning strategies with consistent invariants
-// (locks respected, placements complete, unified at least as fast as any
-// placement-constrained strategy up to refinement noise).
+// The seeded src/gen generator drives end-to-end properties: every
+// generated program must verify, execute, be soundly analyzed by
+// points-to, and go through all four partitioning strategies with
+// consistent invariants (locks respected, placements complete, unified at
+// least as fast as any placement-constrained strategy up to refinement
+// noise). GenTests/GenRoundTripTests/GenDifferentialTests own the
+// generator's own contracts; this file owns the pipeline invariants.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/PointsTo.h"
-#include "ir/IRBuilder.h"
+#include "gen/Generator.h"
 #include "ir/Verifier.h"
 #include "partition/Pipeline.h"
 #include "profile/Interpreter.h"
-#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
@@ -21,80 +22,12 @@ using namespace gdp;
 
 namespace {
 
-/// Generates a random but well-formed program: a few global arrays, one or
-/// two loops with random arithmetic over random objects, and a couple of
-/// helper functions.
+/// One generated program per seed, in the PropertyTests shape: a handful
+/// of objects (globals and heap sites), loops, helper calls, ~140 ops.
+/// generateProgram never hands out an unverified program; a null return
+/// is a generator bug and fails the calling test via its null check.
 std::unique_ptr<Program> makeRandomProgram(uint64_t Seed) {
-  Random RNG(Seed * 0x9e37 + 17);
-  auto P = std::make_unique<Program>("rand");
-
-  unsigned NumObjects = 3 + static_cast<unsigned>(RNG.nextBelow(4));
-  std::vector<int> Objects;
-  std::vector<unsigned> Sizes;
-  for (unsigned O = 0; O != NumObjects; ++O) {
-    unsigned Elems = 16 + static_cast<unsigned>(RNG.nextBelow(64));
-    int Obj = P->addGlobal("g" + std::to_string(O), Elems,
-                           1 + RNG.nextBelow(4));
-    std::vector<int64_t> Init(Elems);
-    for (auto &V : Init)
-      V = RNG.nextInRange(-100, 100);
-    P->getObject(Obj).setInit(std::move(Init));
-    Objects.push_back(Obj);
-    Sizes.push_back(Elems);
-  }
-
-  // helper(x) { return x*3 + 1; }
-  Function *Helper = P->makeFunction("helper", 1);
-  {
-    IRBuilder B(Helper);
-    B.setInsertPoint(Helper->makeBlock("entry"));
-    B.ret(B.add(B.mul(0, B.movi(3)), B.movi(1)));
-  }
-
-  Function *Main = P->makeFunction("main", 0);
-  P->setEntry(Main->getId());
-  IRBuilder B(Main);
-  B.setInsertPoint(Main->makeBlock("entry"));
-
-  std::vector<int> Bases;
-  for (int Obj : Objects)
-    Bases.push_back(B.addrOf(Obj));
-
-  unsigned NumLoops = 1 + static_cast<unsigned>(RNG.nextBelow(2));
-  int Acc = B.movi(0);
-  for (unsigned Loop = 0; Loop != NumLoops; ++Loop) {
-    unsigned Src = static_cast<unsigned>(RNG.nextBelow(NumObjects));
-    unsigned Dst = static_cast<unsigned>(RNG.nextBelow(NumObjects));
-    unsigned Trip = std::min(Sizes[Src], Sizes[Dst]);
-    auto L = B.beginCountedLoop(0, static_cast<int64_t>(Trip));
-    int V = B.load(B.add(Bases[Src], L.IndVar));
-    // A random expression chain.
-    for (unsigned Step = 0, E = 1 + static_cast<unsigned>(RNG.nextBelow(4));
-         Step != E; ++Step) {
-      switch (RNG.nextBelow(5)) {
-      case 0:
-        V = B.add(V, B.movi(RNG.nextInRange(1, 9)));
-        break;
-      case 1:
-        V = B.mul(V, B.movi(RNG.nextInRange(2, 5)));
-        break;
-      case 2:
-        V = B.xor_(V, L.IndVar);
-        break;
-      case 3:
-        V = B.max(V, B.movi(0));
-        break;
-      default:
-        V = B.call(Helper, {V});
-        break;
-      }
-    }
-    B.store(V, B.add(Bases[Dst], L.IndVar));
-    B.emitBinaryTo(Acc, Opcode::Add, Acc, B.abs(V));
-    B.endCountedLoop(L);
-  }
-  B.ret(Acc);
-  return P;
+  return gen::generateProgram(gen::GenOptions::property(Seed));
 }
 
 } // namespace

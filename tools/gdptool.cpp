@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "gen/Generator.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "analysis/CFG.h"
@@ -62,6 +63,13 @@ void usage(std::FILE *Out = stderr) {
       Out,
       "usage: gdptool <command> [args]\n"
       "  list                         list bundled workloads\n"
+      "  gen [gen-options]            emit a seeded random program as IR\n"
+      "      --seed=N --ops=K         master seed / target op count\n"
+      "      --objects=MIN:MAX --elems=MIN:MAX --heap=F --skew=F\n"
+      "      --depth=N --trip=N --helpers=N --fanout=N --float=F\n"
+      "      --branch=F --noinit --dynlimit=N   shape knobs (see\n"
+      "                               src/gen/Generator.h)\n"
+      "      --out=FILE               write the IR there instead of stdout\n"
       "  schedule <prog> [options]    dump the hottest region's schedule\n"
       "  dot <prog>                   GraphViz of the merged program graph\n"
       "  print <prog> [--init]        dump the program's IR\n"
@@ -95,7 +103,9 @@ void usage(std::FILE *Out = stderr) {
       "                               docs/ROBUSTNESS.md; also via the\n"
       "                               GDP_FAULTS environment variable)\n"
       "  --help                       print this message\n"
-      "<prog> is a bundled workload name or a path to a textual IR file.\n"
+      "<prog> is a bundled workload name, a path to a textual IR file, or a\n"
+      "generated-program spec gen:SEED[:OPS] (same program as 'gdptool gen\n"
+      "--seed=SEED --ops=OPS').\n"
       "exit codes: 0 success (including degraded strategy fallbacks),\n"
       "            1 usage error, 2 input/parse/verify/profile error,\n"
       "            3 infeasible or failed evaluation\n");
@@ -207,6 +217,17 @@ private:
 };
 
 std::unique_ptr<Program> loadProgram(const std::string &Spec) {
+  if (Spec.rfind("gen:", 0) == 0) {
+    gen::GenOptions GO;
+    if (!gen::parseGenSpec(Spec, GO)) {
+      std::fprintf(stderr,
+                   "error: malformed generated-program spec '%s' "
+                   "(expected gen:SEED[:OPS])\n",
+                   Spec.c_str());
+      return nullptr;
+    }
+    return gen::generateProgram(GO); // Null already diagnosed on stderr.
+  }
   if (auto P = buildWorkload(Spec))
     return P;
   std::ifstream In(Spec);
@@ -252,6 +273,87 @@ loadPrepared(const std::string &Spec, bool CaptureTrace = false) {
           maybeOptimize(*P);
         return P;
       });
+}
+
+/// Parses "MIN:MAX" into two unsigned 64-bit bounds.
+bool parseRange(const std::string &V, uint64_t &Lo, uint64_t &Hi) {
+  size_t Colon = V.find(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == V.size())
+    return false;
+  std::string A = V.substr(0, Colon), B = V.substr(Colon + 1);
+  if (A.find_first_not_of("0123456789") != std::string::npos ||
+      B.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  Lo = std::strtoull(A.c_str(), nullptr, 10);
+  Hi = std::strtoull(B.c_str(), nullptr, 10);
+  return Lo != 0 && Lo <= Hi;
+}
+
+/// `gdptool gen`: emits one generated program as parseable IR text —
+/// the one-line repro surface for every gen-corpus test failure.
+int cmdGen(int argc, char **argv) {
+  gen::GenOptions GO;
+  std::string OutPath;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    bool Ok = true;
+    uint64_t Lo = 0, Hi = 0;
+    if (Arg.rfind("--seed=", 0) == 0)
+      GO.Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg.rfind("--ops=", 0) == 0) {
+      unsigned long Ops = std::strtoul(Arg.c_str() + 6, nullptr, 10);
+      Ok = Ops > 0 && Ops <= 2000000;
+      GO.TargetOps = static_cast<unsigned>(Ops);
+    } else if (Arg.rfind("--objects=", 0) == 0) {
+      Ok = parseRange(Arg.substr(10), Lo, Hi);
+      GO.MinObjects = static_cast<unsigned>(Lo);
+      GO.MaxObjects = static_cast<unsigned>(Hi);
+    } else if (Arg.rfind("--elems=", 0) == 0) {
+      Ok = parseRange(Arg.substr(8), Lo, Hi);
+      GO.MinElems = Lo;
+      GO.MaxElems = Hi;
+    } else if (Arg.rfind("--heap=", 0) == 0)
+      GO.HeapFraction = std::atof(Arg.c_str() + 7);
+    else if (Arg.rfind("--skew=", 0) == 0)
+      GO.AccessSkew = std::atof(Arg.c_str() + 7);
+    else if (Arg.rfind("--depth=", 0) == 0)
+      GO.MaxLoopDepth = static_cast<unsigned>(std::atoi(Arg.c_str() + 8));
+    else if (Arg.rfind("--trip=", 0) == 0)
+      GO.MaxTrip = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg.rfind("--helpers=", 0) == 0)
+      GO.MaxHelpers = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    else if (Arg.rfind("--fanout=", 0) == 0)
+      GO.MaxCallFanout = static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--float=", 0) == 0)
+      GO.FloatFraction = std::atof(Arg.c_str() + 8);
+    else if (Arg.rfind("--branch=", 0) == 0)
+      GO.BranchFraction = std::atof(Arg.c_str() + 9);
+    else if (Arg == "--noinit")
+      GO.WithInit = false;
+    else if (Arg.rfind("--dynlimit=", 0) == 0)
+      GO.DynOpLimit = std::strtoull(Arg.c_str() + 11, nullptr, 10);
+    else if (Arg.rfind("--out=", 0) == 0)
+      OutPath = Arg.substr(6);
+    else {
+      std::fprintf(stderr, "error: unknown gen option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+    if (!Ok) {
+      std::fprintf(stderr, "error: bad value in '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  auto P = gen::generateProgram(GO);
+  if (!P)
+    return 2;
+  std::string Text = printProgram(*P, /*IncludeInit=*/true);
+  if (OutPath.empty())
+    std::printf("%s", Text.c_str());
+  else if (!writeFile(OutPath, Text))
+    return 2;
+  return 0;
 }
 
 int cmdList() {
@@ -845,6 +947,8 @@ int main(int argc, char **argv) {
   }
   if (Cmd == "list")
     return cmdList();
+  if (Cmd == "gen")
+    return cmdGen(argc, argv);
 
   bool Known = Cmd == "print" || Cmd == "profile" || Cmd == "run" ||
                Cmd == "sim" || Cmd == "report" || Cmd == "schedule" ||
