@@ -88,6 +88,23 @@ bool flatten(const JVal &Doc, std::map<std::string, FlatRecord> &Out,
     }
     return true;
   }
+  if (Schema == "gdp-serve-v1") {
+    // One record per file, keyed by cluster shape. Deterministic counts
+    // only — throughput/latency are wall-clock (zeroed by the bench's
+    // --deterministic mode) and never gated.
+    std::string Key = "serve";
+    if (Doc.has("shards"))
+      Key += "|shards" + numKey(Doc["shards"].Num);
+    if (Doc.has("clients"))
+      Key += "|clients" + numKey(Doc["clients"].Num);
+    FlatRecord &F = Out[Key];
+    for (const char *M : {"requests", "ok", "failed", "cache_hits"})
+      if (Doc.has(M) && Doc[M].K == JVal::Number)
+        F.Metrics[M] = Doc[M].Num;
+    if (F.Metrics.count("failed") && F.Metrics["failed"] > 0)
+      F.Failed = true;
+    return true;
+  }
   Error = "unknown schema \"" + Schema + "\"";
   return false;
 }

@@ -1,0 +1,350 @@
+//===- bench/serve_load.cpp - gdpd closed-loop load generator ---------------===//
+//
+// Drives a gdpd cluster with concurrent closed-loop clients (each sends
+// its next request the moment the previous response arrives) and reports
+// throughput and latency quantiles as a machine-readable BENCH_serve.json
+// (schema gdp-serve-v1, understood by bench_diff):
+//
+//   serve_load [--server=ADDR] [--shards=N] [--clients=N] [--requests=N]
+//              [--threads-per-shard=N] [--out=FILE] [--sock-dir=DIR]
+//              [--deterministic]
+//
+// Without --server the bench boots its own local cluster in-process: N
+// shard servers plus one coordinator, all over unix sockets in
+// --sock-dir (default /tmp), torn down cleanly at the end — the
+// single-command serving benchmark, and the same topology the serve CI
+// job builds from real gdpd processes. With --server it drives an
+// already-running daemon instead and the cluster flags are ignored.
+//
+// The run has two phases. A serial *warmup* sends each distinct spec once
+// so every shard's prepared-program cache is hot; the timed closed loop
+// then measures the steady serving state. That makes the record's
+// request/cache/status counts deterministic (first-touch cache misses
+// race between concurrent clients otherwise), so with --deterministic —
+// which zeroes the wall-clock fields — the record is byte-stable.
+//
+// Exit code 1 if any timed request failed (shed, error, or transport),
+// so CI's nominal-load run asserts zero sheds by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Coordinator.h"
+#include "serve/Server.h"
+#include "support/Histogram.h"
+#include "support/StatsRegistry.h"
+#include "support/StrUtil.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gdp;
+using namespace gdp::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The request mix: cheap, cache-friendly specs whose keys spread across
+/// shards (the coordinator routes by key hash). Deliberately small
+/// programs — the bench measures the serving fabric at steady state
+/// (warm prepared-program cache), not partitioning heft, and the per-
+/// request partition pass is CPU-bound, so sub-millisecond specs are
+/// what let a single box demonstrate six-figure req/min rates.
+const char *const kSpecs[] = {
+    "pegwit",    "gen:5:24",  "gen:11:24",
+    "gen:17:30", "gen:23:30", "gen:5:40",
+};
+constexpr size_t kNumSpecs = sizeof(kSpecs) / sizeof(kSpecs[0]);
+
+/// Requests cycle strategies the way a KV bench mixes reads and writes:
+/// mostly the paper's GDP partitioner, with naive/unified baseline
+/// requests interleaved (both are real service traffic — baselines are
+/// what clients diff GDP results against).
+const char *const kStrategies[] = {"gdp", "naive", "gdp", "unified"};
+constexpr size_t kNumStrategies = sizeof(kStrategies) / sizeof(kStrategies[0]);
+
+struct ClientStats {
+  uint64_t Ok = 0;
+  uint64_t CacheHits = 0;
+  std::map<std::string, uint64_t> ByStatus;
+  telemetry::ValueStats LatencyMs;
+  telemetry::LogHistogram LatencyHist;
+};
+
+/// One in-process cluster member: a Server pumping on its own thread.
+struct Member {
+  std::unique_ptr<Service> Svc;
+  std::unique_ptr<Backend> B;
+  std::unique_ptr<Server> Srv;
+  std::thread Pump;
+};
+
+std::string jsonDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ServerAddr, OutPath = "BENCH_serve.json", SockDir = "/tmp";
+  unsigned Shards = 4, Clients = 8, ThreadsPerShard = 2;
+  uint64_t Requests = 2000;
+  bool Deterministic = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--server=", 0) == 0)
+      ServerAddr = Arg.substr(9);
+    else if (Arg.rfind("--shards=", 0) == 0)
+      Shards = static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--clients=", 0) == 0)
+      Clients = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    else if (Arg.rfind("--requests=", 0) == 0)
+      Requests = std::strtoull(Arg.c_str() + 11, nullptr, 10);
+    else if (Arg.rfind("--threads-per-shard=", 0) == 0)
+      ThreadsPerShard = static_cast<unsigned>(std::atoi(Arg.c_str() + 20));
+    else if (Arg.rfind("--out=", 0) == 0)
+      OutPath = Arg.substr(6);
+    else if (Arg.rfind("--sock-dir=", 0) == 0)
+      SockDir = Arg.substr(11);
+    else if (Arg == "--deterministic")
+      Deterministic = true;
+    else {
+      std::fprintf(stderr, "serve_load: unknown flag '%s'\n", Arg.c_str());
+      return 1;
+    }
+  }
+  if (Shards == 0 || Clients == 0 || Requests == 0) {
+    std::fprintf(stderr, "serve_load: --shards/--clients/--requests must "
+                         "be positive\n");
+    return 1;
+  }
+
+  // Boot the in-process cluster unless an external server was given.
+  std::vector<Member> Cluster;
+  support::SockAddr Target;
+  if (ServerAddr.empty()) {
+    std::vector<support::SockAddr> ShardAddrs;
+    auto boot = [&](const support::SockAddr &Listen,
+                    std::unique_ptr<Backend> B, std::unique_ptr<Service> Svc,
+                    unsigned Threads) -> bool {
+      Member M;
+      M.Svc = std::move(Svc);
+      M.B = std::move(B);
+      ServerOptions SO;
+      SO.Listen = Listen;
+      SO.Threads = Threads;
+      SO.MaxInflight = Clients * 2 + 8; // Nominal load must never shed.
+      M.Srv = std::make_unique<Server>(SO, *M.Svc, *M.B);
+      std::vector<support::Diag> Diags;
+      if (!M.Srv->start(Diags)) {
+        for (const auto &D : Diags)
+          std::fprintf(stderr, "serve_load: %s\n", D.render().c_str());
+        return false;
+      }
+      Server *S = M.Srv.get();
+      M.Pump = std::thread([S] { S->run(); });
+      Cluster.push_back(std::move(M));
+      return true;
+    };
+    auto stopCluster = [&] {
+      for (auto &M : Cluster)
+        M.Srv->requestStop();
+      for (auto &M : Cluster)
+        if (M.Pump.joinable())
+          M.Pump.join();
+    };
+    ServiceOptions SvcOpt;
+    SvcOpt.Deterministic = Deterministic;
+    for (unsigned I = 0; I != Shards; ++I) {
+      support::SockAddr A;
+      A.IsUnix = true;
+      A.Path = formatStr("%s/gdp-serve-load-%d-s%u.sock", SockDir.c_str(),
+                         static_cast<int>(::getpid()), I);
+      auto Svc = std::make_unique<Service>(SvcOpt);
+      auto B = std::make_unique<LocalBackend>(*Svc);
+      if (!boot(A, std::move(B), std::move(Svc), ThreadsPerShard)) {
+        stopCluster();
+        return 1;
+      }
+      ShardAddrs.push_back(Cluster.back().Srv->boundAddr());
+    }
+    support::SockAddr CA;
+    CA.IsUnix = true;
+    CA.Path = formatStr("%s/gdp-serve-load-%d-coord.sock", SockDir.c_str(),
+                        static_cast<int>(::getpid()));
+    auto CoordSvc = std::make_unique<Service>(SvcOpt);
+    auto CoordB = std::make_unique<CoordinatorBackend>(ShardAddrs,
+                                                       /*TimeoutMs=*/30000);
+    // Each persistent client connection pins one pool worker for the whole
+    // run, and the Server's pool has Threads-1 workers: size for all
+    // clients plus the warmup connection.
+    if (!boot(CA, std::move(CoordB), std::move(CoordSvc),
+              /*Threads=*/Clients + 2)) {
+      stopCluster();
+      return 1;
+    }
+    Target = Cluster.back().Srv->boundAddr();
+  } else {
+    std::string Err;
+    if (!support::SockAddr::parse(ServerAddr, Target, &Err)) {
+      std::fprintf(stderr, "serve_load: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  auto Teardown = [&] {
+    for (auto &M : Cluster)
+      M.Srv->requestStop();
+    for (auto &M : Cluster)
+      if (M.Pump.joinable())
+        M.Pump.join();
+  };
+
+  auto makeRequest = [](size_t I) {
+    PartitionRequest Req;
+    Req.Spec = kSpecs[I % kNumSpecs];
+    Req.Strategy = kStrategies[I % kNumStrategies];
+    return Req;
+  };
+
+  // Warmup: one serial request per distinct spec primes every shard's
+  // prepared-program cache, so the timed loop measures steady state.
+  {
+    Client C;
+    std::vector<support::Diag> Diags;
+    if (!C.connect(Target, 30000, &Diags)) {
+      for (const auto &D : Diags)
+        std::fprintf(stderr, "serve_load: %s\n", D.render().c_str());
+      Teardown();
+      return 1;
+    }
+    for (size_t I = 0; I != kNumSpecs; ++I) {
+      std::string Body;
+      Status S = C.partition(makeRequest(I), Body, nullptr);
+      if (S != Status::Ok) {
+        std::fprintf(stderr, "serve_load: warmup request '%s' answered %s\n",
+                     kSpecs[I % kNumSpecs], statusName(S));
+        Teardown();
+        return 1;
+      }
+    }
+  }
+
+  // The timed closed loop: a shared ticket counter hands out request
+  // indices; each client drives its persistent connection flat out.
+  std::atomic<uint64_t> Next{0};
+  std::vector<ClientStats> PerClient(Clients);
+  std::vector<std::thread> Workers;
+  auto T0 = Clock::now();
+  for (unsigned W = 0; W != Clients; ++W) {
+    Workers.emplace_back([&, W] {
+      ClientStats &St = PerClient[W];
+      Client C;
+      if (!C.connect(Target, 30000, nullptr)) {
+        St.ByStatus["transport_error"] += Requests ? 1 : 0;
+        return;
+      }
+      for (;;) {
+        uint64_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Requests)
+          return;
+        auto R0 = Clock::now();
+        std::string Body;
+        Status S = C.partition(makeRequest(static_cast<size_t>(I)), Body,
+                               nullptr);
+        double Ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - R0)
+                .count();
+        St.ByStatus[statusName(S)] += 1;
+        if (S == Status::Ok) {
+          ++St.Ok;
+          if (Body.find("\"cache\": \"hit\"") != std::string::npos)
+            ++St.CacheHits;
+          St.LatencyMs.add(Ms);
+          St.LatencyHist.add(Ms);
+        } else if (!C.connected() && !C.connect(Target, 30000, nullptr))
+          return; // Server gone; remaining tickets count as missing.
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  double WallSec = std::chrono::duration<double>(Clock::now() - T0).count();
+  Teardown();
+
+  // Merge in fixed client order (determinism contract).
+  ClientStats Total;
+  for (const ClientStats &St : PerClient) {
+    Total.Ok += St.Ok;
+    Total.CacheHits += St.CacheHits;
+    for (const auto &[K, V] : St.ByStatus)
+      Total.ByStatus[K] += V;
+    Total.LatencyMs.merge(St.LatencyMs);
+    Total.LatencyHist.merge(St.LatencyHist);
+  }
+  uint64_t Answered = 0;
+  for (const auto &[K, V] : Total.ByStatus)
+    Answered += V;
+  uint64_t Failed = Answered - Total.Ok + (Requests - Answered);
+
+  double Rps = WallSec > 0 ? static_cast<double>(Total.Ok) / WallSec : 0;
+  auto Z = [&](double V) { return Deterministic ? 0.0 : V; };
+  std::string S = "{\n  \"schema\": \"gdp-serve-v1\",\n";
+  S += formatStr("  \"shards\": %u,\n  \"clients\": %u,\n", Shards, Clients);
+  S += formatStr("  \"requests\": %llu,\n",
+                 static_cast<unsigned long long>(Requests));
+  S += formatStr("  \"warmup_requests\": %llu,\n",
+                 static_cast<unsigned long long>(kNumSpecs));
+  S += formatStr("  \"ok\": %llu,\n",
+                 static_cast<unsigned long long>(Total.Ok));
+  S += formatStr("  \"failed\": %llu,\n",
+                 static_cast<unsigned long long>(Failed));
+  S += formatStr("  \"cache_hits\": %llu,\n",
+                 static_cast<unsigned long long>(Total.CacheHits));
+  S += "  \"by_status\": {";
+  bool First = true;
+  for (const auto &[K, V] : Total.ByStatus) {
+    S += First ? "" : ", ";
+    S += formatStr("\"%s\": %llu", K.c_str(),
+                   static_cast<unsigned long long>(V));
+    First = false;
+  }
+  S += "},\n";
+  S += "  \"wall_sec\": " + jsonDouble(Z(WallSec)) + ",\n";
+  S += "  \"throughput_rps\": " + jsonDouble(Z(Rps)) + ",\n";
+  S += "  \"throughput_rpm\": " + jsonDouble(Z(Rps * 60)) + ",\n";
+  S += "  \"latency_ms\": {";
+  S += "\"mean\": " + jsonDouble(Z(Total.LatencyMs.mean())) + ", ";
+  S += "\"p50\": " + jsonDouble(Z(Total.LatencyHist.quantile(0.5))) + ", ";
+  S += "\"p90\": " + jsonDouble(Z(Total.LatencyHist.quantile(0.9))) + ", ";
+  S += "\"p99\": " + jsonDouble(Z(Total.LatencyHist.quantile(0.99))) + ", ";
+  S += "\"max\": " + jsonDouble(Z(Total.LatencyMs.Max)) + "}\n}\n";
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "serve_load: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  Out << S;
+  std::printf("%s", S.c_str());
+  std::printf("serve_load: %llu ok / %llu failed, %s req/s (%s req/min), "
+              "p50 %.2fms p99 %.2fms\n",
+              static_cast<unsigned long long>(Total.Ok),
+              static_cast<unsigned long long>(Failed),
+              jsonDouble(Rps).c_str(), jsonDouble(Rps * 60).c_str(),
+              Total.LatencyHist.quantile(0.5),
+              Total.LatencyHist.quantile(0.99));
+  return Failed == 0 ? 0 : 1;
+}

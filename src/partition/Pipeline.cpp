@@ -420,8 +420,27 @@ PipelineResult gdp::runStrategy(const PreparedProgram &PP,
   // GDP → ProfileMax → Naive, accumulating phase times, RHOP runs and
   // diagnostics across the attempts. Naive and Unified have no failure
   // modes of their own, so the chain always terminates.
+  // Per-evaluation budget (serving deadlines): polled between ladder
+  // attempts and before the schedule phase, never mid-phase, so a result
+  // under budget is bit-identical to one evaluated without a budget.
+  std::unique_ptr<support::BudgetMeter> Meter;
+  if (Opt.EvalBudget && !Opt.EvalBudget->unlimited())
+    Meter = std::make_unique<support::BudgetMeter>(*Opt.EvalBudget);
+  auto OverBudget = [&](const char *Site) {
+    if (!Meter || Meter->charge(0))
+      return false;
+    R.Failed = true;
+    R.Diags.push_back(Meter->diag(Site));
+    telemetry::counter("pipeline.budget_exhausted");
+    return true;
+  };
+
   StrategyKind Effective = Opt.Strategy;
   for (;;) {
+    if (OverBudget("pipeline.strategy")) {
+      R.EffectiveStrategy = Effective;
+      return R;
+    }
     bool AttemptFailed = false;
     PipelineResult A;
     switch (Effective) {
@@ -472,6 +491,8 @@ PipelineResult gdp::runStrategy(const PreparedProgram &PP,
   R.PartitionSeconds = R.Phases.partitionSeconds();
   telemetry::counter("pipeline.strategy_runs");
 
+  if (OverBudget("pipeline.schedule"))
+    return R;
   {
     PhaseClock T(R.Phases.ScheduleSeconds, "pipeline.schedule");
     if (support::faultAt("sched.estimate")) {

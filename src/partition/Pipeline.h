@@ -30,6 +30,7 @@
 #include "partition/RHOP.h"
 #include "profile/ProfileData.h"
 #include "sched/ClusterAssignment.h"
+#include "support/Budget.h"
 #include "support/Status.h"
 
 #include <memory>
@@ -65,6 +66,13 @@ struct PipelineOptions {
   double ProfileMaxBalanceTolerance = 0.125;
   /// Optional fully custom machine (overrides NumClusters/MoveLatency).
   const MachineModel *Machine = nullptr;
+  /// Optional evaluation budget, polled at phase boundaries (between
+  /// degradation-ladder attempts and before the final schedule). When it
+  /// expires mid-evaluation the result comes back Failed with a
+  /// BudgetExhausted/Cancelled diagnostic instead of running to
+  /// completion — the serving layer (src/serve) derives this from each
+  /// request's deadline. Must outlive the runStrategy call.
+  const support::Budget *EvalBudget = nullptr;
 };
 
 /// A verified, annotated and profiled program ready for partitioning.

@@ -1,0 +1,109 @@
+//===- serve/Client.cpp - gdpd client library -------------------------------===//
+
+#include "serve/Client.h"
+
+#include "support/StrUtil.h"
+
+using namespace gdp;
+using namespace gdp::serve;
+using support::Diag;
+using support::errorDiag;
+using support::StatusCode;
+
+bool Client::connect(const support::SockAddr &A, int ConnectTimeoutMs,
+                     std::vector<Diag> *Diags) {
+  Addr = A;
+  Conn = support::connectTo(A, ConnectTimeoutMs, Diags);
+  return Conn.valid();
+}
+
+bool Client::roundTrip(Verb V, const std::string &Payload, Frame &Resp,
+                       std::vector<Diag> *Diags) {
+  if (!Conn.valid()) {
+    if (Diags)
+      Diags->push_back(errorDiag(StatusCode::UsageError, "client.send",
+                                 "not connected"));
+    return false;
+  }
+  std::string F = encodeFrame(V, Status::Ok, Payload);
+  if (!Conn.sendAll(F.data(), F.size(), TimeoutMs, Diags)) {
+    Conn.close();
+    return false;
+  }
+  FrameReader Reader;
+  char Buf[4096];
+  for (;;) {
+    size_t Want = Reader.wanted();
+    if (Want > 0) {
+      size_t Chunk = Want < sizeof(Buf) ? Want : sizeof(Buf);
+      size_t Got = Conn.recvAll(Buf, Chunk, TimeoutMs, Diags);
+      if (Got > 0)
+        Reader.feed(Buf, Got);
+      if (Got < Chunk) {
+        if (Diags && Got == 0)
+          Diags->push_back(errorDiag(StatusCode::InputError, "client.recv",
+                                     "server closed the connection before "
+                                     "responding")
+                               .with("server", Addr.str()));
+        Conn.close();
+        return false;
+      }
+      continue;
+    }
+    Diag D;
+    int Rc = Reader.next(Resp, D);
+    if (Rc > 0)
+      return true;
+    // Rc == 0 cannot happen with wanted()-sized reads; treat any decode
+    // failure as a poisoned connection.
+    if (Diags)
+      Diags->push_back(std::move(D));
+    Conn.close();
+    return false;
+  }
+}
+
+bool Client::ping(std::string &InfoJson, std::vector<Diag> *Diags) {
+  Frame Resp;
+  if (!roundTrip(Verb::Ping, "", Resp, Diags))
+    return false;
+  InfoJson = Resp.Payload;
+  if (Resp.S != Status::Ok) {
+    if (Diags)
+      Diags->push_back(errorDiag(StatusCode::InputError, "client.ping",
+                                 formatStr("server answered %s",
+                                           statusName(Resp.S))));
+    return false;
+  }
+  return true;
+}
+
+Status Client::partition(const PartitionRequest &Req, std::string &Body,
+                         std::vector<Diag> *Diags) {
+  Frame Resp;
+  if (!roundTrip(Verb::Partition, Req.encode(), Resp, Diags)) {
+    Body.clear();
+    return Status::InternalError;
+  }
+  Body = Resp.Payload;
+  return Resp.S;
+}
+
+Status Client::stats(StatsFormat Fmt, std::string &Body,
+                     std::vector<Diag> *Diags) {
+  WireWriter W;
+  W.u8(static_cast<uint8_t>(Fmt));
+  Frame Resp;
+  if (!roundTrip(Verb::Stats, W.bytes(), Resp, Diags)) {
+    Body.clear();
+    return Status::InternalError;
+  }
+  Body = Resp.Payload;
+  return Resp.S;
+}
+
+bool Client::shutdownServer(std::vector<Diag> *Diags) {
+  Frame Resp;
+  return roundTrip(Verb::Shutdown, "", Resp, Diags) &&
+         Resp.S == Status::Ok;
+}

@@ -1,0 +1,76 @@
+//===- serve/Client.h - gdpd client library ---------------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the gdpd protocol: one blocking request/response
+/// exchange at a time over a persistent connection. Shared by `gdptool
+/// request`, the coordinator's shard connections, and `bench_serve_load`'s
+/// closed-loop workers. Not thread-safe — one Client per thread (the
+/// coordinator guards its per-shard clients with a mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SERVE_CLIENT_H
+#define GDP_SERVE_CLIENT_H
+
+#include "serve/Wire.h"
+#include "support/Socket.h"
+
+#include <string>
+#include <vector>
+
+namespace gdp {
+namespace serve {
+
+/// Persistent connection to one gdpd server.
+class Client {
+public:
+  Client() = default;
+
+  /// Connects (replacing any current connection). False + diags on error.
+  bool connect(const support::SockAddr &Addr, int TimeoutMs,
+               std::vector<support::Diag> *Diags = nullptr);
+
+  bool connected() const { return Conn.valid(); }
+  void close() { Conn.close(); }
+  const support::SockAddr &addr() const { return Addr; }
+
+  /// Sends one request frame and receives its response. False + diags on
+  /// a transport/framing failure (the connection is closed); protocol-
+  /// level errors come back as \p Resp.S with a diags body instead.
+  bool roundTrip(Verb V, const std::string &Payload, Frame &Resp,
+                 std::vector<support::Diag> *Diags = nullptr);
+
+  /// Ping; fills the server-info JSON on success.
+  bool ping(std::string &InfoJson,
+            std::vector<support::Diag> *Diags = nullptr);
+
+  /// Executes one partition request. Returns the wire status (InternalError
+  /// on transport failure) and fills \p Body with the response payload.
+  Status partition(const PartitionRequest &Req, std::string &Body,
+                   std::vector<support::Diag> *Diags = nullptr);
+
+  /// Fetches server statistics in \p Fmt.
+  Status stats(StatsFormat Fmt, std::string &Body,
+               std::vector<support::Diag> *Diags = nullptr);
+
+  /// Asks the server (and, through a coordinator, its shards) to drain
+  /// and exit.
+  bool shutdownServer(std::vector<support::Diag> *Diags = nullptr);
+
+  /// Per-exchange I/O timeout.
+  void setTimeoutMs(int Ms) { TimeoutMs = Ms; }
+
+private:
+  support::SockAddr Addr;
+  support::Socket Conn;
+  int TimeoutMs = 30000;
+};
+
+} // namespace serve
+} // namespace gdp
+
+#endif // GDP_SERVE_CLIENT_H

@@ -1,0 +1,101 @@
+//===- serve/Coordinator.cpp - Sharded request routing ----------------------===//
+
+#include "serve/Coordinator.h"
+
+#include "support/StrUtil.h"
+
+using namespace gdp;
+using namespace gdp::serve;
+using support::Diag;
+using support::errorDiag;
+using support::StatusCode;
+
+uint64_t gdp::serve::routeHash(const std::string &Key) {
+  uint64_t H = 14695981039346656037ULL;
+  for (char C : Key) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+CoordinatorBackend::CoordinatorBackend(std::vector<support::SockAddr> Addrs,
+                                       int TimeoutMs)
+    : TimeoutMs(TimeoutMs) {
+  for (auto &A : Addrs) {
+    auto S = std::make_unique<Shard>();
+    S->Addr = A;
+    S->C.setTimeoutMs(TimeoutMs);
+    Shards.push_back(std::move(S));
+  }
+}
+
+template <class Fn>
+bool CoordinatorBackend::withShard(size_t I, std::vector<Diag> *Diags,
+                                   Fn &&F) {
+  Shard &S = *Shards[I];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (!S.C.connected() && !S.C.connect(S.Addr, TimeoutMs, Diags))
+    return false;
+  if (F(S.C))
+    return true;
+  // One reconnect: the shard may have restarted or idled the connection
+  // out since the last request routed here.
+  if (Diags)
+    Diags->clear();
+  if (!S.C.connect(S.Addr, TimeoutMs, Diags))
+    return false;
+  return F(S.C);
+}
+
+PartitionOutcome CoordinatorBackend::partition(const PartitionRequest &Req,
+                                               support::CancelToken *) {
+  size_t I = shardFor(Req.key());
+  PartitionOutcome Out;
+  std::vector<Diag> Diags;
+  bool Reached = withShard(I, &Diags, [&](Client &C) {
+    Out.S = C.partition(Req, Out.Body, &Diags);
+    return Out.S != Status::InternalError || !Out.Body.empty();
+  });
+  if (!Reached) {
+    Diags.push_back(errorDiag(StatusCode::Internal, "coord.route",
+                              "shard unreachable")
+                        .with("shard", static_cast<uint64_t>(I))
+                        .with("addr", Shards[I]->Addr.str()));
+    Out.S = Status::Unavailable;
+    Out.Body = diagsBody(Diags);
+  }
+  return Out;
+}
+
+bool CoordinatorBackend::collectStats(telemetry::StatsRegistry &Into,
+                                      std::vector<Diag> &Diags) {
+  bool AllReached = true;
+  for (size_t I = 0; I != Shards.size(); ++I) {
+    std::string Blob;
+    bool Reached = withShard(I, &Diags, [&](Client &C) {
+      return C.stats(StatsFormat::Binary, Blob, &Diags) == Status::Ok;
+    });
+    Diag D;
+    if (!Reached || !decodeRegistryInto(Blob, Into, D)) {
+      if (!Reached)
+        Diags.push_back(errorDiag(StatusCode::Internal, "coord.stats",
+                                  "shard stats unavailable")
+                            .with("shard", static_cast<uint64_t>(I))
+                            .with("addr", Shards[I]->Addr.str()));
+      else
+        Diags.push_back(std::move(D));
+      AllReached = false;
+      continue;
+    }
+    Into.addCounter(formatStr("coord.shard.%llu.reports",
+                              static_cast<unsigned long long>(I)),
+                    1);
+  }
+  return AllReached;
+}
+
+void CoordinatorBackend::forwardShutdown() {
+  for (size_t I = 0; I != Shards.size(); ++I)
+    withShard(I, nullptr, [](Client &C) { return C.shutdownServer(); });
+}

@@ -1,0 +1,89 @@
+//===- serve/Coordinator.h - Sharded request routing ------------*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `gdpd --coordinator`: a Backend that owns one persistent client per
+/// worker shard and routes each partition request to the shard that owns
+/// its key (stable FNV-1a hash of the request key modulo the shard
+/// count — the same spec always lands on the same shard, so each shard's
+/// prepared-program cache stays hot for its slice of the key space,
+/// RSCoordinator-style; see ROADMAP.md).
+///
+/// Stats requests fan out: every shard returns its registry in the binary
+/// wire format and the coordinator merges them exactly (LogHistogram
+/// buckets add losslessly), then layers its own serving stats on top — a
+/// cluster-wide p99 is computed from the union of every shard's samples,
+/// not approximated from per-shard quantiles. Shutdown forwards to every
+/// shard before the coordinator itself drains: one request tears down the
+/// whole cluster.
+///
+/// A shard connection that drops is reconnected once per request; a shard
+/// that stays unreachable fails only the requests routed to it
+/// (`Status::Unavailable`), not the whole coordinator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SERVE_COORDINATOR_H
+#define GDP_SERVE_COORDINATOR_H
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gdp {
+namespace serve {
+
+/// Stable FNV-1a (64-bit) of a request key — the routing hash. Not
+/// std::hash, whose value may differ between libraries/processes.
+uint64_t routeHash(const std::string &Key);
+
+/// Routes requests across worker shards over the gdpd protocol.
+class CoordinatorBackend : public Backend {
+public:
+  /// \p Shards are the worker addresses; connections are lazy (first
+  /// request to a shard connects it).
+  CoordinatorBackend(std::vector<support::SockAddr> Shards, int TimeoutMs);
+
+  /// The shard index that owns \p Key.
+  size_t shardFor(const std::string &Key) const {
+    return static_cast<size_t>(routeHash(Key) % Shards.size());
+  }
+
+  PartitionOutcome partition(const PartitionRequest &Req,
+                             support::CancelToken *Drain) override;
+  bool collectStats(telemetry::StatsRegistry &Into,
+                    std::vector<support::Diag> &Diags) override;
+  void forwardShutdown() override;
+  const char *role() const override { return "coordinator"; }
+
+  size_t numShards() const { return Shards.size(); }
+
+private:
+  /// One shard connection: a mutex-guarded persistent client (requests to
+  /// the same shard serialize; different shards proceed in parallel).
+  struct Shard {
+    support::SockAddr Addr;
+    std::mutex Mu;
+    Client C;
+  };
+
+  /// Runs \p Fn with the shard's client connected (reconnecting once if
+  /// needed) under its lock. False if the shard is unreachable.
+  template <class Fn>
+  bool withShard(size_t I, std::vector<support::Diag> *Diags, Fn &&F);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  int TimeoutMs;
+};
+
+} // namespace serve
+} // namespace gdp
+
+#endif // GDP_SERVE_COORDINATOR_H

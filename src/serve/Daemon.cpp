@@ -1,0 +1,196 @@
+//===- serve/Daemon.cpp - gdpd process lifecycle ----------------------------===//
+
+#include "serve/Daemon.h"
+
+#include "serve/Coordinator.h"
+#include "partition/PreparedCache.h"
+#include "support/FaultInjector.h"
+#include "support/StrUtil.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace gdp;
+using namespace gdp::serve;
+
+namespace {
+
+/// The server the signal handlers stop. Installed for the duration of one
+/// runDaemon call; requestStop() only stores an atomic, so the handler is
+/// async-signal-safe.
+std::atomic<Server *> ActiveServer{nullptr};
+
+void onStopSignal(int) {
+  if (Server *S = ActiveServer.load(std::memory_order_relaxed))
+    S->requestStop();
+}
+
+bool parseUnsigned(const std::string &V, uint64_t &Out) {
+  if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  Out = std::strtoull(V.c_str(), nullptr, 10);
+  return true;
+}
+
+} // namespace
+
+bool gdp::serve::parseDaemonArg(const std::string &Arg, DaemonOptions &O,
+                                std::string &Err) {
+  auto Value = [&](const char *Name) {
+    std::string Prefix = std::string(Name) + "=";
+    return Arg.rfind(Prefix, 0) == 0 ? Arg.substr(Prefix.size())
+                                     : std::string();
+  };
+  auto Is = [&](const char *Name) {
+    return Arg.rfind(std::string(Name) + "=", 0) == 0;
+  };
+  uint64_t N;
+  if (Is("--listen")) {
+    if (!support::SockAddr::parse(Value("--listen"), O.Listen, &Err))
+      return false;
+    O.HaveListen = true;
+    return true;
+  }
+  if (Arg == "--coordinator") {
+    O.Coordinator = true;
+    return true;
+  }
+  if (Is("--shard")) {
+    support::SockAddr A;
+    if (!support::SockAddr::parse(Value("--shard"), A, &Err))
+      return false;
+    O.Shards.push_back(A);
+    return true;
+  }
+  if (Is("--threads")) {
+    if (!parseUnsigned(Value("--threads"), N) || N == 0 || N > 256) {
+      Err = "--threads expects 1..256";
+      return false;
+    }
+    O.Threads = static_cast<unsigned>(N);
+    return true;
+  }
+  if (Is("--max-inflight")) {
+    if (!parseUnsigned(Value("--max-inflight"), N)) {
+      Err = "--max-inflight expects a number";
+      return false;
+    }
+    O.MaxInflight = static_cast<size_t>(N);
+    return true;
+  }
+  if (Is("--cache-cap")) {
+    if (!parseUnsigned(Value("--cache-cap"), N) || N == 0) {
+      Err = "--cache-cap expects a positive number";
+      return false;
+    }
+    O.CacheCap = static_cast<size_t>(N);
+    return true;
+  }
+  if (Is("--deadline-ms")) {
+    if (!parseUnsigned(Value("--deadline-ms"), N)) {
+      Err = "--deadline-ms expects a number";
+      return false;
+    }
+    O.DefaultDeadlineMs = N;
+    return true;
+  }
+  if (Arg == "--deterministic") {
+    O.Deterministic = true;
+    return true;
+  }
+  if (Is("--io-timeout-ms")) {
+    if (!parseUnsigned(Value("--io-timeout-ms"), N) || N == 0) {
+      Err = "--io-timeout-ms expects a positive number";
+      return false;
+    }
+    O.IoTimeoutMs = static_cast<int>(N);
+    return true;
+  }
+  if (Is("--drain-ms")) {
+    if (!parseUnsigned(Value("--drain-ms"), N)) {
+      Err = "--drain-ms expects a number";
+      return false;
+    }
+    O.DrainMs = static_cast<int>(N);
+    return true;
+  }
+  Err = "unknown flag '" + Arg + "'";
+  return false;
+}
+
+int gdp::serve::runDaemon(const DaemonOptions &O) {
+  if (!O.HaveListen) {
+    std::fprintf(stderr, "gdpd: error: --listen=ADDR is required\n");
+    return 2;
+  }
+  if (O.Coordinator && O.Shards.empty()) {
+    std::fprintf(stderr,
+                 "gdpd: error: --coordinator needs at least one --shard\n");
+    return 2;
+  }
+  if (!O.Coordinator && !O.Shards.empty()) {
+    std::fprintf(stderr, "gdpd: error: --shard requires --coordinator\n");
+    return 2;
+  }
+
+  if (O.CacheCap)
+    PreparedProgramCache::global().setCapacity(O.CacheCap);
+
+  ServiceOptions SvcOpt;
+  SvcOpt.DefaultDeadlineMs = O.DefaultDeadlineMs;
+  SvcOpt.Deterministic = O.Deterministic;
+  Service Svc(SvcOpt);
+
+  std::unique_ptr<Backend> B;
+  if (O.Coordinator)
+    B = std::make_unique<CoordinatorBackend>(O.Shards, O.IoTimeoutMs);
+  else
+    B = std::make_unique<LocalBackend>(Svc);
+
+  ServerOptions SrvOpt;
+  SrvOpt.Listen = O.Listen;
+  SrvOpt.Threads = O.Threads ? O.Threads : support::threadCountFromEnv();
+  SrvOpt.MaxInflight = O.MaxInflight;
+  SrvOpt.IoTimeoutMs = O.IoTimeoutMs;
+  SrvOpt.DrainMs = O.DrainMs;
+  SrvOpt.Faults = support::FaultPlan::fromEnv();
+  Server Srv(SrvOpt, Svc, *B);
+
+  std::vector<support::Diag> Diags;
+  if (!Srv.start(Diags)) {
+    for (const auto &D : Diags)
+      std::fprintf(stderr, "gdpd: %s\n", D.render().c_str());
+    return 2;
+  }
+
+  // Readiness line: launchers (tests, CI, bench harness) wait for it and
+  // parse the bound address (the kernel picks the port for ":0").
+  std::printf("gdpd: %s listening on %s\n", B->role(),
+              Srv.boundAddr().str().c_str());
+  std::fflush(stdout);
+
+  ActiveServer.store(&Srv, std::memory_order_relaxed);
+  struct sigaction SA;
+  struct sigaction OldInt, OldTerm;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  ::sigaction(SIGINT, &SA, &OldInt);
+  ::sigaction(SIGTERM, &SA, &OldTerm);
+
+  int Rc = Srv.run();
+
+  ::sigaction(SIGINT, &OldInt, nullptr);
+  ::sigaction(SIGTERM, &OldTerm, nullptr);
+  ActiveServer.store(nullptr, std::memory_order_relaxed);
+
+  std::printf("gdpd: drained (%s), served %llu requests\n",
+              Rc == 0 ? "clean" : "stragglers cancelled",
+              static_cast<unsigned long long>(
+                  Svc.registry().getCounter("serve.requests.total")));
+  std::fflush(stdout);
+  return Rc;
+}

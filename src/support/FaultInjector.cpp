@@ -14,7 +14,9 @@ using namespace gdp::support;
 
 const std::vector<std::string> &gdp::support::faultSites() {
   static const std::vector<std::string> Sites = {
-      "graph.coarsen", "rhop.lock", "sched.estimate", "sim.bus", "pool.task",
+      "graph.coarsen", "rhop.lock",     "sched.estimate",
+      "sim.bus",       "pool.task",     "serve.accept",
+      "serve.dispatch",
   };
   return Sites;
 }

@@ -34,6 +34,10 @@
 ///   sched.estimate — the final schedule estimate fails (evaluation fails)
 ///   sim.bus        — the cycle simulator's bus model fails
 ///   pool.task      — a parallel evaluation task throws (FaultInjectedError)
+///   serve.accept   — gdpd's accept loop fails a newly accepted connection
+///                    (the client gets an internal-error frame)
+///   serve.dispatch — gdpd's frame dispatch fails one request and drops
+///                    that connection (the daemon itself stays up)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -115,6 +115,22 @@ public:
     Buckets[bucketIndex(V)] += N;
   }
 
+  /// Adds \p N samples directly into bucket \p Index — the decoding half
+  /// of the serving layer's binary stats codec (serve/Wire.h). Exact:
+  /// round-tripping a histogram through (buckets(), addBucket) preserves
+  /// every bucket count, so cross-process merges stay exact too.
+  void addBucket(int32_t Index, uint64_t N) {
+    Total += N;
+    Buckets[Index] += N;
+  }
+
+  /// Adds \p N underflow samples (zero/negative/non-finite); the codec's
+  /// counterpart of underflowCount().
+  void addUnderflow(uint64_t N) {
+    Total += N;
+    Underflow += N;
+  }
+
   /// Exact merge: bucket counts add up, order-independent.
   void merge(const LogHistogram &O) {
     Total += O.Total;

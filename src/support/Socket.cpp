@@ -1,0 +1,317 @@
+//===- support/Socket.cpp - RAII sockets for the serving layer --------------===//
+
+#include "support/Socket.h"
+
+#include "support/StrUtil.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gdp;
+using namespace gdp::support;
+
+namespace {
+
+Diag errnoDiag(const char *Site, const char *What) {
+  return errorDiag(StatusCode::Internal, Site,
+                   formatStr("%s failed: %s", What, std::strerror(errno)));
+}
+
+void addDiag(std::vector<Diag> *Diags, Diag D) {
+  if (Diags)
+    Diags->push_back(std::move(D));
+}
+
+/// poll() one fd for \p Events; 1 ready, 0 timeout, -1 error.
+int pollOne(int Fd, short Events, int TimeoutMs) {
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = Events;
+  P.revents = 0;
+  int Rc = ::poll(&P, 1, TimeoutMs);
+  if (Rc < 0)
+    return errno == EINTR ? 0 : -1; // Treat EINTR as a timeout tick.
+  return Rc;
+}
+
+} // namespace
+
+std::string SockAddr::str() const {
+  if (IsUnix)
+    return "unix:" + Path;
+  return formatStr("%s:%u", Host.c_str(), static_cast<unsigned>(Port));
+}
+
+bool SockAddr::parse(const std::string &Text, SockAddr &Out,
+                     std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  Out = SockAddr();
+  if (Text.rfind("unix:", 0) == 0) {
+    Out.IsUnix = true;
+    Out.Path = Text.substr(5);
+    if (Out.Path.empty())
+      return Fail("empty unix socket path in '" + Text + "'");
+    if (Out.Path.size() >= sizeof(sockaddr_un{}.sun_path))
+      return Fail("unix socket path too long: '" + Out.Path + "'");
+    return true;
+  }
+  size_t Colon = Text.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Text.size())
+    return Fail("expected HOST:PORT or unix:/path, got '" + Text + "'");
+  std::string PortStr = Text.substr(Colon + 1);
+  if (PortStr.find_first_not_of("0123456789") != std::string::npos ||
+      PortStr.size() > 5)
+    return Fail("bad port '" + PortStr + "' in '" + Text + "'");
+  unsigned long P = std::strtoul(PortStr.c_str(), nullptr, 10);
+  if (P > 65535)
+    return Fail("port out of range in '" + Text + "'");
+  Out.Host = Colon == 0 ? std::string("127.0.0.1") : Text.substr(0, Colon);
+  Out.Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Socket::sendAll(const void *Data, size_t Len, int TimeoutMs,
+                     std::vector<Diag> *Diags) {
+  const char *P = static_cast<const char *>(Data);
+  size_t Sent = 0;
+  while (Sent < Len) {
+    int Rc = pollOne(Fd, POLLOUT, TimeoutMs);
+    if (Rc < 0) {
+      addDiag(Diags, errnoDiag("socket.send", "poll"));
+      return false;
+    }
+    if (Rc == 0) {
+      addDiag(Diags, errorDiag(StatusCode::Internal, "socket.send",
+                               "send timed out")
+                         .with("timeout_ms", static_cast<int64_t>(TimeoutMs)));
+      return false;
+    }
+    ssize_t N = ::send(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      addDiag(Diags, errnoDiag("socket.send", "send"));
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+size_t Socket::recvAll(void *Data, size_t Len, int TimeoutMs,
+                       std::vector<Diag> *Diags) {
+  char *P = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got < Len) {
+    int Rc = pollOne(Fd, POLLIN, TimeoutMs);
+    if (Rc < 0) {
+      addDiag(Diags, errnoDiag("socket.recv", "poll"));
+      return Got;
+    }
+    if (Rc == 0) {
+      addDiag(Diags, errorDiag(StatusCode::Internal, "socket.recv",
+                               "receive timed out")
+                         .with("timeout_ms", static_cast<int64_t>(TimeoutMs))
+                         .with("got_bytes", static_cast<uint64_t>(Got)));
+      return Got;
+    }
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N == 0)
+      return Got; // Clean EOF; the caller decides if mid-message.
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (Got > 0 || (errno != ECONNRESET && errno != EPIPE))
+        addDiag(Diags, errnoDiag("socket.recv", "recv"));
+      return Got;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return Got;
+}
+
+int Socket::waitReadable(int TimeoutMs) {
+  return pollOne(Fd, POLLIN, TimeoutMs);
+}
+
+ListenSocket::~ListenSocket() { close(); }
+
+ListenSocket::ListenSocket(ListenSocket &&O) noexcept
+    : Sock(std::move(O.Sock)), Bound(std::move(O.Bound)) {
+  O.Bound = SockAddr();
+}
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Sock = std::move(O.Sock);
+    Bound = std::move(O.Bound);
+    O.Bound = SockAddr();
+  }
+  return *this;
+}
+
+void ListenSocket::close() {
+  bool WasOpen = Sock.valid();
+  Sock.close();
+  if (WasOpen && Bound.IsUnix && !Bound.Path.empty())
+    ::unlink(Bound.Path.c_str());
+}
+
+bool ListenSocket::listen(const SockAddr &Addr, std::vector<Diag> &Diags,
+                          int Backlog) {
+  close();
+  int Fd = ::socket(Addr.IsUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Diags.push_back(errnoDiag("socket.listen", "socket"));
+    return false;
+  }
+  Socket S(Fd);
+  if (Addr.IsUnix) {
+    ::unlink(Addr.Path.c_str()); // Drop a stale socket file from a crash.
+    sockaddr_un SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sun_family = AF_UNIX;
+    std::strncpy(SA.sun_path, Addr.Path.c_str(), sizeof(SA.sun_path) - 1);
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+      Diags.push_back(
+          errorDiag(StatusCode::InputError, "socket.listen",
+                    formatStr("cannot bind '%s': %s", Addr.str().c_str(),
+                              std::strerror(errno))));
+      return false;
+    }
+    Bound = Addr;
+  } else {
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sin_family = AF_INET;
+    SA.sin_port = htons(Addr.Port);
+    if (::inet_pton(AF_INET, Addr.Host.c_str(), &SA.sin_addr) != 1) {
+      Diags.push_back(errorDiag(StatusCode::InputError, "socket.listen",
+                                "bad IPv4 address '" + Addr.Host + "'"));
+      return false;
+    }
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+      Diags.push_back(
+          errorDiag(StatusCode::InputError, "socket.listen",
+                    formatStr("cannot bind '%s': %s", Addr.str().c_str(),
+                              std::strerror(errno))));
+      return false;
+    }
+    socklen_t SALen = sizeof(SA);
+    ::getsockname(Fd, reinterpret_cast<sockaddr *>(&SA), &SALen);
+    Bound = Addr;
+    Bound.Port = ntohs(SA.sin_port);
+  }
+  if (::listen(Fd, Backlog) < 0) {
+    Diags.push_back(errnoDiag("socket.listen", "listen"));
+    return false;
+  }
+  Sock = std::move(S);
+  return true;
+}
+
+Socket ListenSocket::accept(int TimeoutMs, bool &TimedOut) {
+  TimedOut = false;
+  int Rc = pollOne(Sock.fd(), POLLIN, TimeoutMs);
+  if (Rc <= 0) {
+    TimedOut = Rc == 0;
+    return Socket();
+  }
+  int Fd = ::accept(Sock.fd(), nullptr, nullptr);
+  if (Fd < 0)
+    return Socket();
+  return Socket(Fd);
+}
+
+Socket gdp::support::connectTo(const SockAddr &Addr, int TimeoutMs,
+                               std::vector<Diag> *Diags) {
+  int Fd = ::socket(Addr.IsUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    addDiag(Diags, errnoDiag("socket.connect", "socket"));
+    return Socket();
+  }
+  Socket S(Fd);
+  // Non-blocking connect so the timeout is honored.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int Rc;
+  if (Addr.IsUnix) {
+    sockaddr_un SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sun_family = AF_UNIX;
+    std::strncpy(SA.sun_path, Addr.Path.c_str(), sizeof(SA.sun_path) - 1);
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+  } else {
+    sockaddr_in SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sin_family = AF_INET;
+    SA.sin_port = htons(Addr.Port);
+    if (::inet_pton(AF_INET, Addr.Host.c_str(), &SA.sin_addr) != 1) {
+      addDiag(Diags, errorDiag(StatusCode::InputError, "socket.connect",
+                               "bad IPv4 address '" + Addr.Host + "'"));
+      return Socket();
+    }
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+  }
+  if (Rc < 0 && errno != EINPROGRESS) {
+    addDiag(Diags,
+            errorDiag(StatusCode::InputError, "socket.connect",
+                      formatStr("cannot connect to '%s': %s",
+                                Addr.str().c_str(), std::strerror(errno))));
+    return Socket();
+  }
+  if (Rc < 0) {
+    if (pollOne(Fd, POLLOUT, TimeoutMs) != 1) {
+      addDiag(Diags, errorDiag(StatusCode::InputError, "socket.connect",
+                               "connect to '" + Addr.str() + "' timed out"));
+      return Socket();
+    }
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len);
+    if (SoErr != 0) {
+      addDiag(Diags,
+              errorDiag(StatusCode::InputError, "socket.connect",
+                        formatStr("cannot connect to '%s': %s",
+                                  Addr.str().c_str(), std::strerror(SoErr))));
+      return Socket();
+    }
+  }
+  ::fcntl(Fd, F_SETFL, Flags); // Back to blocking; I/O is poll-gated.
+  if (!Addr.IsUnix) {
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  }
+  return S;
+}

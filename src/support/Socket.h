@@ -1,0 +1,130 @@
+//===- support/Socket.h - RAII sockets for the serving layer ----*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over POSIX stream sockets — the transport under the
+/// `gdpd` partitioning service (src/serve, docs/SERVING.md). Two address
+/// families are supported through one textual address syntax:
+///
+///   "127.0.0.1:7421"        TCP on an IPv4 loopback/interface address
+///   "unix:/tmp/gdpd.sock"   a Unix-domain socket (the tests' and local
+///                           benches' default: no port allocation races)
+///
+/// Every blocking operation takes a timeout and is implemented with
+/// poll(), so an accept loop can wake up regularly to observe a stop flag
+/// and a read can never wedge a worker forever. All functions report
+/// failures as `Diag`s (StatusCode::InputError for address problems,
+/// StatusCode::Internal for unexpected syscall failures) — nothing in this
+/// layer throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SUPPORT_SOCKET_H
+#define GDP_SUPPORT_SOCKET_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gdp {
+namespace support {
+
+/// A parsed socket address: either TCP host:port or a Unix-domain path.
+struct SockAddr {
+  bool IsUnix = false;
+  std::string Host;  ///< TCP only.
+  uint16_t Port = 0; ///< TCP only; 0 = let the kernel pick.
+  std::string Path;  ///< Unix only.
+
+  /// Renders back to the textual form accepted by parse().
+  std::string str() const;
+
+  /// Parses "host:port" or "unix:/path". Returns false and fills \p Err
+  /// on a malformed address.
+  static bool parse(const std::string &Text, SockAddr &Out,
+                    std::string *Err);
+};
+
+/// An owned socket file descriptor. Move-only; closes on destruction.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Closes the descriptor now (idempotent).
+  void close();
+
+  /// Writes all \p Len bytes, waiting up to \p TimeoutMs for writability
+  /// per chunk. False on error/timeout/peer reset (\p Diags explains).
+  bool sendAll(const void *Data, size_t Len, int TimeoutMs,
+               std::vector<Diag> *Diags = nullptr);
+
+  /// Reads exactly \p Len bytes, waiting up to \p TimeoutMs for
+  /// readability per chunk. Returns the byte count actually read: Len on
+  /// success, less on EOF/timeout/error (\p Diags explains non-EOF
+  /// failures; a clean EOF at offset 0 adds no diagnostic).
+  size_t recvAll(void *Data, size_t Len, int TimeoutMs,
+                 std::vector<Diag> *Diags = nullptr);
+
+  /// Waits up to \p TimeoutMs for the socket to become readable.
+  /// 1 = readable, 0 = timeout, -1 = poll error.
+  int waitReadable(int TimeoutMs);
+
+private:
+  int Fd = -1;
+};
+
+/// A listening socket bound to \p Addr. `boundAddr` reports the actual
+/// address (with the kernel-assigned port when Addr.Port was 0).
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket();
+  ListenSocket(ListenSocket &&O) noexcept;
+  ListenSocket &operator=(ListenSocket &&O) noexcept;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  /// Binds and listens. False (with a diagnostic) when the address is
+  /// malformed, the bind fails, or the Unix path cannot be created (an
+  /// existing stale socket file is unlinked first).
+  bool listen(const SockAddr &Addr, std::vector<Diag> &Diags,
+              int Backlog = 64);
+
+  bool valid() const { return Sock.valid(); }
+  const SockAddr &boundAddr() const { return Bound; }
+
+  /// Waits up to \p TimeoutMs for a connection. Returns an invalid Socket
+  /// on timeout or transient accept failure (\p TimedOut distinguishes).
+  Socket accept(int TimeoutMs, bool &TimedOut);
+
+  /// Stops listening and removes the Unix socket file, if any.
+  void close();
+
+private:
+  Socket Sock;
+  SockAddr Bound;
+};
+
+/// Connects to \p Addr, waiting up to \p TimeoutMs. Returns an invalid
+/// Socket on failure (\p Diags explains).
+Socket connectTo(const SockAddr &Addr, int TimeoutMs,
+                 std::vector<Diag> *Diags = nullptr);
+
+} // namespace support
+} // namespace gdp
+
+#endif // GDP_SUPPORT_SOCKET_H

@@ -106,6 +106,18 @@ void StatsRegistry::mergeFrom(const StatsRegistry &O) {
     Timers[Name] += V;
 }
 
+void StatsRegistry::mergeValue(const std::string &Name,
+                               const ValueStats &V) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Values[Name].merge(V);
+}
+
+void StatsRegistry::mergeQuantile(const std::string &Name,
+                                  const LogHistogram &H) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Quantiles[Name].merge(H);
+}
+
 void StatsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   Counters.clear();

@@ -116,6 +116,14 @@ public:
   /// Merges every counter, histogram and timer of \p O into this registry.
   void mergeFrom(const StatsRegistry &O);
 
+  /// Merges a decoded value summary into series \p Name — the serving
+  /// layer's binary stats codec reconstructs remote registries with these
+  /// (serve/Wire.h); exact, like mergeFrom.
+  void mergeValue(const std::string &Name, const ValueStats &V);
+
+  /// Merges a decoded quantile histogram into series \p Name.
+  void mergeQuantile(const std::string &Name, const LogHistogram &H);
+
   /// Drops all recorded statistics.
   void reset();
 

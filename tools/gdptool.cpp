@@ -36,6 +36,8 @@
 #include "sched/BlockDFG.h"
 #include "sched/ListScheduler.h"
 #include "sched/SchedulePrinter.h"
+#include "serve/Client.h"
+#include "serve/Daemon.h"
 #include "sim/Simulator.h"
 #include "support/FaultInjector.h"
 #include "support/MetricsHub.h"
@@ -78,6 +80,17 @@ void usage(std::FILE *Out = stderr) {
       "  sim <prog> [options]         trace-driven cycle simulation of the\n"
       "                               partitioned program vs. the static\n"
       "                               schedule estimate\n"
+      "  serve [gdpd options]         run the partitioning daemon (same\n"
+      "                               flags as gdpd; see 'gdpd --help')\n"
+      "  request --server=ADDR <prog> [options]\n"
+      "                               send one partition request to a gdpd\n"
+      "      --strategy=K --lat=N --clusters=N --deadline-ms=N\n"
+      "      --ir                     <prog> is an IR file sent as inline\n"
+      "                               text (the daemon never opens paths)\n"
+      "      --ping | --stats[=json|prometheus] | --shutdown\n"
+      "                               server info / statistics / remote\n"
+      "                               graceful shutdown instead of a\n"
+      "                               partition request\n"
       "  report <prog> [options]      per-run attribution report: phase\n"
       "                               timings, stall taxonomy, cache and\n"
       "                               quantile metrics, degradation events\n"
@@ -933,6 +946,148 @@ int cmdSchedule(const std::string &Spec, const std::string &StrategyArg,
   return 0;
 }
 
+/// `gdptool serve`: the gdpd daemon under the gdptool umbrella (same
+/// flags, same lifecycle — serve/Daemon.h is shared with tools/gdpd.cpp).
+int cmdServe(int argc, char **argv) {
+  serve::DaemonOptions Opt;
+  for (int I = 2; I < argc; ++I) {
+    std::string Err;
+    if (!serve::parseDaemonArg(argv[I], Opt, Err)) {
+      std::fprintf(stderr, "error: serve: %s (see 'gdpd --help')\n",
+                   Err.c_str());
+      return 1;
+    }
+  }
+  return serve::runDaemon(Opt);
+}
+
+/// `gdptool request`: one client exchange with a running gdpd.
+int cmdRequest(int argc, char **argv) {
+  support::SockAddr Server;
+  bool HaveServer = false, Ping = false, Shutdown = false, HaveStats = false;
+  bool InlineIR = false;
+  serve::StatsFormat StatsFmt = serve::StatsFormat::Json;
+  serve::PartitionRequest Req;
+  std::string Spec;
+  int TimeoutMs = 30000;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    std::string Err;
+    if (Arg.rfind("--server=", 0) == 0) {
+      if (!support::SockAddr::parse(Arg.substr(9), Server, &Err)) {
+        std::fprintf(stderr, "error: request: %s\n", Err.c_str());
+        return 1;
+      }
+      HaveServer = true;
+    } else if (Arg == "--ping")
+      Ping = true;
+    else if (Arg == "--shutdown")
+      Shutdown = true;
+    else if (Arg == "--stats" || Arg.rfind("--stats=", 0) == 0) {
+      HaveStats = true;
+      std::string Fmt = Arg == "--stats" ? "json" : Arg.substr(8);
+      if (Fmt == "json")
+        StatsFmt = serve::StatsFormat::Json;
+      else if (Fmt == "prometheus")
+        StatsFmt = serve::StatsFormat::Prometheus;
+      else {
+        std::fprintf(stderr, "error: request: --stats expects json or "
+                             "prometheus\n");
+        return 1;
+      }
+    } else if (Arg == "--ir")
+      InlineIR = true;
+    else if (Arg.rfind("--strategy=", 0) == 0)
+      Req.Strategy = Arg.substr(11);
+    else if (Arg.rfind("--latency=", 0) == 0)
+      Req.MoveLatency = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    else if (Arg.rfind("--lat=", 0) == 0)
+      Req.MoveLatency = static_cast<unsigned>(std::atoi(Arg.c_str() + 6));
+    else if (Arg.rfind("--clusters=", 0) == 0)
+      Req.Clusters = static_cast<unsigned>(std::atoi(Arg.c_str() + 11));
+    else if (Arg.rfind("--deadline-ms=", 0) == 0)
+      Req.DeadlineMs = std::strtoull(Arg.c_str() + 14, nullptr, 10);
+    else if (Arg.rfind("--timeout-ms=", 0) == 0)
+      TimeoutMs = std::atoi(Arg.c_str() + 13);
+    else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: request: unknown flag '%s'\n",
+                   Arg.c_str());
+      return 1;
+    } else
+      Spec = Arg;
+  }
+  if (!HaveServer) {
+    std::fprintf(stderr, "error: request needs --server=ADDR\n");
+    return 1;
+  }
+  if (!Ping && !Shutdown && !HaveStats && Spec.empty()) {
+    std::fprintf(stderr,
+                 "error: request needs a <prog> spec (or --ping, --stats, "
+                 "--shutdown)\n");
+    return 1;
+  }
+
+  serve::Client C;
+  C.setTimeoutMs(TimeoutMs);
+  std::vector<support::Diag> Diags;
+  if (!C.connect(Server, TimeoutMs, &Diags)) {
+    reportDiags(Diags);
+    return 2;
+  }
+  if (Ping) {
+    std::string Info;
+    if (!C.ping(Info, &Diags)) {
+      reportDiags(Diags);
+      return 2;
+    }
+    std::printf("%s", Info.c_str());
+    return 0;
+  }
+  if (HaveStats) {
+    std::string Body;
+    serve::Status S = C.stats(StatsFmt, Body, &Diags);
+    std::printf("%s", Body.c_str());
+    if (S == serve::Status::Ok)
+      return 0;
+    reportDiags(Diags);
+    return 3;
+  }
+  if (Shutdown) {
+    if (!C.shutdownServer(&Diags)) {
+      reportDiags(Diags);
+      return 3;
+    }
+    std::printf("server stopping\n");
+    return 0;
+  }
+
+  if (InlineIR) {
+    // Client-side file read: the daemon only accepts inline text, never
+    // request-named paths.
+    std::ifstream In(Spec);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read IR file '%s'\n", Spec.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Req.Spec = Buf.str();
+    Req.InlineIR = true;
+  } else {
+    Req.Spec = Spec;
+  }
+  std::string Body;
+  serve::Status S = C.partition(Req, Body, &Diags);
+  std::printf("%s", Body.c_str());
+  if (S == serve::Status::Ok)
+    return 0;
+  reportDiags(Diags);
+  std::fprintf(stderr, "error: server answered %s\n", serve::statusName(S));
+  return S == serve::Status::BadRequest  ? 1
+         : S == serve::Status::InputError ? 2
+                                          : 3;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -949,6 +1104,10 @@ int main(int argc, char **argv) {
     return cmdList();
   if (Cmd == "gen")
     return cmdGen(argc, argv);
+  if (Cmd == "serve")
+    return cmdServe(argc, argv);
+  if (Cmd == "request")
+    return cmdRequest(argc, argv);
 
   bool Known = Cmd == "print" || Cmd == "profile" || Cmd == "run" ||
                Cmd == "sim" || Cmd == "report" || Cmd == "schedule" ||
