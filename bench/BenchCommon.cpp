@@ -177,6 +177,7 @@ std::string statusFieldsJson(const PipelineResult &R) {
 
 void gdp::bench::initBench(int &argc, char **argv) {
   int Out = 1;
+  std::string AffinityValue; // Empty = flag absent (environment decides).
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--json=", 0) == 0) {
@@ -184,6 +185,12 @@ void gdp::bench::initBench(int &argc, char **argv) {
     } else if (Arg.rfind("--threads=", 0) == 0) {
       int N = std::atoi(Arg.c_str() + 10);
       setThreads(N > 0 ? static_cast<unsigned>(N) : 1);
+    } else if (Arg == "--affinity") {
+      AffinityValue = "1";
+    } else if (Arg.rfind("--affinity=", 0) == 0) {
+      AffinityValue = Arg.substr(11);
+      if (AffinityValue.empty())
+        AffinityValue = "1";
     } else if (Arg == "--deterministic") {
       DeterministicFlag = true;
     } else {
@@ -192,9 +199,23 @@ void gdp::bench::initBench(int &argc, char **argv) {
   }
   argc = Out;
   argv[argc] = nullptr;
+  // Resolve worker pinning (--affinity beats GDP_AFFINITY). An unparsable
+  // value is a structured usage error, exit code 2 like every other bad
+  // configuration input.
+  std::string Err;
+  if (!support::resolveThreadAffinity(AffinityValue, &Err)) {
+    std::fprintf(stderr, "%s\n",
+                 support::errorDiag(support::StatusCode::UsageError,
+                                    "bench.affinity", Err)
+                     .render()
+                     .c_str());
+    std::exit(2);
+  }
   if (!JsonPath.empty())
     std::atexit(flushJson);
 }
+
+bool gdp::bench::affinity() { return support::threadAffinityEnabled(); }
 
 bool gdp::bench::jsonEnabled() { return !JsonPath.empty(); }
 

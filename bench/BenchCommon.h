@@ -69,6 +69,10 @@ struct EvalTask {
 ///   --deterministic  zero the wall-clock fields of --json records so two
 ///                    runs compare byte-identical (also via the
 ///                    GDP_BENCH_DETERMINISTIC=1 environment variable).
+///   --affinity[=V]   pin pool workers to cores (default: the GDP_AFFINITY
+///                    environment variable, else off). V is 1/on/true or
+///                    0/off/false; anything else is a UsageError (exit 2).
+///                    Placement only — records are identical either way.
 void initBench(int &argc, char **argv);
 
 /// True when --json=FILE was given to initBench().
@@ -79,6 +83,9 @@ unsigned threads();
 
 /// Overrides the thread count (tests; initBench also sets this).
 void setThreads(unsigned N);
+
+/// True when worker pinning is on (--affinity or GDP_AFFINITY).
+bool affinity();
 
 /// True when --json records should zero their wall-clock fields.
 bool deterministicRecords();

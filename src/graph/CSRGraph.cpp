@@ -8,7 +8,8 @@
 
 using namespace gdp;
 
-CSRGraph::CSRGraph(const PartitionGraph &G) {
+CSRGraph::CSRGraph(const PartitionGraph &G, support::Arena *A)
+    : Off(A), Nbr(A), EdgeW(A), NodeW(A) {
   NumNodes = G.getNumNodes();
   NumC = G.getNumConstraints();
 
@@ -41,6 +42,66 @@ CSRGraph::CSRGraph(const PartitionGraph &G) {
         TotalEdgeW += W;
       ++Slot;
     }
+}
+
+CSRGraph::CSRGraph(const CSRGraph &Fine,
+                   const std::vector<unsigned> &FineToCoarse,
+                   unsigned NumCoarse, support::Arena *A)
+    : Off(A), Nbr(A), EdgeW(A), NodeW(A) {
+  NumNodes = NumCoarse;
+  NumC = Fine.NumC;
+
+  // Coarse node weights: accumulate members (fine ids ascending).
+  NodeW.assign(static_cast<size_t>(NumCoarse) * NumC, 0);
+  Totals.assign(NumC, 0);
+  for (unsigned N = 0; N != Fine.NumNodes; ++N) {
+    size_t Row = static_cast<size_t>(FineToCoarse[N]) * NumC;
+    for (unsigned C = 0; C != NumC; ++C) {
+      uint64_t W = Fine.nodeWeight(N, C);
+      NodeW[Row + C] += W;
+      Totals[C] += W;
+    }
+  }
+
+  // Coarse edges: every directed fine slot maps to a packed (coarse from,
+  // coarse to) key; sorting and merging duplicates yields each coarse row
+  // with ascending neighbor ids. Both directions of a fine undirected
+  // edge are present as slots, so both coarse directions accumulate the
+  // same total — exactly what PartitionGraph::addEdge would have built.
+  support::ArenaVector<std::pair<uint64_t, uint64_t>> Pairs(A);
+  Pairs.reserve(Fine.Nbr.size());
+  for (unsigned N = 0; N != Fine.NumNodes; ++N) {
+    uint64_t From = FineToCoarse[N];
+    for (uint32_t E = Fine.Off[N], End = Fine.Off[N + 1]; E != End; ++E) {
+      uint64_t To = FineToCoarse[Fine.Nbr[E]];
+      if (From == To)
+        continue; // Internal to one coarse node.
+      Pairs.push_back({(From << 32) | To, Fine.EdgeW[E]});
+    }
+  }
+  std::sort(Pairs.begin(), Pairs.end(),
+            [](const auto &L, const auto &R) { return L.first < R.first; });
+
+  Off.assign(NumCoarse + 1, 0);
+  Nbr.reserve(Pairs.size());
+  EdgeW.reserve(Pairs.size());
+  size_t I = 0;
+  for (unsigned N = 0; N != NumCoarse; ++N) {
+    Off[N] = static_cast<uint32_t>(Nbr.size());
+    while (I != Pairs.size() && (Pairs[I].first >> 32) == N) {
+      unsigned To = static_cast<unsigned>(Pairs[I].first & 0xffffffffu);
+      uint64_t W = Pairs[I].second;
+      for (++I; I != Pairs.size() && Pairs[I].first ==
+                                         ((uint64_t(N) << 32) | To);
+           ++I)
+        W += Pairs[I].second;
+      Nbr.push_back(To);
+      EdgeW.push_back(W);
+      if (To > N)
+        TotalEdgeW += W;
+    }
+  }
+  Off[NumCoarse] = static_cast<uint32_t>(Nbr.size());
 }
 
 uint64_t CSRGraph::edgeWeightBetween(unsigned A, unsigned B) const {

@@ -6,19 +6,26 @@
 ///
 /// \file
 /// A compressed-sparse-row (CSR) view of a PartitionGraph, built once per
-/// coarsening level. PartitionGraph accumulates edges in per-node maps —
-/// convenient while the graph is being constructed, but pointer-chasing
-/// poison for the refinement loops that sweep every adjacency list many
-/// times per level. The CSR form packs neighbor ids and edge weights into
-/// flat arrays (neighbor ids ascending within each row, matching the
-/// map's iteration order) and node weights into one row-major block, so
-/// gain recomputation walks contiguous memory. Totals and the aggregate
-/// edge weight are cached at build time.
+/// coarsening level. PartitionGraph accumulates edges in sorted per-node
+/// lists — convenient while the graph is being constructed, but the
+/// refinement loops that sweep every adjacency list many times per level
+/// want one flat block. The CSR form packs neighbor ids and edge weights
+/// into flat arrays (neighbor ids ascending within each row, matching the
+/// edge lists' iteration order) and node weights into one row-major
+/// block, so gain recomputation walks contiguous memory. Totals and the
+/// aggregate edge weight are cached at build time.
+///
+/// Coarse levels are built directly from the finer CSR and a fine→coarse
+/// mapping (collect, sort, merge) — no intermediate PartitionGraph. All
+/// storage can live on a support::Arena, so a whole coarsening hierarchy
+/// costs zero system-allocator calls once the thread's arena is warm.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDP_GRAPH_CSRGRAPH_H
 #define GDP_GRAPH_CSRGRAPH_H
+
+#include "support/Arena.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -31,7 +38,15 @@ class PartitionGraph;
 /// Immutable cache-linear snapshot of a PartitionGraph.
 class CSRGraph {
 public:
-  explicit CSRGraph(const PartitionGraph &G);
+  /// Snapshot of \p G; storage on \p A when given (heap otherwise).
+  explicit CSRGraph(const PartitionGraph &G, support::Arena *A = nullptr);
+
+  /// The coarse graph induced by \p FineToCoarse over \p Fine: coarse node
+  /// weights accumulate their members' weights, parallel coarse edges
+  /// accumulate, self-edges vanish. Neighbor ids come out ascending per
+  /// row — identical to snapshotting a PartitionGraph built with addEdge.
+  CSRGraph(const CSRGraph &Fine, const std::vector<unsigned> &FineToCoarse,
+           unsigned NumCoarse, support::Arena *A = nullptr);
 
   unsigned getNumNodes() const { return NumNodes; }
   unsigned getNumConstraints() const { return NumC; }
@@ -67,11 +82,11 @@ public:
 private:
   unsigned NumNodes = 0;
   unsigned NumC = 1;
-  std::vector<uint32_t> Off;  ///< NumNodes + 1 row offsets.
-  std::vector<uint32_t> Nbr;  ///< Neighbor ids, ascending per row.
-  std::vector<uint64_t> EdgeW;
-  std::vector<uint64_t> NodeW; ///< Row-major [node][constraint].
-  std::vector<uint64_t> Totals;
+  support::ArenaVector<uint32_t> Off;  ///< NumNodes + 1 row offsets.
+  support::ArenaVector<uint32_t> Nbr;  ///< Neighbor ids, ascending per row.
+  support::ArenaVector<uint64_t> EdgeW;
+  support::ArenaVector<uint64_t> NodeW; ///< Row-major [node][constraint].
+  std::vector<uint64_t> Totals; ///< Heap: exposed as std::vector by API.
   uint64_t TotalEdgeW = 0;
 };
 

@@ -20,10 +20,11 @@
 #ifndef GDP_GRAPH_GAINBUCKET_H
 #define GDP_GRAPH_GAINBUCKET_H
 
+#include "support/Arena.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <set>
-#include <vector>
 
 namespace gdp {
 
@@ -35,6 +36,13 @@ public:
     unsigned Part; ///< Destination part of the candidate move.
     unsigned Node;
   };
+
+  /// Handle tables on \p A when given (heap otherwise). The ordered set
+  /// itself always uses the heap: its erase/insert churn across a pass
+  /// needs real frees, which a bump arena would turn into growth
+  /// proportional to total moves instead of live entries.
+  explicit GainBucket(support::Arena *A = nullptr)
+      : Handle(A), Present(A) {}
 
   /// Empties the queue and sizes the handle table for \p NumNodes nodes.
   void reset(unsigned NumNodes);
@@ -68,8 +76,8 @@ private:
   };
 
   std::set<Entry, Compare> Set;
-  std::vector<Entry> Handle;    ///< Per-node key currently in Set.
-  std::vector<uint8_t> Present; ///< Whether Handle[n] is live.
+  support::ArenaVector<Entry> Handle;    ///< Per-node key currently in Set.
+  support::ArenaVector<uint8_t> Present; ///< Whether Handle[n] is live.
 };
 
 } // namespace gdp

@@ -4,6 +4,7 @@
 
 #include "graph/CSRGraph.h"
 #include "graph/GainBucket.h"
+#include "support/Arena.h"
 #include "support/Random.h"
 #include "support/Telemetry.h"
 
@@ -44,16 +45,23 @@ struct RunStats {
 /// Scratch buffers shared by every pass and level of one partitionGraph()
 /// call: the permutation buffer is re-shuffled in place, connectivity and
 /// part-weight tables are resized once per level, and the gain bucket
-/// reuses its handle table. Nothing here is allocated per pass.
+/// reuses its handle table. Nothing here is allocated per pass; the flat
+/// buffers live on the run's arena (PW keeps nested heap vectors — its
+/// rows flow out as GraphPartition::PartWeights).
 struct RefineContext {
-  std::vector<unsigned> Order;            ///< Shuffled visit order.
-  std::vector<int64_t> Conn;              ///< Per-part connectivity.
+  explicit RefineContext(support::Arena *A)
+      : Order(A), Conn(A), Ideal(A), NormP(A), Bucket(A), Locked(A),
+        Boundary(A), Match(A) {}
+
+  support::ArenaVector<unsigned> Order;   ///< Shuffled visit order.
+  support::ArenaVector<int64_t> Conn;     ///< Per-part connectivity.
   std::vector<std::vector<uint64_t>> PW;  ///< Per-part constraint weights.
-  std::vector<double> Ideal;              ///< Per-constraint ideal load.
-  std::vector<double> NormP;              ///< Per-part normalized load.
+  support::ArenaVector<double> Ideal;     ///< Per-constraint ideal load.
+  support::ArenaVector<double> NormP;     ///< Per-part normalized load.
   GainBucket Bucket;
-  std::vector<uint8_t> Locked;            ///< Moved-this-pass node marks.
-  std::vector<unsigned> Boundary;         ///< swapPass candidate list.
+  support::ArenaVector<uint8_t> Locked;   ///< Moved-this-pass node marks.
+  support::ArenaVector<unsigned> Boundary;///< swapPass candidate list.
+  support::ArenaVector<int> Match;        ///< coarsenMatch partner table.
 };
 
 /// Shared helpers for one partitioning run.
@@ -151,7 +159,7 @@ double normalizedLoad(const std::vector<std::vector<uint64_t>> &PW,
 
 /// Normalized load of one part's weight vector against the ideal loads.
 double normOfPart(const std::vector<uint64_t> &Part,
-                  const std::vector<double> &Ideal) {
+                  const support::ArenaVector<double> &Ideal) {
   double Worst = 0;
   for (unsigned C = 0; C != Ideal.size(); ++C)
     if (Ideal[C] > 0)
@@ -161,7 +169,8 @@ double normOfPart(const std::vector<uint64_t> &Part,
 
 /// Re-shuffles the persistent permutation buffer in place (Fisher-Yates,
 /// same draw sequence as a freshly built vector).
-void shuffleNodesInto(std::vector<unsigned> &Order, unsigned N, Random &RNG) {
+void shuffleNodesInto(support::ArenaVector<unsigned> &Order, unsigned N,
+                      Random &RNG) {
   Order.resize(N);
   for (unsigned I = 0; I != N; ++I)
     Order[I] = I;
@@ -170,13 +179,15 @@ void shuffleNodesInto(std::vector<unsigned> &Order, unsigned N, Random &RNG) {
 }
 
 /// One heavy-edge-matching coarsening step. Writes the fine→coarse mapping
-/// and returns the coarse graph (map-based — it is the accumulator; the
-/// caller converts it to CSR once it is final).
-PartitionGraph coarsenOnce(const CSRGraph &G, Random &RNG,
-                           std::vector<unsigned> &FineToCoarse,
-                           RefineContext &RC) {
+/// (coarse ids in first-appearance order of fine ids) and returns the
+/// number of coarse nodes; the caller builds the coarse CSR directly from
+/// the mapping — no intermediate accumulator graph.
+unsigned coarsenMatch(const CSRGraph &G, Random &RNG,
+                      std::vector<unsigned> &FineToCoarse,
+                      RefineContext &RC) {
   unsigned N = G.getNumNodes();
-  std::vector<int> Match(N, -1);
+  auto &Match = RC.Match;
+  Match.assign(N, -1);
   shuffleNodesInto(RC.Order, N, RNG);
   for (unsigned Node : RC.Order) {
     if (Match[Node] >= 0)
@@ -205,30 +216,18 @@ PartitionGraph coarsenOnce(const CSRGraph &G, Random &RNG,
     }
   }
 
-  unsigned NumC = G.getNumConstraints();
   FineToCoarse.assign(N, ~0u);
-  PartitionGraph Coarse(NumC);
+  unsigned NumCoarse = 0;
   for (unsigned Node = 0; Node != N; ++Node) {
     if (FineToCoarse[Node] != ~0u)
       continue;
     unsigned Partner = static_cast<unsigned>(Match[Node]);
-    std::vector<uint64_t> W(G.nodeWeights(Node), G.nodeWeights(Node) + NumC);
-    if (Partner != Node) {
-      const uint64_t *PWts = G.nodeWeights(Partner);
-      for (unsigned C = 0; C != NumC; ++C)
-        W[C] += PWts[C];
-    }
-    unsigned Coarsened = Coarse.addNode(std::move(W));
+    unsigned Coarsened = NumCoarse++;
     FineToCoarse[Node] = Coarsened;
     if (Partner != Node)
       FineToCoarse[Partner] = Coarsened;
   }
-  for (unsigned Node = 0; Node != N; ++Node)
-    for (uint32_t E = G.edgeBegin(Node), End = G.edgeEnd(Node); E != End; ++E)
-      if (G.edgeTarget(E) > Node)
-        Coarse.addEdge(FineToCoarse[Node], FineToCoarse[G.edgeTarget(E)],
-                       G.edgeWeight(E));
-  return Coarse;
+  return NumCoarse;
 }
 
 /// Moves nodes out of overloaded parts until every part fits its capacity
@@ -691,7 +690,14 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
   Context Ctx{Opt};
   Random RNG(Opt.Seed);
   RunStats RS;
-  RefineContext RC;
+
+  // All transient state — CSR levels, refinement scratch, match tables —
+  // lives on the calling thread's scratch arena and is released (blocks
+  // kept warm) when this call returns. Only the result escapes, on the
+  // heap.
+  support::ScratchArena Scope;
+  support::Arena *A = &Scope.arena();
+  RefineContext RC(A);
 
   GraphPartition Result;
   if (G.getNumNodes() == 0) {
@@ -700,10 +706,10 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
     return Result;
   }
 
-  // --- Graph layer: one cache-linear CSR snapshot per level; the map-
-  // based PartitionGraph is only the construction-time accumulator.
+  // --- Graph layer: one cache-linear CSR snapshot per level; the
+  // edge-list PartitionGraph is only the construction-time accumulator.
   std::vector<CSRGraph> Levels;
-  Levels.emplace_back(G);
+  Levels.emplace_back(G, A);
 
   if (Opt.NumParts == 1) {
     Result.Assignment.assign(G.getNumNodes(), 0);
@@ -715,12 +721,16 @@ GraphPartition gdp::partitionGraph(const PartitionGraph &G,
   std::vector<std::vector<unsigned>> Mappings; // Mappings[i]: level i -> i+1
   while (Levels.back().getNumNodes() > Opt.CoarsenTargetNodes) {
     std::vector<unsigned> FineToCoarse;
-    PartitionGraph Coarse = coarsenOnce(Levels.back(), RNG, FineToCoarse, RC);
-    // Stop if matching stalls (under 5% reduction).
-    if (Coarse.getNumNodes() * 20 > Levels.back().getNumNodes() * 19)
+    unsigned NumCoarse = coarsenMatch(Levels.back(), RNG, FineToCoarse, RC);
+    // Stop if matching stalls (under 5% reduction) — decided before any
+    // coarse graph is materialized.
+    if (NumCoarse * 20 > Levels.back().getNumNodes() * 19)
       break;
+    // Built as a named temporary: an emplace_back reading Levels.back()
+    // while the vector may reallocate would be UB.
+    CSRGraph Coarse(Levels.back(), FineToCoarse, NumCoarse, A);
     Mappings.push_back(std::move(FineToCoarse));
-    Levels.emplace_back(Coarse);
+    Levels.push_back(std::move(Coarse));
   }
 
   // --- Initial partition at the coarsest level: best of several random

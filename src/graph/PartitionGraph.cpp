@@ -2,7 +2,26 @@
 
 #include "graph/PartitionGraph.h"
 
+#include <algorithm>
+
 using namespace gdp;
+
+namespace {
+
+/// Insert-or-accumulate into one sorted edge list.
+void accumulate(PartitionGraph::EdgeList &L, unsigned Nbr, uint64_t W) {
+  auto It = std::lower_bound(
+      L.begin(), L.end(), Nbr,
+      [](const std::pair<unsigned, uint64_t> &E, unsigned N) {
+        return E.first < N;
+      });
+  if (It != L.end() && It->first == Nbr)
+    It->second += W;
+  else
+    L.insert(It, {Nbr, W});
+}
+
+} // namespace
 
 unsigned PartitionGraph::addNode(std::vector<uint64_t> Weights) {
   assert(Weights.size() == NumConstraints &&
@@ -17,8 +36,19 @@ void PartitionGraph::addEdge(unsigned A, unsigned B, uint64_t W) {
   assert(A < getNumNodes() && B < getNumNodes() && "edge endpoint missing");
   if (A == B || W == 0)
     return;
-  Adj[A][B] += W;
-  Adj[B][A] += W;
+  accumulate(Adj[A], B, W);
+  accumulate(Adj[B], A, W);
+}
+
+uint64_t PartitionGraph::edgeWeight(unsigned A, unsigned B) const {
+  assert(A < getNumNodes() && B < getNumNodes() && "edge endpoint missing");
+  const EdgeList &L = Adj[A];
+  auto It = std::lower_bound(
+      L.begin(), L.end(), B,
+      [](const std::pair<unsigned, uint64_t> &E, unsigned N) {
+        return E.first < N;
+      });
+  return It != L.end() && It->first == B ? It->second : 0;
 }
 
 std::vector<uint64_t> PartitionGraph::totalWeights() const {

@@ -11,6 +11,11 @@
 /// bytes and operation counts are balanced simultaneously); edges carry a
 /// single weight (communication volume).
 ///
+/// Adjacency is a sorted flat vector per node (neighbor id ascending, the
+/// same deterministic iteration order the old per-node std::map gave),
+/// accumulated in place on insert — construction-time convenience without
+/// the per-edge heap node and pointer chase of a map.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDP_GRAPH_PARTITIONGRAPH_H
@@ -18,7 +23,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace gdp {
@@ -26,6 +30,10 @@ namespace gdp {
 /// A weighted undirected multigraph (parallel edges accumulate).
 class PartitionGraph {
 public:
+  /// One node's neighbors: (neighbor id, accumulated weight), ascending
+  /// by neighbor id.
+  using EdgeList = std::vector<std::pair<unsigned, uint64_t>>;
+
   explicit PartitionGraph(unsigned NumConstraints = 1)
       : NumConstraints(NumConstraints) {
     assert(NumConstraints >= 1 && "need at least one balance constraint");
@@ -54,12 +62,15 @@ public:
   /// ignored; zero weights are ignored.
   void addEdge(unsigned A, unsigned B, uint64_t W);
 
-  /// Neighbors of \p Node with accumulated edge weights, keyed by neighbor
-  /// id (deterministic iteration order).
-  const std::map<unsigned, uint64_t> &neighbors(unsigned Node) const {
+  /// Neighbors of \p Node with accumulated edge weights, ascending by
+  /// neighbor id (deterministic iteration order).
+  const EdgeList &neighbors(unsigned Node) const {
     assert(Node < getNumNodes() && "node out of range");
     return Adj[Node];
   }
+
+  /// Accumulated weight of edge {A, B}, or 0 when absent.
+  uint64_t edgeWeight(unsigned A, unsigned B) const;
 
   /// Sum of node weights per constraint.
   std::vector<uint64_t> totalWeights() const;
@@ -73,7 +84,7 @@ public:
 private:
   unsigned NumConstraints;
   std::vector<std::vector<uint64_t>> NodeWeights;
-  std::vector<std::map<unsigned, uint64_t>> Adj;
+  std::vector<EdgeList> Adj;
 };
 
 } // namespace gdp

@@ -10,12 +10,12 @@
 #include "profile/ProfileData.h"
 #include "sched/BlockDFG.h"
 #include "sched/Estimator.h"
+#include "support/Arena.h"
 #include "support/Random.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <optional>
 
 using namespace gdp;
@@ -34,8 +34,9 @@ struct RhopStats {
 
 /// Buffers reused across every region and pass of one runRHOP() call.
 struct RhopScratch {
-  std::vector<unsigned> Order; ///< Shuffled group visit order.
-  std::vector<unsigned> Count; ///< Ops per cluster (balance tie-break).
+  explicit RhopScratch(support::Arena *A) : Order(A), Count(A) {}
+  support::ArenaVector<unsigned> Order; ///< Shuffled group visit order.
+  support::ArenaVector<unsigned> Count; ///< Ops/cluster (balance tie-break).
 };
 
 /// Everything about one region that does not depend on the evolving
@@ -44,17 +45,32 @@ struct RhopScratch {
 /// Locks are fixed for the whole runRHOP() call and coarsening consumes
 /// no randomness, so the plan is identical across function passes —
 /// build it once per block and sweep it as often as needed.
+///
+/// The hierarchy is stored flat (structure-of-arrays) on the run's arena:
+/// the groups of level L occupy global slots
+/// [LevelGroupOff[L], LevelGroupOff[L+1]); slot S's member local indices
+/// (ascending) are MemberIds[MemberOff[S], MemberOff[S+1]); GroupLock[S]
+/// is S's pinned cluster or -1.
 struct RegionPlan {
+  explicit RegionPlan(support::Arena *A)
+      : A(A), OpIds(A), LockOf(A), LockedAssigns(A), LevelGroupOff(A),
+        MemberOff(A), MemberIds(A), GroupLock(A) {}
+
   bool Built = false;
-  std::vector<unsigned> OpIds; ///< local op → function-wide op id
-  std::vector<int> LockOf;     ///< local op → locked cluster or -1
-  std::vector<std::pair<unsigned, int>> LockedAssigns; ///< (op id, cluster)
+  support::Arena *A;
+  support::ArenaVector<unsigned> OpIds; ///< local op → function-wide op id
+  support::ArenaVector<int> LockOf;     ///< local op → locked cluster or -1
+  support::ArenaVector<std::pair<unsigned, int>> LockedAssigns; ///< (id, c)
   unsigned Levels = 0;
-  /// LevelMembers[level][group] — member local indices per group.
-  std::vector<std::vector<std::vector<unsigned>>> LevelMembers;
-  /// LevelGroupLock[level][group] — pinned cluster or -1.
-  std::vector<std::vector<int>> LevelGroupLock;
+  support::ArenaVector<unsigned> LevelGroupOff; ///< Levels + 1 slots.
+  support::ArenaVector<uint32_t> MemberOff;     ///< totalGroups + 1.
+  support::ArenaVector<unsigned> MemberIds;     ///< N per level.
+  support::ArenaVector<int> GroupLock;          ///< totalGroups.
   std::optional<ScheduleEstimator> Est;
+
+  unsigned groupsAt(unsigned Level) const {
+    return LevelGroupOff[Level + 1] - LevelGroupOff[Level];
+  }
 };
 
 /// Slack-derived weight per DFG edge index (data edges only; 0 others).
@@ -137,7 +153,7 @@ void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
   if (MM.getNumClusters() == 1)
     return; // Locks are all a single-cluster machine needs.
 
-  Plan.Est.emplace(DFG, MM);
+  Plan.Est.emplace(DFG, MM, Plan.A);
   std::vector<uint64_t> EdgeWeight = computeSlackWeights(DFG, MM);
 
   // --- Coarsen: heaviest-edge matching over slack weights.
@@ -155,9 +171,15 @@ void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
 
   unsigned Target = std::max(Opt.MinGroups, 2 * MM.getNumClusters());
 
+  // Per-stage buffers, reused (capacity survives clear()).
+  std::vector<std::pair<uint64_t, uint64_t>> GroupEdges; // (A<<32|B, weight)
+
   while (NumGroups > Target) {
-    // Aggregate inter-group edge weights at the current level.
-    std::map<std::pair<unsigned, unsigned>, uint64_t> GroupEdges;
+    // Aggregate inter-group edge weights at the current level: collect
+    // packed (min,max) keys, sort, and merge duplicates in place. The
+    // merged list is ascending by (A, B) — the same order the old
+    // std::map accumulator iterated in.
+    GroupEdges.clear();
     for (unsigned E = 0; E != DFG.edges().size(); ++E) {
       if (EdgeWeight[E] == 0)
         continue;
@@ -167,10 +189,20 @@ void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
         continue;
       if (A > B)
         std::swap(A, B);
-      GroupEdges[{A, B}] += EdgeWeight[E];
+      GroupEdges.push_back({(uint64_t(A) << 32) | B, EdgeWeight[E]});
     }
     if (GroupEdges.empty())
       break;
+    std::sort(GroupEdges.begin(), GroupEdges.end(),
+              [](const auto &L, const auto &R) { return L.first < R.first; });
+    size_t Out = 0;
+    for (size_t I = 0; I != GroupEdges.size(); ++I) {
+      if (Out && GroupEdges[Out - 1].first == GroupEdges[I].first)
+        GroupEdges[Out - 1].second += GroupEdges[I].second;
+      else
+        GroupEdges[Out++] = GroupEdges[I];
+    }
+    GroupEdges.resize(Out);
 
     // Group locks at this level (-1 free; ≥0 pinned; merging two groups
     // pinned to different clusters is forbidden).
@@ -185,7 +217,9 @@ void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
     }
 
     // Heaviest-edge matching: each group merged at most once per stage.
-    std::vector<std::pair<uint64_t, std::pair<unsigned, unsigned>>> Sorted;
+    // (weight desc, key asc) is a total order, so the sort result does
+    // not depend on the pre-sort arrangement.
+    std::vector<std::pair<uint64_t, uint64_t>> Sorted; // (weight, A<<32|B)
     Sorted.reserve(GroupEdges.size());
     for (const auto &[Key, W] : GroupEdges)
       Sorted.push_back({W, Key});
@@ -199,8 +233,9 @@ void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
     std::vector<int> MergeInto(NumGroups, -1);
     std::vector<bool> Matched(NumGroups, false);
     unsigned NumMerges = 0;
-    for (const auto &[W, Pair] : Sorted) {
-      auto [A, B] = Pair;
+    for (const auto &[W, Key] : Sorted) {
+      unsigned A = static_cast<unsigned>(Key >> 32);
+      unsigned B = static_cast<unsigned>(Key & 0xffffffffu);
       if (Matched[A] || Matched[B])
         continue;
       if (GroupLock[A] >= 0 && GroupLock[B] >= 0 &&
@@ -234,23 +269,42 @@ void buildPlan(RegionPlan &Plan, const BlockDFG &DFG, const MachineModel &MM,
     NumGroupsAt.push_back(NumGroups);
   }
 
-  // --- Per-level member lists and lock summaries.
+  // --- Per-level member lists and lock summaries, flattened. Counting
+  // sort per level: members come out ascending within each group, the
+  // order the old per-group push_back loop produced.
   Plan.Levels = static_cast<unsigned>(GroupOfLevel.size());
-  Plan.LevelMembers.resize(Plan.Levels);
-  Plan.LevelGroupLock.resize(Plan.Levels);
+  unsigned TotalGroups = 0;
+  for (unsigned Level = 0; Level != Plan.Levels; ++Level)
+    TotalGroups += NumGroupsAt[Level];
+  Plan.LevelGroupOff.resize(Plan.Levels + 1);
+  Plan.MemberOff.assign(TotalGroups + 1, 0);
+  Plan.MemberIds.resize(static_cast<size_t>(N) * Plan.Levels);
+  Plan.GroupLock.assign(TotalGroups, -1);
+
+  unsigned GBase = 0;
   for (unsigned Level = 0; Level != Plan.Levels; ++Level) {
+    Plan.LevelGroupOff[Level] = GBase;
     const auto &GroupOf = GroupOfLevel[Level];
-    unsigned Groups = NumGroupsAt[Level];
-    auto &Members = Plan.LevelMembers[Level];
-    auto &GroupLock = Plan.LevelGroupLock[Level];
-    Members.assign(Groups, {});
-    GroupLock.assign(Groups, -1);
     for (unsigned I = 0; I != N; ++I) {
-      Members[GroupOf[I]].push_back(I);
+      ++Plan.MemberOff[GBase + GroupOf[I] + 1];
       int L = Plan.LockOf[I];
       if (L >= 0)
-        GroupLock[GroupOf[I]] = L;
+        Plan.GroupLock[GBase + GroupOf[I]] = L;
     }
+    GBase += NumGroupsAt[Level];
+  }
+  Plan.LevelGroupOff[Plan.Levels] = GBase;
+  for (unsigned S = 0; S != TotalGroups; ++S)
+    Plan.MemberOff[S + 1] += Plan.MemberOff[S];
+  // Fill via a sliding cursor copy of the start offsets.
+  support::ArenaVector<uint32_t> Cursor(Plan.MemberOff.begin(),
+                                        Plan.MemberOff.end() - 1,
+                                        Plan.A);
+  for (unsigned Level = 0; Level != Plan.Levels; ++Level) {
+    const auto &GroupOf = GroupOfLevel[Level];
+    unsigned Base = Plan.LevelGroupOff[Level];
+    for (unsigned I = 0; I != N; ++I)
+      Plan.MemberIds[Cursor[Base + GroupOf[I]]++] = I;
   }
 }
 
@@ -258,11 +312,10 @@ void refineLevel(const RegionPlan &Plan, unsigned Level,
                  std::vector<int> &Assign, const MachineModel &MM,
                  const RHOPOptions &Opt, Random &RNG, RhopStats &RS,
                  RhopScratch &Scratch) {
-  const auto &Members = Plan.LevelMembers[Level];
-  const auto &GroupLock = Plan.LevelGroupLock[Level];
   const ScheduleEstimator &Est = *Plan.Est;
   unsigned NumClusters = MM.getNumClusters();
-  unsigned NumGroups = static_cast<unsigned>(Members.size());
+  unsigned GBase = Plan.LevelGroupOff[Level];
+  unsigned NumGroups = Plan.groupsAt(Level);
 
   // Ops-per-cluster table for the balance tie-break, maintained
   // incrementally as groups move (no full rescan per candidate).
@@ -274,9 +327,11 @@ void refineLevel(const RegionPlan &Plan, unsigned Level,
   auto SetGroup = [&](unsigned G, int From, int To) {
     if (From == To)
       return;
-    for (unsigned Local : Members[G])
-      Assign[Plan.OpIds[Local]] = To;
-    unsigned Size = static_cast<unsigned>(Members[G].size());
+    uint32_t Begin = Plan.MemberOff[GBase + G];
+    uint32_t End = Plan.MemberOff[GBase + G + 1];
+    for (uint32_t M = Begin; M != End; ++M)
+      Assign[Plan.OpIds[Plan.MemberIds[M]]] = To;
+    unsigned Size = End - Begin;
     Count[static_cast<unsigned>(From)] -= Size;
     Count[static_cast<unsigned>(To)] += Size;
   };
@@ -284,6 +339,22 @@ void refineLevel(const RegionPlan &Plan, unsigned Level,
     // Max ops on any one cluster — the tie-break metric.
     return *std::max_element(Count.begin(), Count.end());
   };
+
+  // Lexicographic objective: estimated schedule length, then
+  // intercluster transfer count (moves the estimate hides still cost
+  // real bandwidth and energy), then operation balance.
+  auto Score = [&]() {
+    unsigned Moves;
+    unsigned Len = Est.estimateWithMoves(Assign, Moves);
+    return std::make_tuple(Len, Moves, OpBalance());
+  };
+
+  // Score() is a pure function of (Assign, Count), and every trial either
+  // restores the pre-trial state or commits the best candidate — whose
+  // score we already have. So the current state's score only needs the
+  // estimator once per level; after that it is carried from group to
+  // group and across passes instead of being recomputed.
+  auto CurScore = Score();
 
   // Persistent, deterministically shuffled visit order.
   auto &Order = Scratch.Order;
@@ -296,18 +367,12 @@ void refineLevel(const RegionPlan &Plan, unsigned Level,
       std::swap(Order[I - 1], Order[RNG.nextBelow(I)]);
 
     for (unsigned G : Order) {
-      if (GroupLock[G] >= 0 || Members[G].empty())
+      if (Plan.GroupLock[GBase + G] >= 0 ||
+          Plan.MemberOff[GBase + G] == Plan.MemberOff[GBase + G + 1])
         continue;
-      int Cur = Assign[Plan.OpIds[Members[G][0]]];
-      // Lexicographic objective: estimated schedule length, then
-      // intercluster transfer count (moves the estimate hides still cost
-      // real bandwidth and energy), then operation balance.
-      auto Score = [&]() {
-        unsigned Moves;
-        unsigned Len = Est.estimateWithMoves(Assign, Moves);
-        return std::make_tuple(Len, Moves, OpBalance());
-      };
-      auto BestScore = Score();
+      // Representative: first (smallest) member local index.
+      int Cur = Assign[Plan.OpIds[Plan.MemberIds[Plan.MemberOff[GBase + G]]]];
+      auto BestScore = CurScore;
       int Best = Cur;
       int At = Cur; // where the group currently sits during trials
       for (unsigned C = 0; C != NumClusters; ++C) {
@@ -322,6 +387,7 @@ void refineLevel(const RegionPlan &Plan, unsigned Level,
         }
       }
       SetGroup(G, At, Best);
+      CurScore = BestScore;
       if (Best != Cur) {
         Moved = true;
         ++RS.GroupMoves;
@@ -357,19 +423,22 @@ void runRegion(const BlockDFG &DFG, RegionPlan &Plan, const MachineModel &MM,
   RS.CoarsenLevels += Plan.Levels - 1;
 
   for (unsigned Level = Plan.Levels; Level-- > 0;) {
-    const auto &Members = Plan.LevelMembers[Level];
-    const auto &GroupLock = Plan.LevelGroupLock[Level];
+    unsigned GBase = Plan.LevelGroupOff[Level];
     // Groups must start internally consistent: align every member with
     // the group's representative (locks win).
-    for (unsigned G = 0; G != Members.size(); ++G) {
-      if (Members[G].empty())
+    for (unsigned G = 0, E = Plan.groupsAt(Level); G != E; ++G) {
+      uint32_t Begin = Plan.MemberOff[GBase + G];
+      uint32_t End = Plan.MemberOff[GBase + G + 1];
+      if (Begin == End)
         continue;
-      int Cluster = GroupLock[G] >= 0
-                        ? GroupLock[G]
-                        : Assign[Plan.OpIds[Members[G][0]]];
-      for (unsigned Local : Members[G])
+      int Cluster = Plan.GroupLock[GBase + G] >= 0
+                        ? Plan.GroupLock[GBase + G]
+                        : Assign[Plan.OpIds[Plan.MemberIds[Begin]]];
+      for (uint32_t M = Begin; M != End; ++M) {
+        unsigned Local = Plan.MemberIds[M];
         if (Plan.LockOf[Local] < 0)
           Assign[Plan.OpIds[Local]] = Cluster;
+      }
     }
     refineLevel(Plan, Level, Assign, MM, Opt, RNG, RS, Scratch);
   }
@@ -385,7 +454,13 @@ ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
   ClusterAssignment CA(P);
   Random RNG(Opt.Seed);
   RhopStats RS;
-  RhopScratch Scratch;
+
+  // Region plans, estimator tables, and refinement scratch all live on
+  // the calling thread's arena for the duration of this call; the arena
+  // is released (blocks kept warm) on return.
+  support::ScratchArena Scope;
+  support::Arena *A = &Scope.arena();
+  RhopScratch Scratch(A);
 
   for (unsigned F = 0; F != P.getNumFunctions(); ++F) {
     const Function &Fn = P.getFunction(F);
@@ -401,7 +476,10 @@ ClusterAssignment gdp::runRHOP(const Program &P, const ProfileData &Prof,
     DFGs.reserve(Fn.getNumBlocks());
     for (unsigned B = 0; B != Fn.getNumBlocks(); ++B)
       DFGs.emplace_back(Fn, Fn.getBlock(B), DU, OI, &LI);
-    std::vector<RegionPlan> Plans(Fn.getNumBlocks());
+    std::vector<RegionPlan> Plans;
+    Plans.reserve(Fn.getNumBlocks());
+    for (unsigned B = 0; B != Fn.getNumBlocks(); ++B)
+      Plans.emplace_back(A);
 
     for (unsigned Pass = 0; Pass != std::max(1u, Opt.NumFunctionPasses);
          ++Pass)

@@ -4,7 +4,22 @@
 
 #include "ir/Program.h"
 
+#include <algorithm>
+
 using namespace gdp;
+
+namespace {
+
+/// lower_bound position of \p ObjectId in a sorted access list.
+ProfileData::AccessList::const_iterator find(const ProfileData::AccessList &L,
+                                             int ObjectId) {
+  return std::lower_bound(L.begin(), L.end(), ObjectId,
+                          [](const std::pair<int, uint64_t> &E, int Id) {
+                            return E.first < Id;
+                          });
+}
+
+} // namespace
 
 ProfileData::ProfileData(const Program &P) {
   BlockFreq.resize(P.getNumFunctions());
@@ -19,22 +34,30 @@ ProfileData::ProfileData(const Program &P) {
 
 uint64_t ProfileData::getAccessCount(unsigned FunctionId, unsigned OpId,
                                      int ObjectId) const {
-  const auto &Map = AccessCounts[FunctionId][OpId];
-  auto It = Map.find(ObjectId);
-  return It == Map.end() ? 0 : It->second;
+  const AccessList &L = AccessCounts[FunctionId][OpId];
+  auto It = find(L, ObjectId);
+  return It != L.end() && It->first == ObjectId ? It->second : 0;
 }
 
 void ProfileData::addAccess(unsigned FunctionId, unsigned OpId, int ObjectId,
                             uint64_t N) {
-  AccessCounts[FunctionId][OpId][ObjectId] += N;
+  AccessList &L = AccessCounts[FunctionId][OpId];
+  auto It = std::lower_bound(L.begin(), L.end(), ObjectId,
+                             [](const std::pair<int, uint64_t> &E, int Id) {
+                               return E.first < Id;
+                             });
+  if (It != L.end() && It->first == ObjectId)
+    It->second += N;
+  else
+    L.insert(It, {ObjectId, N});
 }
 
 uint64_t ProfileData::getObjectAccessTotal(int ObjectId) const {
   uint64_t Total = 0;
   for (const auto &PerFunc : AccessCounts)
-    for (const auto &Map : PerFunc) {
-      auto It = Map.find(ObjectId);
-      if (It != Map.end())
+    for (const AccessList &L : PerFunc) {
+      auto It = find(L, ObjectId);
+      if (It != L.end() && It->first == ObjectId)
         Total += It->second;
     }
   return Total;

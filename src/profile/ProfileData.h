@@ -16,7 +16,6 @@
 #define GDP_PROFILE_PROFILEDATA_H
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace gdp {
@@ -26,6 +25,11 @@ class Program;
 /// Profile counters for one program run (or the sum of several runs).
 class ProfileData {
 public:
+  /// One operation's dynamic accesses: (object id, count), ascending by
+  /// object id — the same deterministic order the old std::map gave,
+  /// without a heap node per touched object.
+  using AccessList = std::vector<std::pair<int, uint64_t>>;
+
   ProfileData() = default;
   /// Sizes all tables for \p P with zero counts.
   explicit ProfileData(const Program &P);
@@ -46,8 +50,7 @@ public:
                  uint64_t N = 1);
 
   /// All (object, count) pairs for one operation, sorted by object id.
-  const std::map<int, uint64_t> &getAccessMap(unsigned FunctionId,
-                                              unsigned OpId) const {
+  const AccessList &getAccessMap(unsigned FunctionId, unsigned OpId) const {
     return AccessCounts[FunctionId][OpId];
   }
 
@@ -78,7 +81,7 @@ public:
 
 private:
   std::vector<std::vector<uint64_t>> BlockFreq;
-  std::vector<std::vector<std::map<int, uint64_t>>> AccessCounts;
+  std::vector<std::vector<AccessList>> AccessCounts;
   std::vector<uint64_t> HeapBytes;
   std::vector<uint64_t> HeapAllocs;
 };

@@ -11,7 +11,11 @@
 using namespace gdp;
 
 ScheduleEstimator::ScheduleEstimator(const BlockDFG &DFG,
-                                     const MachineModel &MM) {
+                                     const MachineModel &MM,
+                                     support::Arena *A)
+    : Latency(A), OpIds(A), Kind(A), FUCount(A), DataEdges(A), LiveUses(A),
+      SuccOff(A), SuccTo(A), SuccBase(A), SuccIsData(A), KindCountScratch(A),
+      StartScratch(A), MoveScratch(A) {
   N = DFG.size();
   NumClusters = MM.getNumClusters();
   MoveLat = MM.getMoveLatency();
@@ -72,6 +76,7 @@ ScheduleEstimator::ScheduleEstimator(const BlockDFG &DFG,
 
   MoveScratch.reserve(DataEdges.size() + LiveUses.size());
   StartScratch.reserve(N);
+  KindCountScratch.reserve(NumClusters * 4);
 }
 
 unsigned

@@ -34,6 +34,7 @@
 #define GDP_SCHED_ESTIMATOR_H
 
 #include "sched/BlockDFG.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <utility>
@@ -46,7 +47,9 @@ class MachineModel;
 /// Schedule-length estimator for one region.
 class ScheduleEstimator {
 public:
-  ScheduleEstimator(const BlockDFG &DFG, const MachineModel &MM);
+  /// Precomputed tables and scratch on \p A when given (heap otherwise).
+  ScheduleEstimator(const BlockDFG &DFG, const MachineModel &MM,
+                    support::Arena *A = nullptr);
 
   /// Estimated schedule length of the region when operations are placed
   /// according to \p ClusterOfOp (indexed by operation id).
@@ -71,36 +74,36 @@ private:
   unsigned MoveLat = 0;
   unsigned BW = 1;
 
-  std::vector<unsigned> Latency; // per local op
-  std::vector<unsigned> OpIds;   // local op → function-wide operation id
-  std::vector<uint8_t> Kind;     // local op → FU kind
-  std::vector<unsigned> FUCount; // [cluster * 4 + kind] → unit count
+  support::ArenaVector<unsigned> Latency; // per local op
+  support::ArenaVector<unsigned> OpIds;   // local op → function-wide op id
+  support::ArenaVector<uint8_t> Kind;     // local op → FU kind
+  support::ArenaVector<unsigned> FUCount; // [cluster * 4 + kind] → units
 
   /// Data edges only (the ones that can become transfers), local indices.
   struct DataEdge {
     uint32_t From, To;
   };
-  std::vector<DataEdge> DataEdges;
+  support::ArenaVector<DataEdge> DataEdges;
 
   /// Live-ins with a real, non-hoistable producer elsewhere.
   struct LiveUse {
     uint32_t User; // local index of the consumer
     int32_t DefId; // producing operation id (≥ 0)
   };
-  std::vector<LiveUse> LiveUses;
+  support::ArenaVector<LiveUse> LiveUses;
 
   /// Flat successor adjacency: edges of local op I live at
   /// [SuccOff[I], SuccOff[I+1]), with the assignment-independent base
   /// delay and a flag for "data edge" (pays a move when cross-cluster).
-  std::vector<uint32_t> SuccOff;
-  std::vector<uint32_t> SuccTo;
-  std::vector<uint32_t> SuccBase;
-  std::vector<uint8_t> SuccIsData;
+  support::ArenaVector<uint32_t> SuccOff;
+  support::ArenaVector<uint32_t> SuccTo;
+  support::ArenaVector<uint32_t> SuccBase;
+  support::ArenaVector<uint8_t> SuccIsData;
 
   // Per-query scratch, reused across calls (const queries, not reentrant).
-  mutable std::vector<unsigned> KindCountScratch;
-  mutable std::vector<unsigned> StartScratch;
-  mutable std::vector<std::pair<int, int>> MoveScratch;
+  mutable support::ArenaVector<unsigned> KindCountScratch;
+  mutable support::ArenaVector<unsigned> StartScratch;
+  mutable support::ArenaVector<std::pair<int, int>> MoveScratch;
 };
 
 } // namespace gdp

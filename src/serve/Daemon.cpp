@@ -74,6 +74,16 @@ bool gdp::serve::parseDaemonArg(const std::string &Arg, DaemonOptions &O,
     O.Threads = static_cast<unsigned>(N);
     return true;
   }
+  if (Arg == "--affinity") {
+    O.Affinity = "1";
+    return true;
+  }
+  if (Is("--affinity")) {
+    O.Affinity = Value("--affinity");
+    if (O.Affinity.empty())
+      O.Affinity = "1";
+    return true;
+  }
   if (Is("--max-inflight")) {
     if (!parseUnsigned(Value("--max-inflight"), N)) {
       Err = "--max-inflight expects a number";
@@ -134,6 +144,17 @@ int gdp::serve::runDaemon(const DaemonOptions &O) {
   }
   if (!O.Coordinator && !O.Shards.empty()) {
     std::fprintf(stderr, "gdpd: error: --shard requires --coordinator\n");
+    return 2;
+  }
+
+  // Worker pinning for the serving pool: --affinity beats GDP_AFFINITY;
+  // an unparsable value is a configuration failure like a bad bind.
+  if (std::string Err; !support::resolveThreadAffinity(O.Affinity, &Err)) {
+    std::fprintf(stderr, "gdpd: %s\n",
+                 support::errorDiag(support::StatusCode::UsageError,
+                                    "gdpd.affinity", Err)
+                     .render()
+                     .c_str());
     return 2;
   }
 

@@ -34,6 +34,10 @@ struct DaemonOptions {
   std::vector<support::SockAddr> Shards;
   /// True concurrency (--threads; default $GDP_THREADS, else 1).
   unsigned Threads = 0;
+  /// Raw --affinity value; empty = flag absent ($GDP_AFFINITY decides).
+  /// Validated in runDaemon so a bad value is a configuration failure
+  /// (structured UsageError diag, exit 2).
+  std::string Affinity;
   size_t MaxInflight = 64;    ///< --max-inflight admission gate.
   size_t CacheCap = 0;        ///< --cache-cap (0 = keep the default, 64).
   uint64_t DefaultDeadlineMs = 0; ///< --deadline-ms for deadline-less requests.

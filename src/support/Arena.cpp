@@ -1,0 +1,71 @@
+//===- support/Arena.cpp - Bump allocation for transient state --------------===//
+
+#include "support/Arena.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace gdp;
+using namespace gdp::support;
+
+namespace {
+std::atomic<int64_t> ArenaBlocksGauge{0};
+} // namespace
+
+void gdp::support::detail::arenaBlocksGaugeAdd(int64_t Delta) {
+  ArenaBlocksGauge.fetch_add(Delta, std::memory_order_relaxed);
+}
+
+int64_t gdp::support::processArenaBlocks() {
+  return ArenaBlocksGauge.load(std::memory_order_relaxed);
+}
+
+void *Arena::allocateSlow(size_t Size, size_t Align) {
+  // Worst-case bytes this request can need inside any block.
+  size_t Need = Size + (Align > BlockAlign ? Align : 0);
+
+  // Advance through retained blocks first (a warm arena after release()
+  // still owns everything it ever grew to).
+  while (Cur + 1 < Blocks.size()) {
+    ++Cur;
+    Used = 0;
+    if (Blocks[Cur].Size >= Need)
+      return allocate(Size, Align); // Fits now; fast path finishes it.
+  }
+
+  // Grow: double the last block, and never smaller than the request.
+  size_t NewSize = Blocks.empty() ? FirstBlockBytes : Blocks.back().Size * 2;
+  NewSize = std::max(NewSize, Need);
+  char *Data = static_cast<char *>(
+      ::operator new(NewSize, std::align_val_t(BlockAlign)));
+  Blocks.push_back({Data, NewSize});
+  ++Stats.BlocksCreated;
+  detail::arenaBlocksGaugeAdd(1);
+  Cur = Blocks.size() - 1;
+  Used = 0;
+  return allocate(Size, Align);
+}
+
+Arena &gdp::support::threadScratchArena() {
+  thread_local Arena A;
+  return A;
+}
+
+ScratchArena::~ScratchArena() {
+  if (telemetry::enabled()) {
+    // All pure functions of this scope's own allocation sequence — the
+    // peak was rebased at scope entry, so warm-arena history from earlier
+    // scopes (which differs across thread counts) cannot leak in.
+    telemetry::counter("arena.bytes_allocated",
+                       A.stats().BytesAllocated - BytesBefore);
+    telemetry::counter("arena.resets");
+    telemetry::value("arena.high_water_bytes",
+                     static_cast<double>(A.peakLiveBytes() - M.Live));
+  }
+  // An inner scope's absolute peak is also live history the outer scope
+  // must see; fold it back in.
+  A.rebasePeakLiveBytes(std::max(SavedPeak, A.peakLiveBytes()));
+  A.release(M);
+}

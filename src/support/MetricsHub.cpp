@@ -2,6 +2,7 @@
 
 #include "support/MetricsHub.h"
 
+#include "support/Arena.h"
 #include "support/StrUtil.h"
 
 #include <cmath>
@@ -95,6 +96,11 @@ std::string MetricsHub::toPrometheus(bool IncludeTimers) const {
   Out += formatStr("# TYPE gdp_sessions_published_total counter\n"
                    "gdp_sessions_published_total %llu\n",
                    static_cast<unsigned long long>(sessionsPublished()));
+  // Process-level capacity gauge: warm-history dependent, so it lives
+  // here (like the session count) rather than in any session's stats.
+  Out += formatStr("# TYPE gdp_arena_blocks gauge\n"
+                   "gdp_arena_blocks %lld\n",
+                   static_cast<long long>(support::processArenaBlocks()));
   return Out;
 }
 

@@ -4,7 +4,14 @@
 
 #include "support/Telemetry.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 using namespace gdp;
 using namespace gdp::support;
@@ -20,10 +27,102 @@ unsigned gdp::support::threadCountFromEnv() {
   return N > 256 ? 256u : static_cast<unsigned>(N);
 }
 
-ThreadPool::ThreadPool(unsigned NumThreads) : NumWorkers(NumThreads) {
+namespace {
+
+/// -1 = no override installed (consult the environment).
+int AffinityOverride = -1;
+
+/// Pins \p T to one CPU. No-op off Linux; failure (e.g. a restrictive
+/// cpuset) is deliberately ignored — affinity is a placement hint, never
+/// a correctness requirement.
+void pinThreadToCpu(std::thread &T, unsigned Cpu) {
+#if defined(__linux__)
+  unsigned NumCpus = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Cpu % NumCpus, &Set);
+  (void)pthread_setaffinity_np(T.native_handle(), sizeof(Set), &Set);
+#else
+  (void)T;
+  (void)Cpu;
+#endif
+}
+
+} // namespace
+
+bool gdp::support::parseAffinitySetting(const std::string &Text,
+                                        bool &Enabled) {
+  std::string S;
+  S.reserve(Text.size());
+  for (char C : Text)
+    S += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (S == "1" || S == "on" || S == "true" || S == "yes") {
+    Enabled = true;
+    return true;
+  }
+  if (S == "0" || S == "off" || S == "false" || S == "no") {
+    Enabled = false;
+    return true;
+  }
+  return false;
+}
+
+int gdp::support::threadAffinityFromEnv() {
+  const char *Env = std::getenv("GDP_AFFINITY");
+  if (!Env || !*Env)
+    return 0;
+  bool Enabled = false;
+  if (!parseAffinitySetting(Env, Enabled))
+    return -1;
+  return Enabled ? 1 : 0;
+}
+
+void gdp::support::setThreadAffinity(bool Enabled) {
+  AffinityOverride = Enabled ? 1 : 0;
+}
+
+bool gdp::support::threadAffinityEnabled() {
+  if (AffinityOverride >= 0)
+    return AffinityOverride == 1;
+  return threadAffinityFromEnv() == 1;
+}
+
+bool gdp::support::resolveThreadAffinity(const std::string &FlagValue,
+                                         std::string *Err) {
+  if (!FlagValue.empty()) {
+    bool Enabled = false;
+    if (!parseAffinitySetting(FlagValue, Enabled)) {
+      if (Err)
+        *Err = "invalid --affinity value '" + FlagValue +
+               "' (expected 1/on/true or 0/off/false)";
+      return false;
+    }
+    setThreadAffinity(Enabled);
+    return true;
+  }
+  int FromEnv = threadAffinityFromEnv();
+  if (FromEnv < 0) {
+    if (Err)
+      *Err = std::string("invalid GDP_AFFINITY value '") +
+             std::getenv("GDP_AFFINITY") +
+             "' (expected 1/on/true or 0/off/false)";
+    return false;
+  }
+  setThreadAffinity(FromEnv == 1);
+  return true;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : NumWorkers(NumThreads), Pinned(NumThreads && threadAffinityEnabled()) {
   Workers.reserve(NumThreads);
-  for (unsigned I = 0; I != NumThreads; ++I)
+  for (unsigned I = 0; I != NumThreads; ++I) {
     Workers.emplace_back([this] { workerLoop(); });
+    if (Pinned)
+      pinThreadToCpu(Workers.back(), I + 1);
+  }
+#if !defined(__linux__)
+  Pinned = false; // The toggle is accepted but pinning is unavailable.
+#endif
 }
 
 ThreadPool::~ThreadPool() {

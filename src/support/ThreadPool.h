@@ -29,11 +29,22 @@
 /// (clamped to [1, 256]; unset/invalid = 1 = serial). The CLI and bench
 /// harness let `--threads=N` override it.
 ///
+/// Thread affinity (opt-in): when the process-wide toggle is on
+/// (`--affinity` flag or `GDP_AFFINITY=1`), each pool pins worker I to
+/// CPU (I + 1) mod hardware_concurrency — the submitting thread keeps
+/// CPU 0 to itself on multi-core machines — so a worker's scratch arena
+/// and its cache-resident working set stay on one core instead of
+/// migrating. Pinning is Linux-only (pthread_setaffinity_np); elsewhere
+/// the toggle is accepted and ignored. Affinity never changes *what* the
+/// pool computes (the determinism contract above is scheduling-blind), it
+/// only changes where tasks run — records stay byte-identical either way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDP_SUPPORT_THREADPOOL_H
 #define GDP_SUPPORT_THREADPOOL_H
 
+#include "support/Arena.h"
 #include "support/Budget.h"
 
 #include <condition_variable>
@@ -43,6 +54,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -54,6 +66,33 @@ namespace support {
 /// Total thread count requested through the environment: `GDP_THREADS`,
 /// clamped to [1, 256]; 1 (fully serial) when unset or unparsable.
 unsigned threadCountFromEnv();
+
+/// Parses one affinity setting: "1"/"on"/"true"/"yes" enable,
+/// "0"/"off"/"false"/"no" disable (ASCII case-insensitive). Returns false
+/// without touching \p Enabled when \p Text is anything else — callers
+/// reject that with a structured UsageError (exit 2).
+bool parseAffinitySetting(const std::string &Text, bool &Enabled);
+
+/// The `GDP_AFFINITY` environment variable: 1 enabled, 0 disabled or
+/// unset, -1 set to an unparsable value (tools diagnose and exit 2; pool
+/// construction treats -1 as disabled).
+int threadAffinityFromEnv();
+
+/// Overrides the process-wide affinity toggle (flags beat the
+/// environment). New pools consult it at construction; running pools are
+/// unaffected.
+void setThreadAffinity(bool Enabled);
+
+/// The effective process-wide toggle: the setThreadAffinity() override
+/// when one was installed, else the environment (invalid = disabled).
+bool threadAffinityEnabled();
+
+/// Resolves the toggle from a CLI flag value and the environment, in that
+/// precedence: \p FlagValue empty = flag absent (consult `GDP_AFFINITY`).
+/// On success installs the setting and returns true; on an unparsable
+/// flag or environment value fills \p Err and returns false so the caller
+/// can emit a UsageError diag and exit 2.
+bool resolveThreadAffinity(const std::string &FlagValue, std::string *Err);
 
 /// Fixed worker pool. See the file comment for the guarantees.
 class ThreadPool {
@@ -68,6 +107,16 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   unsigned getNumWorkers() const { return NumWorkers; }
+
+  /// True when this pool pinned its workers at construction (the toggle
+  /// was on and the platform supports pinning).
+  bool workersPinned() const { return Pinned; }
+
+  /// The calling thread's scratch arena (support/Arena.h): each worker —
+  /// and the submitting thread — owns one, so arena-backed task scratch
+  /// never crosses threads. Equivalent to threadScratchArena(); exposed
+  /// here because the pool is what hands threads out.
+  static Arena &threadScratch() { return threadScratchArena(); }
 
   /// Cooperative-cancellation token shared by this pool's tasks. The pool
   /// never checks it itself (a queued packaged_task must still run so its
@@ -168,6 +217,7 @@ private:
   void workerLoop();
 
   unsigned NumWorkers;
+  bool Pinned = false;
   CancelToken Cancel;
   std::vector<std::thread> Workers;
   std::mutex Mu;

@@ -141,6 +141,26 @@ TEST(Determinism, JsonRecordsByteIdenticalAcrossRepeatedRuns) {
             bench::runMatrixRecords(fullMatrix()));
 }
 
+TEST(Determinism, JsonRecordsByteIdenticalWithAndWithoutAffinity) {
+  // Core pinning is a placement hint, never an input: the records a pinned
+  // pool produces are byte-for-byte the records of an unpinned one, at
+  // every thread count (the fig7-affinity experiment's core claim).
+  support::setThreadAffinity(false);
+  bench::setThreads(1);
+  std::vector<std::string> Baseline = bench::runMatrixRecords(fullMatrix());
+  ASSERT_EQ(Baseline.size(), 12u);
+  for (unsigned Threads : ThreadCounts) {
+    bench::setThreads(Threads);
+    support::setThreadAffinity(true);
+    std::vector<std::string> Got = bench::runMatrixRecords(fullMatrix());
+    support::setThreadAffinity(false);
+    ASSERT_EQ(Got.size(), Baseline.size());
+    for (size_t I = 0; I != Baseline.size(); ++I)
+      EXPECT_EQ(Got[I], Baseline[I])
+          << "record " << I << " pinned at " << Threads << " threads";
+  }
+}
+
 TEST(Determinism, SimRecordsByteIdenticalAtEveryThreadCount) {
   // The trace-driven simulator is sequential per task and tasks only fan
   // out across the pool, so its JSON records — cycles, stall breakdown,

@@ -24,7 +24,7 @@ TEST(PartitionGraphTest, ParallelEdgesAccumulate) {
   unsigned A = G.addNode({1}), B = G.addNode({1});
   G.addEdge(A, B, 3);
   G.addEdge(B, A, 4);
-  EXPECT_EQ(G.neighbors(A).at(B), 7u);
+  EXPECT_EQ(G.edgeWeight(A, B), 7u);
   EXPECT_EQ(G.totalEdgeWeight(), 7u);
 }
 

@@ -31,6 +31,10 @@ void usage(std::FILE *Out) {
       "  --shard=ADDR            a worker address (repeat; coordinator only)\n"
       "  --threads=N             serving concurrency (default $GDP_THREADS,\n"
       "                          else 1)\n"
+      "  --affinity[=V]          pin serving-pool workers to cores (default\n"
+      "                          $GDP_AFFINITY, else off); V is 1/on/true\n"
+      "                          or 0/off/false, anything else is a\n"
+      "                          UsageError config failure (exit 2)\n"
       "  --max-inflight=N        admission gate: connections served at\n"
       "                          once; more are shed with an overloaded\n"
       "                          status (default 64)\n"

@@ -105,6 +105,11 @@ void usage(std::FILE *Out = stderr) {
       "      --threads=N              evaluate strategies on N threads\n"
       "                               (default: $GDP_THREADS, else 1; the\n"
       "                               report is identical at any value)\n"
+      "      --affinity[=V]           pin pool workers to cores (default:\n"
+      "                               $GDP_AFFINITY, else off). V is\n"
+      "                               1/on/true or 0/off/false; anything\n"
+      "                               else is a UsageError (exit 2).\n"
+      "                               Output is identical either way\n"
       "      --stats=FILE.json        dump telemetry counters/timers (also\n"
       "                               accepted by 'profile')\n"
       "      --trace=FILE.json        dump a Chrome trace_event log for\n"
@@ -129,6 +134,7 @@ std::string StatsPath;
 std::string TracePath;
 std::string PrometheusPath;
 unsigned ThreadsFlag = 0; // 0 = resolve from GDP_THREADS (else serial).
+std::string AffinityFlag; // Empty = resolve from GDP_AFFINITY (else off).
 std::unique_ptr<support::FaultPlan> FaultsFlag; // From --faults=.
 
 /// Prints every diagnostic on stderr in rendered form
@@ -824,6 +830,20 @@ int cmdReport(const std::string &Spec, unsigned Latency, unsigned Clusters,
                      Resident.Max);
   }
 
+  // -- Arena (transient partitioning state) --------------------------------
+  Section("arena");
+  {
+    telemetry::ValueStats High = Stats.getValue("arena.high_water_bytes");
+    Out += formatStr("scratch scopes %llu, requested bytes %llu, peak "
+                     "scope live %g bytes; %lld warm blocks process-wide\n",
+                     static_cast<unsigned long long>(
+                         Stats.getCounter("arena.resets")),
+                     static_cast<unsigned long long>(
+                         Stats.getCounter("arena.bytes_allocated")),
+                     High.Max,
+                     static_cast<long long>(support::processArenaBlocks()));
+  }
+
   // -- Quantile metrics ----------------------------------------------------
   Section("quantile metrics");
   {
@@ -1148,6 +1168,10 @@ int main(int argc, char **argv) {
       int N = std::atoi(Arg.c_str() + 10);
       ThreadsFlag = N > 0 ? static_cast<unsigned>(N) : 1;
     }
+    else if (Arg == "--affinity")
+      AffinityFlag = "1";
+    else if (Arg.rfind("--affinity=", 0) == 0)
+      AffinityFlag = Arg.size() > 11 ? Arg.substr(11) : "1";
     else if (Arg.rfind("--stats=", 0) == 0)
       StatsPath = Arg.substr(8);
     else if (Arg.rfind("--trace=", 0) == 0)
@@ -1179,6 +1203,16 @@ int main(int argc, char **argv) {
                  "error: --lat and --clusters need positive integers\n");
     usage();
     return 1;
+  }
+  // Worker pinning: --affinity beats GDP_AFFINITY; an unparsable value in
+  // either is a structured usage error with the input-error exit code.
+  if (std::string Err; !support::resolveThreadAffinity(AffinityFlag, &Err)) {
+    std::fprintf(stderr, "%s\n",
+                 support::errorDiag(support::StatusCode::UsageError,
+                                    "gdptool.affinity", Err)
+                     .render()
+                     .c_str());
+    return 2;
   }
 
   OptimizeFlag = Optimize;
