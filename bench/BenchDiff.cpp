@@ -105,6 +105,32 @@ bool flatten(const JVal &Doc, std::map<std::string, FlatRecord> &Out,
       F.Failed = true;
     return true;
   }
+  if (Schema == "gdp-serve-chaos-v1") {
+    // Availability under injected shard outages. Counts only (issued/ok
+    // vary with wall clock between runs, so only hard failure signals
+    // gate): lost requests, failed requests, missed post-recovery probes.
+    std::string Key = "serve-chaos";
+    if (Doc.has("shards"))
+      Key += "|shards" + numKey(Doc["shards"].Num);
+    if (Doc.has("replicas"))
+      Key += "|replicas" + numKey(Doc["replicas"].Num);
+    FlatRecord &F = Out[Key];
+    for (const char *M : {"failed", "lost", "success_rate", "retries",
+                          "failovers"})
+      if (Doc.has(M) && Doc[M].K == JVal::Number)
+        F.Metrics[M] = Doc[M].Num;
+    if (Doc.has("post_recovery") && Doc["post_recovery"].K == JVal::Object) {
+      const JVal &PR = Doc["post_recovery"];
+      if (PR.has("requests") && PR.has("ok"))
+        F.Metrics["post_recovery_missed"] =
+            PR["requests"].Num - PR["ok"].Num;
+    }
+    if ((F.Metrics.count("failed") && F.Metrics["failed"] > 0) ||
+        (F.Metrics.count("post_recovery_missed") &&
+         F.Metrics["post_recovery_missed"] > 0))
+      F.Failed = true;
+    return true;
+  }
   Error = "unknown schema \"" + Schema + "\"";
   return false;
 }

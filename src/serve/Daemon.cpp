@@ -128,6 +128,38 @@ bool gdp::serve::parseDaemonArg(const std::string &Arg, DaemonOptions &O,
     O.DrainMs = static_cast<int>(N);
     return true;
   }
+  if (Is("--replicas")) {
+    if (!parseUnsigned(Value("--replicas"), N) || N == 0 || N > 64) {
+      Err = "--replicas expects 1..64";
+      return false;
+    }
+    O.Replicas = static_cast<unsigned>(N);
+    return true;
+  }
+  if (Is("--breaker-threshold")) {
+    if (!parseUnsigned(Value("--breaker-threshold"), N) || N == 0) {
+      Err = "--breaker-threshold expects a positive number";
+      return false;
+    }
+    O.BreakerThreshold = N;
+    return true;
+  }
+  if (Is("--breaker-cooldown-ms")) {
+    if (!parseUnsigned(Value("--breaker-cooldown-ms"), N) || N == 0) {
+      Err = "--breaker-cooldown-ms expects a positive number";
+      return false;
+    }
+    O.BreakerCooldownMs = static_cast<int>(N);
+    return true;
+  }
+  if (Is("--health-check-ms")) {
+    if (!parseUnsigned(Value("--health-check-ms"), N)) {
+      Err = "--health-check-ms expects a number (0 disables the prober)";
+      return false;
+    }
+    O.HealthCheckMs = static_cast<int>(N);
+    return true;
+  }
   Err = "unknown flag '" + Arg + "'";
   return false;
 }
@@ -144,6 +176,16 @@ int gdp::serve::runDaemon(const DaemonOptions &O) {
   }
   if (!O.Coordinator && !O.Shards.empty()) {
     std::fprintf(stderr, "gdpd: error: --shard requires --coordinator\n");
+    return 2;
+  }
+  if (!O.Coordinator && O.Replicas > 1) {
+    std::fprintf(stderr, "gdpd: error: --replicas requires --coordinator\n");
+    return 2;
+  }
+  if (O.Coordinator && O.Replicas > O.Shards.size()) {
+    std::fprintf(stderr,
+                 "gdpd: error: --replicas=%u exceeds the shard count (%zu)\n",
+                 O.Replicas, O.Shards.size());
     return 2;
   }
 
@@ -167,10 +209,17 @@ int gdp::serve::runDaemon(const DaemonOptions &O) {
   Service Svc(SvcOpt);
 
   std::unique_ptr<Backend> B;
-  if (O.Coordinator)
-    B = std::make_unique<CoordinatorBackend>(O.Shards, O.IoTimeoutMs);
-  else
+  if (O.Coordinator) {
+    CoordinatorOptions CO;
+    CO.TimeoutMs = O.IoTimeoutMs;
+    CO.Replicas = O.Replicas;
+    CO.Breaker.FailureThreshold = O.BreakerThreshold;
+    CO.Breaker.OpenCooldownMs = O.BreakerCooldownMs;
+    CO.HealthCheckMs = O.HealthCheckMs;
+    B = std::make_unique<CoordinatorBackend>(O.Shards, CO);
+  } else {
     B = std::make_unique<LocalBackend>(Svc);
+  }
 
   ServerOptions SrvOpt;
   SrvOpt.Listen = O.Listen;

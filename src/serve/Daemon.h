@@ -44,6 +44,12 @@ struct DaemonOptions {
   bool Deterministic = false; ///< --deterministic response bodies.
   int IoTimeoutMs = 30000;    ///< --io-timeout-ms per-frame I/O.
   int DrainMs = 5000;         ///< --drain-ms shutdown grace.
+  /// Coordinator fault tolerance (--replicas and friends; rejected
+  /// without --coordinator so a misconfigured shard fails loudly).
+  unsigned Replicas = 1;          ///< --replicas replica-chain length.
+  uint64_t BreakerThreshold = 3;  ///< --breaker-threshold failures to open.
+  int BreakerCooldownMs = 1000;   ///< --breaker-cooldown-ms before probing.
+  int HealthCheckMs = 1000;       ///< --health-check-ms probe period (0 off).
 };
 
 /// Parses one `--flag[=value]` into \p O. Returns false with \p Err set

@@ -1,0 +1,73 @@
+//===- serve/Failover.cpp - Retry, backoff and circuit breaking -------------===//
+
+#include "serve/Failover.h"
+
+#include "support/Random.h"
+
+using namespace gdp;
+using namespace gdp::serve;
+
+double BackoffSchedule::delayMs(unsigned Attempt) const {
+  double Exp = P.BaseDelayMs;
+  for (unsigned I = 0; I != Attempt && Exp < P.MaxDelayMs; ++I)
+    Exp *= 2;
+  if (Exp > P.MaxDelayMs)
+    Exp = P.MaxDelayMs;
+  // Fresh generator per attempt (reseeding runs splitmix64, so nearby
+  // attempt indices give unrelated draws): the delay depends only on
+  // (seed, attempt), never on how many draws other requests made.
+  Random R(Seed ^ (0x9e3779b97f4a7c15ULL * (Attempt + 1)));
+  double Jitter = P.JitterFrac > 0 ? P.JitterFrac * R.nextDouble() : 0;
+  return Exp * (1.0 - Jitter);
+}
+
+CircuitBreaker::Decision CircuitBreaker::allow(double NowMs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (St) {
+  case State::Closed:
+    return Decision::Allow;
+  case State::Open:
+    if (NowMs - OpenedAtMs < O.OpenCooldownMs)
+      return Decision::Reject;
+    St = State::HalfOpen;
+    ProbeInFlight = true;
+    return Decision::Probe;
+  case State::HalfOpen:
+    if (ProbeInFlight)
+      return Decision::Reject;
+    ProbeInFlight = true;
+    return Decision::Probe;
+  }
+  return Decision::Reject;
+}
+
+CircuitBreaker::Transition CircuitBreaker::onSuccess() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Failures = 0;
+  if (St == State::Closed)
+    return Transition::None;
+  St = State::Closed;
+  ProbeInFlight = false;
+  return Transition::Closed;
+}
+
+CircuitBreaker::Transition CircuitBreaker::onFailure(double NowMs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (St) {
+  case State::Closed:
+    if (++Failures < O.FailureThreshold)
+      return Transition::None;
+    St = State::Open;
+    OpenedAtMs = NowMs;
+    return Transition::Opened;
+  case State::HalfOpen:
+    // The probe failed: back to Open, restarting the cooldown.
+    St = State::Open;
+    OpenedAtMs = NowMs;
+    ProbeInFlight = false;
+    return Transition::Opened;
+  case State::Open:
+    return Transition::None;
+  }
+  return Transition::None;
+}

@@ -1,0 +1,126 @@
+//===- serve/Failover.h - Retry, backoff and circuit breaking ---*- C++ -*-===//
+//
+// Part of the GDP reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-tolerance primitives behind the coordinator's replica
+/// failover (docs/SERVING.md, "Failure semantics"): a retry policy with
+/// exponential backoff and deterministic jitter, and a per-shard circuit
+/// breaker with half-open recovery probes.
+///
+/// **Determinism contract.** Backoff delays are a pure function of
+/// (seed, attempt): `BackoffSchedule` reseeds a `gdp::Random` from the
+/// request's routing hash for every attempt, so the schedule a request
+/// would follow is byte-identical at any thread count and in any
+/// interleaving — only the *sleeping* consumes wall clock, never the
+/// arithmetic. That keeps `--deterministic` serving records byte-stable
+/// (ServeTests::BackoffScheduleDeterministic proves it at 1/2/8 threads).
+///
+/// The breaker is plain mutable state (failure streak, opened-at time)
+/// and takes the current time as an argument instead of reading a clock,
+/// so unit tests drive the full Closed → Open → HalfOpen → Closed cycle
+/// without sleeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDP_SERVE_FAILOVER_H
+#define GDP_SERVE_FAILOVER_H
+
+#include <cstdint>
+#include <mutex>
+
+namespace gdp {
+namespace serve {
+
+/// How the coordinator retries a failed partition request. One *round*
+/// tries every replica in the request's chain once; between rounds the
+/// coordinator backs off exponentially (never past the request deadline).
+struct RetryPolicy {
+  /// Passes over the replica chain before giving up (>= 1).
+  unsigned MaxRounds = 3;
+  /// Backoff before round k+1: min(MaxDelayMs, BaseDelayMs * 2^k),
+  /// jittered downward by up to JitterFrac.
+  double BaseDelayMs = 5;
+  double MaxDelayMs = 200;
+  /// Jitter factor in [0, 1): the delay is scaled by a deterministic
+  /// uniform draw from [1 - JitterFrac, 1].
+  double JitterFrac = 0.5;
+};
+
+/// The backoff delays one request would use, as a pure function of the
+/// policy, a per-request seed (the routing hash) and the attempt index.
+class BackoffSchedule {
+public:
+  BackoffSchedule(const RetryPolicy &P, uint64_t Seed) : P(P), Seed(Seed) {}
+
+  /// Delay before retry round \p Attempt + 1 (0-based), in milliseconds.
+  /// Deterministic: the same (policy, seed, attempt) always yields the
+  /// same delay, regardless of call order or thread count.
+  double delayMs(unsigned Attempt) const;
+
+private:
+  RetryPolicy P;
+  uint64_t Seed;
+};
+
+/// Circuit-breaker tuning (per shard).
+struct BreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  uint64_t FailureThreshold = 3;
+  /// How long an open breaker rejects before allowing one half-open
+  /// probe through.
+  double OpenCooldownMs = 1000;
+};
+
+/// Per-shard circuit breaker: Closed (traffic flows) → Open after
+/// FailureThreshold consecutive failures (requests are rejected without
+/// touching the shard) → HalfOpen once the cooldown elapses (exactly one
+/// probe request goes through) → Closed on probe success, back to Open on
+/// probe failure. Thread-safe; the clock is supplied by the caller.
+class CircuitBreaker {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  /// What allow() decided for one request.
+  enum class Decision {
+    Allow,  ///< Closed: send normally.
+    Probe,  ///< Open → HalfOpen: this request is the recovery probe.
+    Reject, ///< Open (or probe already in flight): skip this shard.
+  };
+
+  /// State change an outcome caused (the owner records the counters).
+  enum class Transition { None, Opened, Closed };
+
+  explicit CircuitBreaker(const BreakerOptions &O = BreakerOptions()) : O(O) {}
+
+  /// Admission check for one request at time \p NowMs. A Probe decision
+  /// *must* be resolved by onSuccess() or onFailure().
+  Decision allow(double NowMs);
+
+  /// Records a successful exchange; closes a half-open breaker.
+  Transition onSuccess();
+
+  /// Records a failed exchange at \p NowMs; extends the failure streak,
+  /// re-opens a half-open breaker.
+  Transition onFailure(double NowMs);
+
+  State state() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return St;
+  }
+
+private:
+  mutable std::mutex Mu;
+  BreakerOptions O;
+  State St = State::Closed;
+  uint64_t Failures = 0;     ///< Consecutive failures while Closed.
+  double OpenedAtMs = 0;     ///< When the breaker last opened.
+  bool ProbeInFlight = false;
+};
+
+} // namespace serve
+} // namespace gdp
+
+#endif // GDP_SERVE_FAILOVER_H

@@ -41,6 +41,15 @@ const support::SockAddr &Server::boundAddr() const {
 
 bool Server::sendFrame(Socket &Conn, Verb V, Status S,
                        const std::string &Payload) {
+  if (support::faultAt("serve.reply")) {
+    // Drop the response on the floor and close the connection: the client
+    // sees EOF where a frame was due — exactly what a server crash between
+    // executing a request and answering it looks like. The coordinator's
+    // retry path must absorb this (the request may have executed!).
+    Svc.registry().addCounter("serve.reply_faults", 1);
+    Conn.close();
+    return false;
+  }
   std::string F = encodeFrame(V, S, Payload);
   return Conn.sendAll(F.data(), F.size(), Opt.IoTimeoutMs, nullptr);
 }

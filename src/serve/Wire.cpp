@@ -386,3 +386,20 @@ Status gdp::serve::statusForCode(StatusCode C) {
   }
   return Status::InternalError;
 }
+
+bool gdp::serve::retryableStatus(Status S) {
+  switch (S) {
+  case Status::Overloaded:
+  case Status::ShuttingDown:
+  case Status::Unavailable:
+  case Status::InternalError:
+    return true;
+  case Status::Ok:
+  case Status::BadRequest:
+  case Status::InputError:
+  case Status::EvalFailed:
+  case Status::DeadlineExceeded:
+    return false;
+  }
+  return false;
+}

@@ -208,6 +208,15 @@ std::string diagsBody(const std::vector<support::Diag> &Diags);
 /// request fails with that diagnostic.
 Status statusForCode(support::StatusCode C);
 
+/// True when a response with status \p S may succeed on another replica
+/// or a later attempt (transport-shaped failures: the shard was
+/// unreachable, overloaded, draining, or failed internally). Request-
+/// shaped failures — bad payload, bad spec, evaluation failure, an
+/// expired per-request deadline — are final: every replica would answer
+/// the same, so the coordinator must not burn the budget retrying them
+/// (docs/SERVING.md has the full failure-semantics matrix).
+bool retryableStatus(Status S);
+
 } // namespace serve
 } // namespace gdp
 

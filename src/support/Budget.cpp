@@ -4,6 +4,8 @@
 
 #include "support/Telemetry.h"
 
+#include <limits>
+
 using namespace gdp;
 using namespace gdp::support;
 
@@ -14,6 +16,23 @@ double BudgetMeter::elapsedMs() const {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - Start)
       .count();
+}
+
+double BudgetMeter::remainingMs() const {
+  if (Exhausted.load(std::memory_order_relaxed) ||
+      (B.Cancel && B.Cancel->cancelled()))
+    return 0;
+  double R = std::numeric_limits<double>::infinity();
+  if (B.WallMsLimit > 0)
+    R = B.WallMsLimit - elapsedMs();
+  if (B.hasDeadline()) {
+    double ToDeadline = std::chrono::duration<double, std::milli>(
+                            B.Deadline - std::chrono::steady_clock::now())
+                            .count();
+    if (ToDeadline < R)
+      R = ToDeadline;
+  }
+  return R < 0 ? 0 : R;
 }
 
 bool BudgetMeter::charge(uint64_t N) {

@@ -93,6 +93,13 @@ public:
   /// Elapsed wall clock since construction, in milliseconds.
   double elapsedMs() const;
 
+  /// Milliseconds left before the wall limit or absolute deadline trips —
+  /// whichever is sooner. Infinity when neither is set; 0 once exhausted
+  /// (by any limit or cancellation). The serving retry loop uses this to
+  /// refuse a backoff sleep that could not finish inside the request's
+  /// deadline.
+  double remainingMs() const;
+
   /// The limit that tripped, as a diagnostic attributable to \p Site
   /// (BudgetExhausted, or Cancelled when only the token fired). Only
   /// meaningful once exhausted().

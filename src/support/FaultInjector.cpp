@@ -16,7 +16,7 @@ const std::vector<std::string> &gdp::support::faultSites() {
   static const std::vector<std::string> Sites = {
       "graph.coarsen", "rhop.lock",     "sched.estimate",
       "sim.bus",       "pool.task",     "serve.accept",
-      "serve.dispatch",
+      "serve.dispatch", "serve.conn",   "serve.reply",
   };
   return Sites;
 }

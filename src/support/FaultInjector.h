@@ -38,6 +38,11 @@
 ///                    (the client gets an internal-error frame)
 ///   serve.dispatch — gdpd's frame dispatch fails one request and drops
 ///                    that connection (the daemon itself stays up)
+///   serve.conn     — an outbound connect (coordinator → shard, client →
+///                    server) fails before reaching the network
+///   serve.reply    — the server drops a response frame on the floor and
+///                    closes the connection (the client sees EOF — the
+///                    coordinator's retry/failover path must absorb it)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -28,6 +28,17 @@ uint64_t MetricsHub::sessionsPublished() const {
   return Sessions;
 }
 
+void MetricsHub::setGauge(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Gauges[Name] = Value;
+}
+
+double MetricsHub::gauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0 : It->second;
+}
+
 std::string MetricsHub::toJson() const {
   uint64_t N = sessionsPublished();
   std::string Stats = Aggregate.toJson();
@@ -101,6 +112,18 @@ std::string MetricsHub::toPrometheus(bool IncludeTimers) const {
   Out += formatStr("# TYPE gdp_arena_blocks gauge\n"
                    "gdp_arena_blocks %lld\n",
                    static_cast<long long>(support::processArenaBlocks()));
+  // Registered process gauges (breaker states, ...): current values, not
+  // session history, so they live beside the other process-level lines.
+  std::map<std::string, double> Snap;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Snap = Gauges;
+  }
+  for (const auto &[Name, V] : Snap) {
+    std::string M = prometheusName(Name);
+    Out += formatStr("# TYPE %s gauge\n%s %s\n", M.c_str(), M.c_str(),
+                     promNumber(V).c_str());
+  }
   return Out;
 }
 
@@ -108,4 +131,5 @@ void MetricsHub::reset() {
   Aggregate.reset();
   std::lock_guard<std::mutex> Lock(Mu);
   Sessions = 0;
+  Gauges.clear();
 }

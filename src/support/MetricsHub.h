@@ -27,6 +27,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -48,6 +49,15 @@ public:
 
   /// Number of publish() calls so far.
   uint64_t sessionsPublished() const;
+
+  /// Sets a process-level gauge (current-state value, not cumulative);
+  /// rendered by toPrometheus() as `# TYPE gdp_<name> gauge`. Long-lived
+  /// components (the coordinator's circuit breakers) stamp their live
+  /// state here so the Prometheus surface shows it between snapshots.
+  void setGauge(const std::string &Name, double Value);
+
+  /// Current value of a gauge (0 if never set).
+  double gauge(const std::string &Name) const;
 
   /// The aggregate registry (counters/values/quantiles/timers of every
   /// published session added together).
@@ -75,8 +85,9 @@ public:
   static std::string prometheusName(const std::string &Name);
 
 private:
-  mutable std::mutex Mu; // Guards Sessions; Aggregate locks itself.
+  mutable std::mutex Mu; // Guards Sessions/Gauges; Aggregate locks itself.
   StatsRegistry Aggregate;
+  std::map<std::string, double> Gauges;
   uint64_t Sessions = 0;
 };
 

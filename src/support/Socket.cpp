@@ -2,6 +2,7 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInjector.h"
 #include "support/StrUtil.h"
 
 #include <arpa/inet.h>
@@ -256,6 +257,11 @@ Socket ListenSocket::accept(int TimeoutMs, bool &TimedOut) {
 
 Socket gdp::support::connectTo(const SockAddr &Addr, int TimeoutMs,
                                std::vector<Diag> *Diags) {
+  if (faultAt("serve.conn")) {
+    addDiag(Diags, injectedFaultDiag("serve.conn")
+                       .with("addr", Addr.str()));
+    return Socket();
+  }
   int Fd = ::socket(Addr.IsUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (Fd < 0) {
     addDiag(Diags, errnoDiag("socket.connect", "socket"));

@@ -1,0 +1,197 @@
+//===- tests/FailoverTests.cpp - Retry/backoff/breaker unit tests -----------===//
+//
+// The fault-tolerance primitives of serve/Failover.h, exercised without
+// sockets or sleeps: backoff schedules must be a pure function of
+// (seed, attempt) — byte-identical at any thread count, the property the
+// serving determinism contract leans on — and the circuit breaker must
+// walk its full Closed → Open → HalfOpen → {Closed, Open} cycle under a
+// caller-driven clock. The retryable/final status split (Wire.h) is
+// pinned here too: it decides which failures fail over and which return
+// to the client untouched (docs/SERVING.md, "Failure semantics").
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Failover.h"
+#include "serve/Wire.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace gdp;
+using namespace gdp::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// BackoffSchedule
+//===----------------------------------------------------------------------===//
+
+TEST(Backoff, PureFunctionOfSeedAndAttempt) {
+  RetryPolicy P;
+  BackoffSchedule A(P, 0xdeadbeefULL);
+  BackoffSchedule B(P, 0xdeadbeefULL);
+  for (unsigned Try = 0; Try != 8; ++Try) {
+    // Same inputs, same delay — across instances and across repeated
+    // queries of the same instance, in any order.
+    EXPECT_EQ(A.delayMs(Try), B.delayMs(Try));
+    EXPECT_EQ(A.delayMs(7 - Try), B.delayMs(7 - Try));
+  }
+  // A different seed jitters differently (with overwhelming probability
+  // for this fixed pair).
+  BackoffSchedule C(P, 0xfeedface00ULL);
+  bool AnyDiffer = false;
+  for (unsigned Try = 0; Try != 8 && !AnyDiffer; ++Try)
+    AnyDiffer = A.delayMs(Try) != C.delayMs(Try);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(Backoff, ExponentialEnvelopeAndJitterBounds) {
+  RetryPolicy P;
+  P.BaseDelayMs = 5;
+  P.MaxDelayMs = 200;
+  P.JitterFrac = 0.5;
+  BackoffSchedule S(P, 42);
+  for (unsigned Try = 0; Try != 12; ++Try) {
+    double Exp = P.BaseDelayMs;
+    for (unsigned K = 0; K != Try && Exp < P.MaxDelayMs; ++K)
+      Exp *= 2;
+    if (Exp > P.MaxDelayMs)
+      Exp = P.MaxDelayMs;
+    double D = S.delayMs(Try);
+    EXPECT_GE(D, Exp * (1.0 - P.JitterFrac)) << "attempt " << Try;
+    EXPECT_LE(D, Exp) << "attempt " << Try;
+  }
+}
+
+TEST(Backoff, NoJitterMeansExactExponential) {
+  RetryPolicy P;
+  P.BaseDelayMs = 10;
+  P.MaxDelayMs = 80;
+  P.JitterFrac = 0;
+  BackoffSchedule S(P, 7);
+  EXPECT_EQ(S.delayMs(0), 10);
+  EXPECT_EQ(S.delayMs(1), 20);
+  EXPECT_EQ(S.delayMs(2), 40);
+  EXPECT_EQ(S.delayMs(3), 80);
+  EXPECT_EQ(S.delayMs(4), 80); // Capped.
+}
+
+TEST(Backoff, ByteIdenticalAcrossThreadCounts) {
+  // The serving determinism contract: the schedule a request follows
+  // depends only on its routing hash, not on which worker computes it or
+  // how many workers run. Compute 64 schedules serially, then with 2 and
+  // 8 threads carving the same index space, and demand exact equality.
+  RetryPolicy P;
+  constexpr unsigned Seeds = 64, Attempts = 6;
+  auto Compute = [&](unsigned Threads) {
+    std::vector<double> Out(Seeds * Attempts);
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&, T] {
+        for (unsigned I = T; I < Seeds; I += Threads) {
+          BackoffSchedule S(P, 0x9e3779b9ULL * (I + 1));
+          for (unsigned A = 0; A != Attempts; ++A)
+            Out[I * Attempts + A] = S.delayMs(A);
+        }
+      });
+    for (auto &Th : Pool)
+      Th.join();
+    return Out;
+  };
+  std::vector<double> One = Compute(1), Two = Compute(2), Eight = Compute(8);
+  EXPECT_EQ(One, Two);
+  EXPECT_EQ(One, Eight);
+}
+
+//===----------------------------------------------------------------------===//
+// CircuitBreaker
+//===----------------------------------------------------------------------===//
+
+TEST(Breaker, OpensAfterConsecutiveFailures) {
+  BreakerOptions O;
+  O.FailureThreshold = 3;
+  O.OpenCooldownMs = 1000;
+  CircuitBreaker B(O);
+  EXPECT_EQ(B.allow(0), CircuitBreaker::Decision::Allow);
+  EXPECT_EQ(B.onFailure(1), CircuitBreaker::Transition::None);
+  EXPECT_EQ(B.onFailure(2), CircuitBreaker::Transition::None);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(B.onFailure(3), CircuitBreaker::Transition::Opened);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Open);
+  // Open: rejected without touching the shard, until the cooldown.
+  EXPECT_EQ(B.allow(4), CircuitBreaker::Decision::Reject);
+  EXPECT_EQ(B.allow(1002), CircuitBreaker::Decision::Reject);
+}
+
+TEST(Breaker, SuccessResetsTheStreak) {
+  BreakerOptions O;
+  O.FailureThreshold = 3;
+  CircuitBreaker B(O);
+  B.onFailure(1);
+  B.onFailure(2);
+  EXPECT_EQ(B.onSuccess(), CircuitBreaker::Transition::None);
+  // Two more failures are a fresh streak, still under the threshold.
+  B.onFailure(3);
+  B.onFailure(4);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(B.onFailure(5), CircuitBreaker::Transition::Opened);
+}
+
+TEST(Breaker, CooldownAdmitsExactlyOneProbe) {
+  BreakerOptions O;
+  O.FailureThreshold = 1;
+  O.OpenCooldownMs = 100;
+  CircuitBreaker B(O);
+  EXPECT_EQ(B.onFailure(0), CircuitBreaker::Transition::Opened);
+  EXPECT_EQ(B.allow(50), CircuitBreaker::Decision::Reject);
+  // Cooldown elapsed: the first caller becomes the half-open probe, every
+  // concurrent caller is still rejected until the probe resolves.
+  EXPECT_EQ(B.allow(100), CircuitBreaker::Decision::Probe);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_EQ(B.allow(101), CircuitBreaker::Decision::Reject);
+  EXPECT_EQ(B.allow(150), CircuitBreaker::Decision::Reject);
+  // Probe success closes; traffic flows again.
+  EXPECT_EQ(B.onSuccess(), CircuitBreaker::Transition::Closed);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(B.allow(151), CircuitBreaker::Decision::Allow);
+}
+
+TEST(Breaker, FailedProbeReopensWithFreshCooldown) {
+  BreakerOptions O;
+  O.FailureThreshold = 1;
+  O.OpenCooldownMs = 100;
+  CircuitBreaker B(O);
+  B.onFailure(0);
+  ASSERT_EQ(B.allow(100), CircuitBreaker::Decision::Probe);
+  EXPECT_EQ(B.onFailure(105), CircuitBreaker::Transition::Opened);
+  EXPECT_EQ(B.state(), CircuitBreaker::State::Open);
+  // The cooldown restarts from the failed probe, not the original trip.
+  EXPECT_EQ(B.allow(150), CircuitBreaker::Decision::Reject);
+  EXPECT_EQ(B.allow(204), CircuitBreaker::Decision::Reject);
+  EXPECT_EQ(B.allow(205), CircuitBreaker::Decision::Probe);
+  EXPECT_EQ(B.onSuccess(), CircuitBreaker::Transition::Closed);
+}
+
+//===----------------------------------------------------------------------===//
+// Retryable/final status split
+//===----------------------------------------------------------------------===//
+
+TEST(RetryClass, TransientStatusesRetryFinalOnesDoNot) {
+  // Transient: another replica (or a later attempt) can answer.
+  EXPECT_TRUE(retryableStatus(Status::Overloaded));
+  EXPECT_TRUE(retryableStatus(Status::ShuttingDown));
+  EXPECT_TRUE(retryableStatus(Status::Unavailable));
+  EXPECT_TRUE(retryableStatus(Status::InternalError));
+  // Final: the request itself is the problem (or it succeeded) — a
+  // different replica would answer identically, so failover would only
+  // burn the deadline.
+  EXPECT_FALSE(retryableStatus(Status::Ok));
+  EXPECT_FALSE(retryableStatus(Status::BadRequest));
+  EXPECT_FALSE(retryableStatus(Status::InputError));
+  EXPECT_FALSE(retryableStatus(Status::EvalFailed));
+  EXPECT_FALSE(retryableStatus(Status::DeadlineExceeded));
+}
+
+} // namespace

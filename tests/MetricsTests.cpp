@@ -228,4 +228,25 @@ TEST(MetricsHub, GlobalHubAccumulatesAcrossPublishes) {
   MetricsHub::global().reset();
 }
 
+TEST(MetricsHub, GaugesRenderCurrentValueNotHistory) {
+  // Process gauges (serve.breaker.open_shards, ...) are live values: the
+  // last setGauge wins, renders with a gauge TYPE line, and reset()
+  // clears them with everything else.
+  MetricsHub::global().reset();
+  MetricsHub::global().setGauge("serve.breaker.open_shards", 2);
+  MetricsHub::global().setGauge("serve.breaker.open_shards", 1);
+  EXPECT_EQ(MetricsHub::global().gauge("serve.breaker.open_shards"), 1);
+  EXPECT_EQ(MetricsHub::global().gauge("no.such.gauge"), 0);
+  std::string Prom = MetricsHub::global().toPrometheus();
+  EXPECT_NE(Prom.find("# TYPE gdp_serve_breaker_open_shards gauge\n"
+                      "gdp_serve_breaker_open_shards 1\n"),
+            std::string::npos)
+      << Prom;
+  MetricsHub::global().reset();
+  EXPECT_EQ(MetricsHub::global().gauge("serve.breaker.open_shards"), 0);
+  EXPECT_EQ(MetricsHub::global().toPrometheus().find(
+                "gdp_serve_breaker_open_shards"),
+            std::string::npos);
+}
+
 } // namespace

@@ -223,6 +223,13 @@ TEST(ServeCoordinatorHash, RouteHashIsStableAcrossProcesses) {
 /// One in-process gdpd: service + backend + server pumping on a thread.
 struct TestServer {
   ServiceOptions SvcOpt;
+  /// Coordinator tuning used when boot() gets shard addresses; tests
+  /// override it (replicas, breaker, backoff) before booting.
+  CoordinatorOptions CoordOpt = [] {
+    CoordinatorOptions C;
+    C.TimeoutMs = 5000;
+    return C;
+  }();
   std::unique_ptr<Service> Svc;
   std::unique_ptr<Backend> B;
   std::unique_ptr<Server> Srv;
@@ -239,7 +246,7 @@ struct TestServer {
     if (Shards.empty())
       B = std::make_unique<LocalBackend>(*Svc);
     else
-      B = std::make_unique<CoordinatorBackend>(std::move(Shards), 5000);
+      B = std::make_unique<CoordinatorBackend>(std::move(Shards), CoordOpt);
     SO.Listen.IsUnix = true;
     SO.Listen.Path = formatStr("/tmp/gdp-serve-test-%d-%s.sock",
                                static_cast<int>(::getpid()), Tag.c_str());
@@ -751,6 +758,194 @@ TEST(ServeLifecycle, DrainFinishesInflightRequests) {
   Worker.join();
   ASSERT_TRUE(Done);
   EXPECT_EQ(Got, Status::Ok) << Body;
+}
+
+//===----------------------------------------------------------------------===//
+// Replica failover, retry and circuit breaking (docs/SERVING.md,
+// "Failure semantics")
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFailover, PoisonIsStickyAtEveryByteBoundary) {
+  // The reconnect story depends on two FrameReader properties: once a
+  // stream is poisoned no future bytes resurrect it (the coordinator must
+  // throw the connection away, not resync), and a *fresh* reader — what a
+  // reconnect buys — parses the same frame cleanly. Assert both with the
+  // corruption landing at every byte boundary of a valid frame.
+  std::string Enc = encodeFrame(Verb::Partition, Status::Ok, "payload");
+  std::string Junk(32, '?'); // Never a valid magic, verb, or sane length.
+  for (size_t K = 0; K <= Enc.size(); ++K) {
+    FrameReader R;
+    R.feed(Enc.data(), K);
+    R.feed(Junk.data(), Junk.size());
+    Frame F;
+    support::Diag D;
+    int Rc;
+    while ((Rc = R.next(F, D)) == 1)
+      ; // A long-enough prefix still yields the complete valid frame.
+    ASSERT_EQ(Rc, -1) << "junk after byte " << K << " did not poison";
+    EXPECT_TRUE(R.poisoned());
+    // Sticky: a pristine frame on the poisoned stream stays dead.
+    R.feed(Enc.data(), Enc.size());
+    EXPECT_EQ(R.next(F, D), -1) << "poison lifted at byte " << K;
+    // Reconnect = fresh reader: the same frame parses immediately.
+    FrameReader Fresh;
+    Fresh.feed(Enc.data(), Enc.size());
+    ASSERT_EQ(Fresh.next(F, D), 1);
+    EXPECT_EQ(F.Payload, "payload");
+  }
+}
+
+TEST(ServeFailover, ReplicaChainIsTheRingSuccessors) {
+  std::vector<support::SockAddr> Addrs(4);
+  for (int I = 0; I != 4; ++I) {
+    Addrs[I].IsUnix = true;
+    Addrs[I].Path = formatStr("/tmp/gdp-ring-%d.sock", I);
+  }
+  CoordinatorOptions CO;
+  CO.Replicas = 3;
+  CO.HealthCheckMs = 0;
+  CoordinatorBackend CB(Addrs, CO);
+  for (const char *Key : {"gen:3:60", "fir", "gen:101:200"}) {
+    std::vector<size_t> Chain = CB.replicasFor(Key);
+    ASSERT_EQ(Chain.size(), 3u);
+    EXPECT_EQ(Chain[0], CB.shardFor(Key));
+    EXPECT_EQ(Chain[1], (Chain[0] + 1) % 4);
+    EXPECT_EQ(Chain[2], (Chain[0] + 2) % 4);
+  }
+}
+
+TEST(ServeFailover, ReplicaChainMasksDeadShard) {
+  // Three shards, replicas=2: kill the shard that owns a key and the
+  // request must still answer Ok through the key's second replica — the
+  // client never sees the outage.
+  auto S0 = std::make_unique<TestServer>();
+  auto S1 = std::make_unique<TestServer>();
+  auto S2 = std::make_unique<TestServer>();
+  ASSERT_TRUE(S0->boot("fo-s0"));
+  ASSERT_TRUE(S1->boot("fo-s1"));
+  ASSERT_TRUE(S2->boot("fo-s2"));
+  std::vector<support::SockAddr> Addrs = {S0->addr(), S1->addr(), S2->addr()};
+  TestServer Coord;
+  Coord.CoordOpt.Replicas = 2;
+  Coord.CoordOpt.TimeoutMs = 2000;
+  Coord.CoordOpt.HealthCheckMs = 0;
+  Coord.CoordOpt.Retry.BaseDelayMs = 1;
+  Coord.CoordOpt.Retry.MaxDelayMs = 10;
+  ASSERT_TRUE(Coord.boot("fo-c", {}, {}, Addrs));
+  auto &CB = static_cast<CoordinatorBackend &>(*Coord.B);
+
+  // A key per shard so we can kill a key's owner specifically.
+  std::string Keys[3];
+  for (int I = 0; I != 128; ++I) {
+    std::string K = formatStr("gen:%d:60", 201 + 2 * I);
+    Keys[CB.shardFor(K)] = K;
+  }
+  ASSERT_FALSE(Keys[1].empty());
+
+  Client C;
+  ASSERT_TRUE(C.connect(Coord.addr(), 5000));
+  PartitionRequest Req;
+  Req.Spec = Keys[1];
+  std::string Body;
+  ASSERT_EQ(C.partition(Req, Body), Status::Ok) << Body;
+
+  S1.reset(); // The owner dies; replica (shard 2) must take over.
+  EXPECT_EQ(C.partition(Req, Body), Status::Ok) << Body;
+  EXPECT_GE(CB.localStats().getCounter("serve.failover.total"), 1u);
+  EXPECT_GE(CB.localStats().getValue("serve.failover.latency_ms").Count, 1u);
+}
+
+TEST(ServeFailover, BreakerOpensThenRecoversAfterRestart) {
+  // Learn an address, then kill the shard behind it.
+  auto Shard = std::make_unique<TestServer>();
+  ASSERT_TRUE(Shard->boot("fo-brk"));
+  support::SockAddr Addr = Shard->addr();
+  Shard.reset();
+
+  CoordinatorOptions CO;
+  CO.TimeoutMs = 500;
+  CO.Retry.MaxRounds = 1; // One attempt per call: failures count plainly.
+  CO.Breaker.FailureThreshold = 2;
+  CO.Breaker.OpenCooldownMs = 50;
+  CO.HealthCheckMs = 0; // Recovery rides on request probes alone here.
+  CoordinatorBackend CB({Addr}, CO);
+  PartitionRequest Req;
+  Req.Spec = "gen:3:60";
+
+  EXPECT_EQ(CB.partition(Req, nullptr).S, Status::Unavailable);
+  EXPECT_EQ(CB.partition(Req, nullptr).S, Status::Unavailable);
+  EXPECT_EQ(CB.breakerState(0), CircuitBreaker::State::Open);
+  // Open: rejected without touching the socket.
+  EXPECT_EQ(CB.partition(Req, nullptr).S, Status::Unavailable);
+  EXPECT_GE(CB.localStats().getCounter("serve.breaker.open"), 1u);
+  EXPECT_GE(CB.localStats().getCounter("serve.breaker.rejected"), 1u);
+
+  // Restart on the same path (the listener unlinks the stale socket
+  // file); after the cooldown the next request is the half-open probe.
+  auto Revived = std::make_unique<TestServer>();
+  ASSERT_TRUE(Revived->boot("fo-brk"));
+  bool Recovered = false;
+  for (int Try = 0; Try != 200 && !Recovered; ++Try) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Recovered = CB.partition(Req, nullptr).S == Status::Ok;
+  }
+  EXPECT_TRUE(Recovered) << "breaker never closed after shard restart";
+  EXPECT_EQ(CB.breakerState(0), CircuitBreaker::State::Closed);
+  EXPECT_GE(CB.localStats().getCounter("serve.breaker.close"), 1u);
+}
+
+TEST(ServeFailover, InjectedAcceptFaultIsRetriedNotFatal) {
+  // Regression for the old reconnect-once semantics: a connection the
+  // server kills at accept (serve.accept fault) must be absorbed by the
+  // retry policy — the caller sees Ok, plus a retry in the counters.
+  support::FaultPlan Plan;
+  ASSERT_TRUE(support::FaultPlan::parse("serve.accept:1", Plan, nullptr));
+  ServerOptions SO;
+  SO.Faults = &Plan;
+  TestServer S;
+  ASSERT_TRUE(S.boot("fo-accept", SO));
+  CoordinatorOptions CO;
+  CO.TimeoutMs = 2000;
+  CO.Retry.MaxRounds = 4;
+  CO.Retry.BaseDelayMs = 1;
+  CO.Retry.MaxDelayMs = 10;
+  CO.HealthCheckMs = 0;
+  CoordinatorBackend CB({S.addr()}, CO);
+  PartitionRequest Req;
+  Req.Spec = "gen:19:60";
+  PartitionOutcome Out = CB.partition(Req, nullptr);
+  EXPECT_EQ(Out.S, Status::Ok) << Out.Body;
+  EXPECT_GE(CB.localStats().getCounter("serve.retry.attempts"), 1u);
+  EXPECT_EQ(S.stop(), 0);
+}
+
+TEST(ServeFailover, RetryNeverSleepsPastTheDeadline) {
+  // Against a dead shard with a huge backoff schedule, a 40ms request
+  // deadline must cut the retry loop off immediately — the full schedule
+  // would sleep for seconds.
+  auto Shard = std::make_unique<TestServer>();
+  ASSERT_TRUE(Shard->boot("fo-dead"));
+  support::SockAddr Addr = Shard->addr();
+  Shard.reset();
+
+  CoordinatorOptions CO;
+  CO.TimeoutMs = 200;
+  CO.Retry.MaxRounds = 6;
+  CO.Retry.BaseDelayMs = 300;
+  CO.Retry.MaxDelayMs = 3000;
+  CO.Retry.JitterFrac = 0;
+  CO.HealthCheckMs = 0;
+  CoordinatorBackend CB({Addr}, CO);
+  PartitionRequest Req;
+  Req.Spec = "gen:3:60";
+  Req.DeadlineMs = 40;
+  auto T0 = std::chrono::steady_clock::now();
+  PartitionOutcome Out = CB.partition(Req, nullptr);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  EXPECT_EQ(Out.S, Status::Unavailable);
+  EXPECT_LT(Ms, 1000) << "retry loop slept past the request deadline";
 }
 
 TEST(ServeLifecycle, RequestsDuringDrainAreRefused) {

@@ -44,6 +44,17 @@ void usage(std::FILE *Out) {
       "  --io-timeout-ms=N       per-frame socket timeout (default 30000)\n"
       "  --drain-ms=N            shutdown grace for in-flight requests\n"
       "                          (default 5000)\n"
+      "fault tolerance (coordinator only; docs/SERVING.md):\n"
+      "  --replicas=N            replica-chain length per hash slot: a\n"
+      "                          request fails over to the next N-1 shards\n"
+      "                          around the ring (default 1 = no failover)\n"
+      "  --breaker-threshold=N   consecutive failures that open a shard's\n"
+      "                          circuit breaker (default 3)\n"
+      "  --breaker-cooldown-ms=N open-breaker cooldown before a half-open\n"
+      "                          probe is allowed (default 1000)\n"
+      "  --health-check-ms=N     background health-probe period for open\n"
+      "                          breakers (default 1000; 0 disables — \n"
+      "                          recovery then rides on request probes)\n"
       "exit codes: 0 clean drain, 1 usage error, 2 bind/config failure,\n"
       "            3 stragglers cancelled at shutdown\n"
       "Stop with SIGINT/SIGTERM (graceful drain) or the protocol's\n"

@@ -126,7 +126,10 @@ void usage(std::FILE *Out = stderr) {
       "--seed=SEED --ops=OPS').\n"
       "exit codes: 0 success (including degraded strategy fallbacks),\n"
       "            1 usage error, 2 input/parse/verify/profile error,\n"
-      "            3 infeasible or failed evaluation\n");
+      "            3 infeasible or failed evaluation,\n"
+      "            4 (request) server unreachable or no replica available\n"
+      "              (transport-level Unavailable; diag site\n"
+      "              serve.unavailable — docs/SERVING.md)\n");
 }
 
 bool OptimizeFlag = false;
@@ -1051,8 +1054,14 @@ int cmdRequest(int argc, char **argv) {
   C.setTimeoutMs(TimeoutMs);
   std::vector<support::Diag> Diags;
   if (!C.connect(Server, TimeoutMs, &Diags)) {
+    // Transport-level unavailability gets its own exit code (4) and diag
+    // site so scripts can tell "shard down" from "bad request".
+    Diags.push_back(support::errorDiag(support::StatusCode::Internal,
+                                       "serve.unavailable",
+                                       "server unreachable")
+                        .with("server", Server.str()));
     reportDiags(Diags);
-    return 2;
+    return 4;
   }
   if (Ping) {
     std::string Info;
@@ -1101,6 +1110,18 @@ int cmdRequest(int argc, char **argv) {
   std::printf("%s", Body.c_str());
   if (S == serve::Status::Ok)
     return 0;
+  if (S == serve::Status::Unavailable ||
+      (S == serve::Status::InternalError && !C.connected())) {
+    // Unreachable shard / dropped connection: transport-shaped, exit 4.
+    Diags.push_back(support::errorDiag(support::StatusCode::Internal,
+                                       "serve.unavailable",
+                                       "service unavailable")
+                        .with("server", Server.str()));
+    reportDiags(Diags);
+    std::fprintf(stderr, "error: server answered %s\n",
+                 serve::statusName(S));
+    return 4;
+  }
   reportDiags(Diags);
   std::fprintf(stderr, "error: server answered %s\n", serve::statusName(S));
   return S == serve::Status::BadRequest  ? 1
